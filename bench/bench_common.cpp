@@ -1,0 +1,68 @@
+#include "bench_common.h"
+
+#include <exception>
+#include <filesystem>
+
+namespace cav::bench {
+
+std::string output_dir() {
+  static const std::string dir = [] {
+    std::filesystem::path p = std::filesystem::current_path() / "bench_artifacts";
+    std::filesystem::create_directories(p);
+    return p.string();
+  }();
+  return dir;
+}
+
+namespace {
+
+/// A cached table is usable only if it was built from today's config.
+bool compatible(const acasx::AcasXuConfig& cached, const acasx::AcasXuConfig& wanted) {
+  return cached.space.h_ft == wanted.space.h_ft &&
+         cached.space.dh_own_fps == wanted.space.dh_own_fps &&
+         cached.space.dh_int_fps == wanted.space.dh_int_fps &&
+         cached.space.tau_max == wanted.space.tau_max &&
+         cached.costs.nmac_cost == wanted.costs.nmac_cost &&
+         cached.costs.maneuver_cost == wanted.costs.maneuver_cost &&
+         cached.costs.level_reward == wanted.costs.level_reward &&
+         cached.costs.termination_cost == wanted.costs.termination_cost &&
+         cached.dynamics.accel_noise_sigma_fps2 == wanted.dynamics.accel_noise_sigma_fps2;
+}
+
+}  // namespace
+
+std::shared_ptr<const acasx::LogicTable> standard_table() {
+  static std::shared_ptr<const acasx::LogicTable> table = [] {
+    const acasx::AcasXuConfig wanted = acasx::AcasXuConfig::standard();
+    const std::string cache_path = output_dir() + "/standard_table.bin";
+
+    if (std::filesystem::exists(cache_path)) {
+      try {
+        auto cached = std::make_shared<const acasx::LogicTable>(
+            acasx::LogicTable::load(cache_path));
+        if (compatible(cached->config(), wanted)) {
+          std::printf("[setup] loaded cached logic table from %s\n", cache_path.c_str());
+          return cached;
+        }
+        std::printf("[setup] cached table config outdated, re-solving\n");
+      } catch (const std::exception& e) {
+        std::printf("[setup] cache unreadable (%s), re-solving\n", e.what());
+      }
+    }
+
+    acasx::SolveStats stats;
+    auto solved = std::make_shared<const acasx::LogicTable>(
+        acasx::solve_logic_table(wanted, &pool(), &stats));
+    std::printf("[setup] solved standard logic table: %zu states x %zu layers in %.2f s\n",
+                stats.states_per_layer, stats.layers, stats.wall_seconds);
+    try {
+      solved->save(cache_path);
+    } catch (const std::exception& e) {
+      std::printf("[setup] could not cache table (%s)\n", e.what());
+    }
+    return solved;
+  }();
+  return table;
+}
+
+}  // namespace cav::bench

@@ -1,0 +1,36 @@
+// Shared plumbing for the experiment benches: a cached standard logic
+// table (solved once per process), output-directory handling, and small
+// printing helpers so every bench emits paper-comparable rows.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "acasx/offline_solver.h"
+#include "util/thread_pool.h"
+
+namespace cav::bench {
+
+/// Process-wide thread pool for solving and fitness evaluation.
+inline ThreadPool& pool() {
+  static ThreadPool instance;
+  return instance;
+}
+
+/// The standard logic table: loaded from the on-disk cache when a
+/// compatible one exists (the production offline/online split), otherwise
+/// solved and cached for the next bench in the run.
+std::shared_ptr<const acasx::LogicTable> standard_table();
+
+/// Where benches drop CSV artifacts (created on demand).
+std::string output_dir();
+
+/// Print a separator + title.
+inline void banner(const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace cav::bench

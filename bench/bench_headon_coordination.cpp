@@ -1,0 +1,76 @@
+// E2 — Fig. 5: a head-on encounter resolved by ACAS XU with coordination
+// (own-ship climbs, intruder descends).  Reproduces the figure as ASCII
+// side/top views plus the quantitative claim that head-on encounters end
+// in mid-air collision in fewer than 5 of 100 runs (§VII), against the
+// unequipped / uncoordinated ablations.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/fitness.h"
+#include "encounter/encounter.h"
+#include "sim/acasx_cas.h"
+#include "sim/trajectory.h"
+#include "util/csv.h"
+
+namespace {
+
+void evaluate_row(const char* label, const cav::core::EncounterEvaluation& eval) {
+  std::printf("%-24s %4zu/%zu     %9.1f     %8.1f      %5.0f%%\n", label, eval.nmac_count,
+              eval.runs, eval.mean_miss_m, eval.fitness, 100.0 * eval.alert_fraction_own);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cav;
+
+  bench::banner("E2: head-on encounter with coordination (paper Fig. 5)");
+  const auto table = bench::standard_table();
+  const auto acas = sim::AcasXuCas::factory(table);
+  const encounter::EncounterParams head_on = encounter::head_on();
+
+  // --- One instrumented run for the Fig. 5 picture. ---
+  core::FitnessConfig trace_config;
+  trace_config.runs_per_encounter = 1;
+  trace_config.sim.record_trajectory = true;
+  const core::EncounterEvaluator tracer(trace_config, acas, acas);
+  const sim::SimResult run = tracer.run_once(head_on, /*stream_id=*/1, /*run_index=*/0, true);
+
+  std::printf("\n%s\n", sim::render_side_view(run.trajectory).c_str());
+  std::printf("own-ship: first alert at t=%.0f s, final advisory %s; intruder: %s\n",
+              run.own.first_alert_time_s, run.own.final_advisory.c_str(),
+              run.intruder.final_advisory.c_str());
+  std::printf("min separation %.1f m at t=%.1f s — NMAC: %s\n", run.proximity.min_distance_m,
+              run.proximity.time_of_min_distance_s, run.nmac ? "YES" : "no");
+
+  const std::string csv_path = bench::output_dir() + "/fig5_headon_trajectory.csv";
+  sim::write_trajectory_csv(run.trajectory, csv_path);
+  std::printf("trajectory CSV: %s\n", csv_path.c_str());
+
+  // --- The quantitative claim over 100 stochastic runs. ---
+  bench::banner("100-run accident rates (paper SVII: head-on < 5/100)");
+  core::FitnessConfig eval_config;
+  eval_config.runs_per_encounter = 100;
+
+  std::printf("%-24s %-12s %-13s %-13s %-8s\n", "configuration", "NMAC", "mean miss[m]",
+              "fitness", "alerted");
+
+  const core::EncounterEvaluator equipped(eval_config, acas, acas);
+  evaluate_row("ACAS-XU + coordination", equipped.evaluate(head_on, 1));
+
+  core::FitnessConfig no_coord = eval_config;
+  no_coord.sim.coordination.enabled = false;
+  const core::EncounterEvaluator uncoordinated(no_coord, acas, acas);
+  evaluate_row("ACAS-XU, no coord", uncoordinated.evaluate(head_on, 1));
+
+  const core::EncounterEvaluator one_sided(eval_config, acas, {});
+  evaluate_row("own-ship only", one_sided.evaluate(head_on, 1));
+
+  const core::EncounterEvaluator unequipped(eval_config, {}, {});
+  evaluate_row("unequipped", unequipped.evaluate(head_on, 1));
+
+  std::printf("\npaper expectation: equipped head-on NMAC well under 5/100 while the\n"
+              "unequipped pair collides essentially always; coordination produces the\n"
+              "complementary climb/descend pair shown in Fig. 5.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E7 — Monte-Carlo validation (paper §II/§IV narrative): under a common
+// statistical encounter model, the optimized ACAS XU-style logic should
+// dominate the hand-crafted TCAS-like baseline on the safety/alert
+// trade-off ("if with a good model the generated logic can outperform TCAS
+// in term of safety and false alarm rate"), and all systems should beat
+// unequipped flight.  Rates come with Wilson 95% CIs; the traffic sample
+// is identical (paired) across systems.
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/svo.h"
+#include "baselines/tcas_like.h"
+#include "bench_common.h"
+#include "core/monte_carlo.h"
+#include "sim/acasx_cas.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace cav;
+
+  std::size_t encounters = 4000;
+  if (const char* env = std::getenv("CAV_E7_ENCOUNTERS")) {
+    encounters = static_cast<std::size_t>(std::atol(env));
+  }
+
+  bench::banner("E7: Monte-Carlo risk comparison under a common encounter model");
+  const auto table = bench::standard_table();
+
+  const encounter::StatisticalEncounterModel model;
+  core::MonteCarloConfig config;
+  config.encounters = encounters;
+  config.seed = 424242;
+
+  std::printf("traffic: %zu sampled conflict-biased encounters (see DESIGN.md\n"
+              "substitutions: parametric stand-in for the radar-derived models of\n"
+              "refs [5, 6], which are not public and are doubted for UAVs in SIV)\n\n",
+              config.encounters);
+
+  struct Row {
+    const char* name;
+    sim::CasFactory factory;
+  };
+  const Row rows[] = {
+      {"unequipped", sim::CasFactory{}},
+      {"TCAS-like", baselines::TcasLikeCas::factory()},
+      {"SVO", baselines::SvoCas::factory()},
+      {"ACAS-XU", sim::AcasXuCas::factory(table)},
+  };
+
+  std::vector<core::SystemRates> results;
+  for (const Row& row : rows) {
+    results.push_back(core::estimate_rates(model, config, row.name, row.factory, row.factory,
+                                           &bench::pool()));
+  }
+  const core::SystemRates& unequipped = results.front();
+
+  std::printf("%-12s %-22s %-22s %-12s %-14s\n", "system", "NMAC rate [95% CI]",
+              "alert rate [95% CI]", "risk ratio", "mean minsep[m]");
+  const std::string csv_path = bench::output_dir() + "/montecarlo_riskratio.csv";
+  CsvWriter csv(csv_path);
+  csv.header({"system", "encounters", "nmacs", "nmac_rate", "nmac_lo", "nmac_hi", "alerts",
+              "alert_rate", "risk_ratio", "mean_min_sep_m"});
+  for (const auto& r : results) {
+    const auto nmac_ci = r.nmac_ci();
+    const auto alert_ci = r.alert_ci();
+    const double rr = core::risk_ratio(r, unequipped);
+    std::printf("%-12s %.4f [%.4f,%.4f] %.4f [%.4f,%.4f] %-12.4f %-14.1f\n", r.system.c_str(),
+                r.nmac_rate(), nmac_ci.lo, nmac_ci.hi, r.alert_rate(), alert_ci.lo, alert_ci.hi,
+                rr, r.mean_min_separation_m);
+    csv.cell(r.system).cell(r.encounters).cell(r.nmacs).cell(r.nmac_rate()).cell(nmac_ci.lo)
+        .cell(nmac_ci.hi).cell(r.alerts).cell(r.alert_rate()).cell(rr)
+        .cell(r.mean_min_separation_m);
+    csv.end_row();
+  }
+  std::printf("\nCSV: %s\n", csv_path.c_str());
+
+  std::printf("\npaper expectation (shape): every equipped system has risk ratio << 1;\n"
+              "the optimized table should match or beat the hand-crafted TCAS-like\n"
+              "logic on NMAC rate with a lower alert rate (the MBO selling point).\n");
+  return 0;
+}

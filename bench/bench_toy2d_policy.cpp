@@ -1,0 +1,61 @@
+// E1 — §III walkthrough (Fig. 2): build the paper's 2-D collision
+// avoidance MDP, generate the logic table by value iteration, display
+// policy slices, and evaluate the closed loop against the no-avoidance
+// baseline.
+//
+// Paper-comparable outputs:
+//   * the policy is a lookup table over {y_o, x_r, y_i} (§III);
+//   * it maneuvers only when collision risk exists and levels off
+//     otherwise (the stated purpose of the 50-point level-off reward);
+//   * closed-loop simulation shows the collision rate collapse vs
+//     unequipped flight.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "toy2d/toy2d_mdp.h"
+#include "toy2d/toy2d_sim.h"
+
+int main() {
+  using namespace cav;
+  using namespace cav::toy2d;
+
+  bench::banner("E1: 2-D toy collision avoidance MDP (paper SIII, Fig. 2)");
+
+  const Config config;
+  const Toy2dMdp model(config);
+  const auto t0 = std::chrono::steady_clock::now();
+  const PolicyTable table = solve(model);
+  const double solve_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::printf("model: %zu states, %zu actions; value iteration solved in %.4f s\n\n",
+              model.num_states(), model.num_actions(), solve_s);
+
+  for (const int y_int : {0, 2, -2}) {
+    std::printf("%s\n", table.render_slice(y_int).c_str());
+  }
+
+  std::printf("start-state values (expected cost, collision course y_o = y_i = 0):\n");
+  for (int xr = 1; xr <= config.x_max; ++xr) {
+    std::printf("  x_r = %2d   V = %9.2f\n", xr, table.value_for({0, xr, 0}));
+  }
+
+  bench::banner("closed-loop evaluation: 20000 episodes from (0, 9, 0)");
+  const GridState start{0, config.x_max, 0};
+  TablePolicy policy(table);
+  AlwaysLevel level;
+  const auto with_policy = evaluate(model, policy, start, 20000, 7);
+  const auto with_level = evaluate(model, level, start, 20000, 7);
+
+  std::printf("%-16s %-16s %-20s %-12s\n", "controller", "collision rate", "mean maneuvers/ep",
+              "mean cost");
+  std::printf("%-16s %-16.4f %-20.2f %-12.1f\n", "logic table", with_policy.collision_rate(),
+              with_policy.mean_maneuver_steps, with_policy.mean_cost);
+  std::printf("%-16s %-16.4f %-20.2f %-12.1f\n", "always level", with_level.collision_rate(),
+              with_level.mean_maneuver_steps, with_level.mean_cost);
+  std::printf("\npaper expectation: the generated table avoids collisions while mostly\n"
+              "flying level; the model value at the start state (%.1f) predicts the\n"
+              "measured closed-loop mean cost (%.1f) because model == simulator here.\n",
+              table.value_for(start), with_policy.mean_cost);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Offline analysis of a search logbook (the paper's §VIII data-mining
+// extension): load the CSV a previous search wrote, histogram the
+// geometries per generation, and mine the high-fitness *areas* of the
+// encounter space via clustering.
+//
+// Usage: analyze_logbook [search_logbook.csv] [fitness_threshold] [clusters]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "core/logbook.h"
+
+int main(int argc, char** argv) {
+  using namespace cav;
+
+  const std::string path = argc > 1 ? argv[1] : "search_logbook.csv";
+  const double threshold = argc > 2 ? std::atof(argv[2]) : 5000.0;
+  const auto clusters = argc > 3 ? static_cast<std::size_t>(std::atol(argv[3])) : 2;
+
+  core::Logbook logbook;
+  try {
+    logbook = core::Logbook::load_csv(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "could not load '%s' (%s)\nrun examples/search_challenging first, or pass a "
+                 "logbook path.\n",
+                 path.c_str(), e.what());
+    return 1;
+  }
+  std::printf("loaded %zu evaluations from %s\n\n", logbook.size(), path.c_str());
+
+  // Generation-by-generation geometry mix.
+  std::size_t max_generation = 0;
+  for (const auto& e : logbook.entries()) max_generation = std::max(max_generation, e.generation);
+
+  std::printf("geometry mix (all evaluations | fitness >= %.0f):\n", threshold);
+  for (std::size_t gen = 0; gen <= max_generation; ++gen) {
+    const auto all = core::class_histogram(logbook, static_cast<int>(gen));
+    std::map<core::EncounterClass, std::size_t> hot;
+    for (const auto& e : logbook.entries()) {
+      if (e.generation == gen && e.fitness >= threshold) ++hot[core::classify(e.params)];
+    }
+    std::printf("  generation %zu:\n", gen);
+    for (const auto& [cls, count] : all) {
+      std::printf("    %-14s %4zu | %4zu challenging\n", core::encounter_class_name(cls), count,
+                  hot.count(cls) ? hot.at(cls) : 0);
+    }
+  }
+
+  // Region mining.
+  const encounter::ParamRanges ranges;  // display only: normalization basis
+  const auto regions = core::find_regions(logbook, threshold, clusters, ranges);
+  if (regions.empty()) {
+    std::printf("\nno region has fitness >= %.0f with %zu clusters\n", threshold, clusters);
+    return 0;
+  }
+  std::printf("\nhigh-fitness regions (threshold %.0f, %zu clusters requested):\n", threshold,
+              clusters);
+  for (const auto& region : regions) {
+    std::printf("\n%s\n", core::describe_region(region).c_str());
+  }
+  std::printf("\nthese parameter boxes are the 'areas of the search space that show\n"
+              "certain properties' the paper's SVIII proposes extending the point\n"
+              "search toward.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Monte-Carlo validation as a library user would run it (§IV): estimate
+// NMAC and alert rates with confidence intervals under the statistical
+// encounter model, for a chosen equipage.
+//
+// Usage: montecarlo_validation [encounters]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "acasx/offline_solver.h"
+#include "baselines/tcas_like.h"
+#include "core/monte_carlo.h"
+#include "sim/acasx_cas.h"
+#include "util/thread_pool.h"
+
+int main(int argc, char** argv) {
+  using namespace cav;
+
+  ThreadPool pool;
+  const auto table = std::make_shared<const acasx::LogicTable>(
+      acasx::solve_logic_table(acasx::AcasXuConfig::standard(), &pool));
+
+  core::MonteCarloConfig config;
+  config.encounters = argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 2000;
+
+  const encounter::StatisticalEncounterModel model;
+  std::printf("sampling %zu encounters from the statistical model (conflicts mixed\n"
+              "with safe passes; every system sees the same paired traffic)\n\n",
+              config.encounters);
+
+  const auto unequipped = core::estimate_rates(model, config, "unequipped", {}, {}, &pool);
+  const auto acas = core::estimate_rates(model, config, "ACAS-XU", sim::AcasXuCas::factory(table),
+                                         sim::AcasXuCas::factory(table), &pool);
+  const auto tcas = core::estimate_rates(model, config, "TCAS-like",
+                                         baselines::TcasLikeCas::factory(),
+                                         baselines::TcasLikeCas::factory(), &pool);
+
+  std::printf("%-12s %-10s %-24s %-10s %-12s\n", "system", "NMACs", "NMAC rate [95% CI]",
+              "alerts", "risk ratio");
+  for (const auto& r : {unequipped, tcas, acas}) {
+    const auto ci = r.nmac_ci();
+    std::printf("%-12s %-10zu %.4f [%.4f, %.4f]  %-10.3f %-12.3f\n", r.system.c_str(), r.nmacs,
+                r.nmac_rate(), ci.lo, ci.hi, r.alert_rate(), core::risk_ratio(r, unequipped));
+  }
+
+  std::printf("\nreading: risk ratio is the fraction of unequipped NMAC risk remaining\n"
+              "with the system installed; the alert rate is the false-alarm proxy the\n"
+              "paper pairs with it.  Monte-Carlo gives statistical confidence, which\n"
+              "the GA search deliberately trades away for fault-finding power (SVIII).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Inspect the generated logic tables the way the paper's §III inspects the
+// toy policy: render which advisory the optimized ACAS XU logic selects
+// across slices of the state space, plus the toy model's lookup table.
+//
+// Usage: policy_inspector
+#include <cstdio>
+#include <memory>
+
+#include "acasx/offline_solver.h"
+#include "toy2d/toy2d_mdp.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace cav;
+
+char advisory_glyph(acasx::Advisory a) {
+  switch (a) {
+    case acasx::Advisory::kCoc: return '.';
+    case acasx::Advisory::kClimb1500: return '^';
+    case acasx::Advisory::kDescend1500: return 'v';
+    case acasx::Advisory::kClimb2500: return 'A';
+    case acasx::Advisory::kDescend2500: return 'V';
+  }
+  return '?';
+}
+
+/// Render the greedy advisory over (tau, h) for fixed rates.
+void render_policy_slice(const acasx::LogicTable& table, double dh_own_fps, double dh_int_fps,
+                         acasx::Advisory ra) {
+  std::printf("advisory map over (tau, h) at dh_own=%.0f ft/s, dh_int=%.0f ft/s, ra=%s\n",
+              dh_own_fps, dh_int_fps, acasx::advisory_name(ra));
+  std::printf("  ('.'=COC '^'=CL1500 'v'=DES1500 'A'=SCL2500 'V'=SDES2500)\n");
+  std::printf("  h[ft]\\tau ");
+  for (int tau = 0; tau <= 40; tau += 2) std::printf("%d", (tau / 10) % 10);
+  std::printf("  (columns: tau = 0..40 step 2)\n");
+  for (double h = 800.0; h >= -800.0; h -= 100.0) {
+    std::printf("  %6.0f    ", h);
+    for (int tau = 0; tau <= 40; tau += 2) {
+      const auto costs = table.action_costs(static_cast<double>(tau), h, dh_own_fps, dh_int_fps, ra);
+      std::size_t best = 0;
+      for (std::size_t a = 1; a < acasx::kNumAdvisories; ++a) {
+        if (costs[a] < costs[best]) best = a;
+      }
+      std::printf("%c", advisory_glyph(static_cast<acasx::Advisory>(best)));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  ThreadPool pool;
+  const auto table = acasx::solve_logic_table(acasx::AcasXuConfig::standard(), &pool);
+
+  std::printf("== ACAS XU-style logic table (%zu Q entries) ==\n\n", table.num_entries());
+  // Level-vs-level: the classic alerting wedge around co-altitude.
+  render_policy_slice(table, 0.0, 0.0, acasx::Advisory::kCoc);
+  // Intruder descending through our level: the wedge shifts and
+  // strengthens.
+  render_policy_slice(table, 0.0, -15.0, acasx::Advisory::kCoc);
+  // Advisory memory: with an active climb, the climb region persists
+  // (hysteresis from the reversal/strengthen costs).
+  render_policy_slice(table, 12.0, 0.0, acasx::Advisory::kClimb1500);
+
+  std::printf("== SIII toy model lookup table ==\n\n");
+  const toy2d::Toy2dMdp toy{toy2d::Config{}};
+  const toy2d::PolicyTable toy_table = toy2d::solve(toy);
+  for (const int y_int : {0, 2}) {
+    std::printf("%s\n", toy_table.render_slice(y_int).c_str());
+  }
+
+  std::printf("reading the maps: no advisory far from conflict (tau high or |h|\n"
+              "large), maneuvers concentrated where the terminal NMAC cost can still\n"
+              "be averted — the structure dynamic programming extracts from the MDP.\n");
+  return 0;
+}

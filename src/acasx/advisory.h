@@ -1,0 +1,86 @@
+// Resolution advisories (RAs) for the ACAS XU-style vertical logic.
+//
+// The action set mirrors the structure of the MIT-LL reports the paper's
+// implementation was based on (ATC-360/371): clear-of-conflict, initial
+// 1500 ft/min climb/descend advisories, and strengthened 2500 ft/min
+// versions.  The advisory memory (the "s_RA" state variable) is what gives
+// the generated logic hysteresis: strengthening and reversing are distinct,
+// costed transitions rather than free re-decisions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cav::acasx {
+
+enum class Advisory : std::uint8_t {
+  kCoc = 0,      ///< clear of conflict (no advisory; own-ship flies free)
+  kClimb1500,    ///< climb at >= 1500 ft/min
+  kDescend1500,  ///< descend at >= 1500 ft/min
+  kClimb2500,    ///< strengthened climb at >= 2500 ft/min
+  kDescend2500,  ///< strengthened descend at >= 2500 ft/min
+};
+
+inline constexpr std::size_t kNumAdvisories = 5;
+
+inline constexpr std::array<Advisory, kNumAdvisories> kAllAdvisories{
+    Advisory::kCoc, Advisory::kClimb1500, Advisory::kDescend1500, Advisory::kClimb2500,
+    Advisory::kDescend2500};
+
+/// Vertical sense of an advisory, used for coordination ("do not choose
+/// maneuvers in the same direction", paper §VI.C) and reversal detection.
+enum class Sense : std::uint8_t { kNone = 0, kClimb, kDescend };
+
+constexpr Sense sense_of(Advisory a) {
+  switch (a) {
+    case Advisory::kClimb1500:
+    case Advisory::kClimb2500: return Sense::kClimb;
+    case Advisory::kDescend1500:
+    case Advisory::kDescend2500: return Sense::kDescend;
+    case Advisory::kCoc: return Sense::kNone;
+  }
+  return Sense::kNone;
+}
+
+/// Commanded target vertical rate in ft/min (0 for COC, where the own-ship
+/// is not constrained).
+constexpr double target_rate_fpm(Advisory a) {
+  switch (a) {
+    case Advisory::kCoc: return 0.0;
+    case Advisory::kClimb1500: return 1500.0;
+    case Advisory::kDescend1500: return -1500.0;
+    case Advisory::kClimb2500: return 2500.0;
+    case Advisory::kDescend2500: return -2500.0;
+  }
+  return 0.0;
+}
+
+constexpr bool is_strengthened(Advisory a) {
+  return a == Advisory::kClimb2500 || a == Advisory::kDescend2500;
+}
+
+/// True when switching from `from` to `to` flips the vertical sense.
+constexpr bool is_reversal(Advisory from, Advisory to) {
+  const Sense sf = sense_of(from);
+  const Sense st = sense_of(to);
+  return sf != Sense::kNone && st != Sense::kNone && sf != st;
+}
+
+/// True when `to` keeps the sense of `from` but raises the commanded rate.
+constexpr bool is_strengthening(Advisory from, Advisory to) {
+  return sense_of(from) == sense_of(to) && sense_of(from) != Sense::kNone &&
+         is_strengthened(to) && !is_strengthened(from);
+}
+
+constexpr const char* advisory_name(Advisory a) {
+  switch (a) {
+    case Advisory::kCoc: return "COC";
+    case Advisory::kClimb1500: return "CL1500";
+    case Advisory::kDescend1500: return "DES1500";
+    case Advisory::kClimb2500: return "SCL2500";
+    case Advisory::kDescend2500: return "SDES2500";
+  }
+  return "?";
+}
+
+}  // namespace cav::acasx

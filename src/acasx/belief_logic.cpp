@@ -1,0 +1,68 @@
+#include "acasx/belief_logic.h"
+
+#include <cmath>
+
+#include "util/expect.h"
+#include "util/units.h"
+
+namespace cav::acasx {
+namespace {
+
+/// 3-point Gauss-Hermite-style quadrature matching mean and variance:
+/// points {mu - sqrt(3) s, mu, mu + sqrt(3) s}, weights {1/6, 2/3, 1/6}.
+struct QuadPoint {
+  double value;
+  double weight;
+};
+
+std::array<QuadPoint, 3> quadrature(double mean, double sigma) {
+  if (sigma <= 0.0) return {{{mean, 1.0}, {mean, 0.0}, {mean, 0.0}}};
+  const double spread = std::sqrt(3.0) * sigma;
+  return {{{mean - spread, 1.0 / 6.0}, {mean, 2.0 / 3.0}, {mean + spread, 1.0 / 6.0}}};
+}
+
+}  // namespace
+
+BeliefAwareLogic::BeliefAwareLogic(std::shared_ptr<const LogicTable> table, BeliefConfig belief,
+                                   OnlineConfig online)
+    : table_(std::move(table)), belief_(belief), online_(online) {
+  expect(table_ != nullptr, "logic table provided");
+  expect(belief_.h_sigma_ft >= 0.0, "h_sigma_ft >= 0");
+  expect(belief_.dh_int_sigma_fps >= 0.0, "dh_int_sigma_fps >= 0");
+  last_costs_.fill(0.0);
+}
+
+Advisory BeliefAwareLogic::decide(const AircraftTrack& own, const AircraftTrack& intruder,
+                                  Sense forbidden_sense) {
+  last_tau_ = AcasXuLogic::estimate_tau(own, intruder, online_);
+
+  if (!last_tau_.converging || last_tau_.tau_s > online_.tau_alert_max_s) {
+    last_costs_.fill(0.0);
+    ra_ = Advisory::kCoc;
+    return ra_;
+  }
+
+  const double h_ft = units::m_to_ft(intruder.position_m.z - own.position_m.z);
+  const double dh_own_fps = units::m_to_ft(own.velocity_mps.z);  // own state is known well
+  const double dh_int_fps = units::m_to_ft(intruder.velocity_mps.z);
+
+  const auto h_points = quadrature(h_ft, belief_.h_sigma_ft);
+  const auto dhi_points = quadrature(dh_int_fps, belief_.dh_int_sigma_fps);
+
+  last_costs_.fill(0.0);
+  for (const QuadPoint& hp : h_points) {
+    if (hp.weight == 0.0) continue;
+    for (const QuadPoint& vp : dhi_points) {
+      if (vp.weight == 0.0) continue;
+      const auto costs =
+          table_->action_costs(last_tau_.tau_s, hp.value, dh_own_fps, vp.value, ra_);
+      const double w = hp.weight * vp.weight;
+      for (std::size_t a = 0; a < kNumAdvisories; ++a) last_costs_[a] += w * costs[a];
+    }
+  }
+
+  ra_ = select_advisory(last_costs_, forbidden_sense, ra_);
+  return ra_;
+}
+
+}  // namespace cav::acasx

@@ -1,0 +1,106 @@
+// Configuration of the ACAS XU-style MDP: state-space discretization,
+// vertical dynamics model, and the cost ("preference") model.
+//
+// The paper's §III preference numbers are kept: a collision state costs
+// 10000, an active maneuver costs 100 per step, level flight is rewarded
+// 50 per step ("in order to make the own-ship level off if there is no
+// collision risk").  Strengthen/reversal surcharges follow the structure of
+// the ACAS X reports and give the logic its hysteresis.
+#pragma once
+
+#include <cstddef>
+
+#include "util/grid.h"
+#include "util/units.h"
+
+namespace cav::acasx {
+
+/// Discretization of the continuous state variables.  The MDP state is
+/// (h, dh_own, dh_int, tau, ra):
+///   h       relative altitude of the intruder above the own-ship [ft]
+///   dh_own  own-ship vertical rate [ft/s]
+///   dh_int  intruder vertical rate [ft/s]
+///   tau     time to loss of horizontal separation [s], integer layers
+///   ra      advisory currently displayed (advisory memory)
+struct StateSpaceConfig {
+  UniformAxis h_ft{-1000.0, 1000.0, 21};
+  UniformAxis dh_own_fps{-2500.0 / 60.0, 2500.0 / 60.0, 21};
+  UniformAxis dh_int_fps{-2500.0 / 60.0, 2500.0 / 60.0, 21};
+  std::size_t tau_max = 40;  ///< layers tau = 0..tau_max (ACAS XU horizon, "20-40 s ahead")
+
+  /// The laptop-scale default used across benches (matches the reports'
+  /// order of state count after our deliberate coarsening; see DESIGN.md).
+  static StateSpaceConfig standard() { return {}; }
+
+  /// Small space for unit tests (fast to solve, same code paths).  The h
+  /// step stays at 100 ft so the NMAC threshold is resolved; range and
+  /// rate axes shrink instead.
+  static StateSpaceConfig coarse() {
+    StateSpaceConfig c;
+    c.h_ft = UniformAxis(-800.0, 800.0, 17);
+    c.dh_own_fps = UniformAxis(-2500.0 / 60.0, 2500.0 / 60.0, 7);
+    c.dh_int_fps = UniformAxis(-2500.0 / 60.0, 2500.0 / 60.0, 7);
+    c.tau_max = 30;
+    return c;
+  }
+
+  /// Finer grid for the discretization-sensitivity ablation (E9).
+  static StateSpaceConfig fine() {
+    StateSpaceConfig c;
+    c.h_ft = UniformAxis(-1000.0, 1000.0, 41);
+    c.dh_own_fps = UniformAxis(-2500.0 / 60.0, 2500.0 / 60.0, 27);
+    c.dh_int_fps = UniformAxis(-2500.0 / 60.0, 2500.0 / 60.0, 27);
+    c.tau_max = 40;
+    return c;
+  }
+};
+
+/// Vertical dynamics model shared by the offline MDP and the simulator's
+/// UAV response, so that the optimized logic and the evaluation environment
+/// agree on maneuver capability (differences are injected deliberately in
+/// the ablation benches).
+struct DynamicsConfig {
+  double dt_s = 1.0;  ///< decision/transition period
+
+  /// Own-ship vertical acceleration when complying with an initial
+  /// advisory, ft/s^2 (g/4, the classic pilot-response assumption; a UAV
+  /// autopilot responds without delay).
+  double accel_initial_fps2 = units::kGravityFtS2 / 4.0;
+  /// Acceleration for strengthened advisories, ft/s^2 (g/3).
+  double accel_strength_fps2 = units::kGravityFtS2 / 3.0;
+
+  /// Std-dev of the white vertical acceleration noise, ft/s^2, applied to
+  /// the intruder always and to the own-ship while clear of conflict.
+  double accel_noise_sigma_fps2 = 3.0;
+};
+
+/// The preference ("reward/punishment") model, §III numbers.
+struct CostModel {
+  double nmac_cost = 10000.0;    ///< terminal cost when |h| <= nmac_h_ft at tau = 0
+  double nmac_h_ft = 100.0;      ///< NMAC vertical threshold
+  double maneuver_cost = 100.0;  ///< per-step cost of an active 1500 ft/min advisory
+  double strengthened_maneuver_cost = 150.0;  ///< per-step cost of a 2500 ft/min advisory
+  double level_reward = 50.0;    ///< per-step reward (negative cost) for COC
+  double strengthen_cost = 20.0; ///< one-off surcharge for strengthening an advisory
+  double reversal_cost = 300.0;  ///< one-off surcharge for reversing sense
+  /// One-off surcharge for terminating an active advisory (ra != COC,
+  /// action = COC).  Suppresses alert chattering: without it the logic
+  /// drops the advisory the moment separation looks adequate and re-alerts
+  /// when disturbance narrows it again.
+  double termination_cost = 100.0;
+};
+
+struct AcasXuConfig {
+  StateSpaceConfig space;
+  DynamicsConfig dynamics;
+  CostModel costs;
+
+  static AcasXuConfig standard() { return {}; }
+  static AcasXuConfig coarse() {
+    AcasXuConfig c;
+    c.space = StateSpaceConfig::coarse();
+    return c;
+  }
+};
+
+}  // namespace cav::acasx

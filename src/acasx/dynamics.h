@@ -1,0 +1,47 @@
+// Vertical dynamics shared by the offline MDP transition model and (via
+// the simulator's UAV agents) the closed-loop evaluation.
+//
+// Own-ship: while an advisory is active it accelerates deterministically at
+// the advisory's acceleration limit toward the commanded rate (a UAV
+// autopilot, no pilot delay); once clear of conflict the vertical rate is
+// perturbed by white acceleration noise.  Intruder: always noise-driven.
+//
+// The offline solver approximates the Gaussian acceleration noise with a
+// three-point sigma sampling {-sigma*sqrt(2), 0, +sigma*sqrt(2)} weighted
+// {1/4, 1/2, 1/4}, which matches the noise mean and variance exactly — the
+// "sampling techniques ... used in model construction" whose inaccuracy the
+// paper lists among the validation challenges (§IV).
+#pragma once
+
+#include <array>
+
+#include "acasx/advisory.h"
+#include "acasx/config.h"
+
+namespace cav::acasx {
+
+/// One discrete noise hypothesis: vertical-acceleration offset + weight.
+struct NoiseSample {
+  double accel_fps2;
+  double weight;
+};
+
+/// The three-point sigma approximation for a given noise sigma.
+std::array<NoiseSample, 3> sigma_samples(double sigma_fps2);
+
+/// Deterministic part of the own-ship's rate response: new vertical rate
+/// after dt seconds of complying with `advisory` starting from rate
+/// `dh_fps` (ft/s).  For COC the deterministic part is "hold rate" (noise
+/// is added separately by the caller).
+double advisory_rate_response(double dh_fps, Advisory advisory, const DynamicsConfig& dyn);
+
+/// Relative-altitude update over one step given old/new rates of both
+/// aircraft (trapezoidal integration).  h is intruder-above-own, ft.
+double integrate_relative_altitude(double h_ft, double dh_own_old, double dh_own_new,
+                                   double dh_int_old, double dh_int_new, double dt_s);
+
+/// Per-step cost of displaying advisory `a` while the previous advisory was
+/// `ra` (maneuver/level costs plus strengthen/reversal surcharges).
+double action_cost(Advisory ra, Advisory a, const CostModel& costs);
+
+}  // namespace cav::acasx

@@ -1,0 +1,142 @@
+#include "acasx/logic_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/expect.h"
+
+namespace cav::acasx {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x41435831;  // "ACX1"
+
+void write_axis(std::ofstream& out, const UniformAxis& axis) {
+  const double lo = axis.lo();
+  const double hi = axis.hi();
+  const std::uint64_t count = axis.count();
+  out.write(reinterpret_cast<const char*>(&lo), sizeof lo);
+  out.write(reinterpret_cast<const char*>(&hi), sizeof hi);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+}
+
+UniformAxis read_axis(std::ifstream& in) {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&lo), sizeof lo);
+  in.read(reinterpret_cast<char*>(&hi), sizeof hi);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  return UniformAxis(lo, hi, static_cast<std::size_t>(count));
+}
+
+}  // namespace
+
+LogicTable::LogicTable(const AcasXuConfig& config)
+    : config_(config),
+      grid_({config.space.h_ft, config.space.dh_own_fps, config.space.dh_int_fps}) {
+  const std::size_t n =
+      num_tau_layers() * grid_.size() * kNumAdvisories * kNumAdvisories;
+  q_.assign(n, 0.0F);
+}
+
+std::array<double, kNumAdvisories> LogicTable::action_costs(double tau_s, double h_ft,
+                                                            double dh_own_fps, double dh_int_fps,
+                                                            Advisory ra) const {
+  expect(!q_.empty(), "logic table is solved/loaded");
+  const double tau_max = static_cast<double>(config_.space.tau_max);
+  const double tau = std::clamp(tau_s, 0.0, tau_max);
+  const auto t_lo = static_cast<std::size_t>(tau);
+  const std::size_t t_hi = std::min<std::size_t>(t_lo + 1, config_.space.tau_max);
+  const double t_frac = tau - static_cast<double>(t_lo);
+
+  const auto vertices = grid_.scatter({h_ft, dh_own_fps, dh_int_fps});
+
+  std::array<double, kNumAdvisories> costs{};
+  for (std::size_t ai = 0; ai < kNumAdvisories; ++ai) {
+    const auto action = static_cast<Advisory>(ai);
+    double lo = 0.0;
+    double hi = 0.0;
+    for (const auto& v : vertices) {
+      lo += v.weight * static_cast<double>(at(t_lo, v.flat, ra, action));
+      if (t_hi != t_lo) hi += v.weight * static_cast<double>(at(t_hi, v.flat, ra, action));
+    }
+    costs[ai] = (t_hi == t_lo) ? lo : lo * (1.0 - t_frac) + hi * t_frac;
+  }
+  return costs;
+}
+
+void LogicTable::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("LogicTable::save: cannot open " + path);
+
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof kMagic);
+  write_axis(out, config_.space.h_ft);
+  write_axis(out, config_.space.dh_own_fps);
+  write_axis(out, config_.space.dh_int_fps);
+  const std::uint64_t tau_max = config_.space.tau_max;
+  out.write(reinterpret_cast<const char*>(&tau_max), sizeof tau_max);
+
+  const double dyn[4] = {config_.dynamics.dt_s, config_.dynamics.accel_initial_fps2,
+                         config_.dynamics.accel_strength_fps2,
+                         config_.dynamics.accel_noise_sigma_fps2};
+  out.write(reinterpret_cast<const char*>(dyn), sizeof dyn);
+  const double costs[8] = {config_.costs.nmac_cost,      config_.costs.nmac_h_ft,
+                           config_.costs.maneuver_cost,  config_.costs.strengthened_maneuver_cost,
+                           config_.costs.level_reward,   config_.costs.strengthen_cost,
+                           config_.costs.reversal_cost,  config_.costs.termination_cost};
+  out.write(reinterpret_cast<const char*>(costs), sizeof costs);
+
+  const std::uint64_t n = q_.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  out.write(reinterpret_cast<const char*>(q_.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+  if (!out) throw std::runtime_error("LogicTable::save: write failed for " + path);
+}
+
+LogicTable LogicTable::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("LogicTable::load: cannot open " + path);
+
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  if (magic != kMagic) throw std::runtime_error("LogicTable::load: bad magic in " + path);
+
+  AcasXuConfig config;
+  config.space.h_ft = read_axis(in);
+  config.space.dh_own_fps = read_axis(in);
+  config.space.dh_int_fps = read_axis(in);
+  std::uint64_t tau_max = 0;
+  in.read(reinterpret_cast<char*>(&tau_max), sizeof tau_max);
+  config.space.tau_max = static_cast<std::size_t>(tau_max);
+
+  double dyn[4];
+  in.read(reinterpret_cast<char*>(dyn), sizeof dyn);
+  config.dynamics.dt_s = dyn[0];
+  config.dynamics.accel_initial_fps2 = dyn[1];
+  config.dynamics.accel_strength_fps2 = dyn[2];
+  config.dynamics.accel_noise_sigma_fps2 = dyn[3];
+  double costs[8];
+  in.read(reinterpret_cast<char*>(costs), sizeof costs);
+  config.costs.nmac_cost = costs[0];
+  config.costs.nmac_h_ft = costs[1];
+  config.costs.maneuver_cost = costs[2];
+  config.costs.strengthened_maneuver_cost = costs[3];
+  config.costs.level_reward = costs[4];
+  config.costs.strengthen_cost = costs[5];
+  config.costs.reversal_cost = costs[6];
+  config.costs.termination_cost = costs[7];
+
+  LogicTable table(config);
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof n);
+  if (n != table.q_.size()) throw std::runtime_error("LogicTable::load: size mismatch in " + path);
+  in.read(reinterpret_cast<char*>(table.q_.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  if (!in) throw std::runtime_error("LogicTable::load: truncated file " + path);
+  return table;
+}
+
+}  // namespace cav::acasx

@@ -1,0 +1,70 @@
+// The generated "logic table" — the paper's central artifact: a look-up
+// table of expected costs over the discretized encounter state space,
+// produced offline by dynamic programming and interpolated online.
+//
+// Layout: q[tau][h][dh_own][dh_int][ra][action], row-major with action
+// fastest.  Values are float to keep the standard table ~38 MB.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "acasx/advisory.h"
+#include "acasx/config.h"
+#include "util/grid.h"
+
+namespace cav::acasx {
+
+class LogicTable {
+ public:
+  LogicTable() = default;
+  explicit LogicTable(const AcasXuConfig& config);
+
+  const AcasXuConfig& config() const { return config_; }
+  const GridN<3>& grid() const { return grid_; }  ///< (h, dh_own, dh_int)
+
+  std::size_t num_tau_layers() const { return config_.space.tau_max + 1; }
+  std::size_t num_grid_points() const { return grid_.size(); }
+  /// Total stored Q entries (tau layers x grid x ra x action).
+  std::size_t num_entries() const { return q_.size(); }
+
+  /// Flat index of (tau, grid point, ra, action).
+  std::size_t index(std::size_t tau, std::size_t grid_flat, Advisory ra, Advisory action) const {
+    return ((tau * grid_.size() + grid_flat) * kNumAdvisories +
+            static_cast<std::size_t>(ra)) * kNumAdvisories +
+           static_cast<std::size_t>(action);
+  }
+
+  float at(std::size_t tau, std::size_t grid_flat, Advisory ra, Advisory action) const {
+    return q_[index(tau, grid_flat, ra, action)];
+  }
+  float& at(std::size_t tau, std::size_t grid_flat, Advisory ra, Advisory action) {
+    return q_[index(tau, grid_flat, ra, action)];
+  }
+
+  /// Interpolated per-action costs at a continuous state.  tau_s is clamped
+  /// to [0, tau_max] and interpolated linearly between integer layers; the
+  /// (h, dh_own, dh_int) point is interpolated multilinearly (clamped at
+  /// the grid boundary).
+  std::array<double, kNumAdvisories> action_costs(double tau_s, double h_ft, double dh_own_fps,
+                                                  double dh_int_fps, Advisory ra) const;
+
+  /// Serialize to / from a versioned little-endian binary file, so the
+  /// minutes-scale offline solve can be cached across runs.
+  void save(const std::string& path) const;
+  static LogicTable load(const std::string& path);
+
+  /// Direct access for the solver.
+  std::vector<float>& raw() { return q_; }
+  const std::vector<float>& raw() const { return q_; }
+
+ private:
+  AcasXuConfig config_;
+  GridN<3> grid_;
+  std::vector<float> q_;
+};
+
+}  // namespace cav::acasx

@@ -1,0 +1,136 @@
+#include "acasx/offline_solver.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "acasx/dynamics.h"
+#include "util/expect.h"
+
+namespace cav::acasx {
+namespace {
+
+/// Value function for one tau layer: v[grid_flat * kNumAdvisories + ra].
+using ValueLayer = std::vector<float>;
+
+/// Expected next-layer value for one (state, action): average over the
+/// applicable acceleration-noise hypotheses, each scattered onto the grid.
+double expected_next_value(const GridN<3>& grid, const ValueLayer& v_next, double h,
+                           double dh_own, double dh_int, Advisory action,
+                           const DynamicsConfig& dyn,
+                           const std::array<NoiseSample, 3>& noise) {
+  const double dt = dyn.dt_s;
+  // Own-ship: deterministic compliance under an advisory, noise under COC.
+  const bool own_noisy = (action == Advisory::kCoc);
+  const double dh_own_cmd = advisory_rate_response(dh_own, action, dyn);
+
+  const auto ra_next = static_cast<std::size_t>(action);
+  double acc = 0.0;
+  for (const NoiseSample& own_n : noise) {
+    const double w_own = own_noisy ? own_n.weight : (own_n.accel_fps2 == 0.0 ? 1.0 : 0.0);
+    if (w_own == 0.0) continue;
+    const double dh_own_new =
+        std::clamp(dh_own_cmd + (own_noisy ? own_n.accel_fps2 * dt : 0.0),
+                   grid.axis(1).lo(), grid.axis(1).hi());
+    for (const NoiseSample& int_n : noise) {
+      const double dh_int_new =
+          std::clamp(dh_int + int_n.accel_fps2 * dt, grid.axis(2).lo(), grid.axis(2).hi());
+      const double h_new =
+          integrate_relative_altitude(h, dh_own, dh_own_new, dh_int, dh_int_new, dt);
+      const auto vertices = grid.scatter({h_new, dh_own_new, dh_int_new});
+      double value = 0.0;
+      for (const auto& vert : vertices) {
+        value += vert.weight *
+                 static_cast<double>(v_next[vert.flat * kNumAdvisories + ra_next]);
+      }
+      acc += w_own * int_n.weight * value;
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+LogicTable solve_logic_table(const AcasXuConfig& config, ThreadPool* pool, SolveStats* stats) {
+  const auto start_time = std::chrono::steady_clock::now();
+
+  LogicTable table(config);
+  const GridN<3>& grid = table.grid();
+  const std::size_t num_points = grid.size();
+  const std::size_t tau_max = config.space.tau_max;
+  const auto noise = sigma_samples(config.dynamics.accel_noise_sigma_fps2);
+
+  // Terminal layer (tau = 0): the encounter resolves now; the only thing
+  // that matters is whether vertical separation is an NMAC.  The value is
+  // independent of rates and advisory memory.
+  ValueLayer v_prev(num_points * kNumAdvisories, 0.0F);
+  for (std::size_t g = 0; g < num_points; ++g) {
+    const auto idx = grid.unflatten(g);
+    const double h = grid.axis(0).value(idx[0]);
+    const float terminal =
+        (std::abs(h) <= config.costs.nmac_h_ft) ? static_cast<float>(config.costs.nmac_cost)
+                                                : 0.0F;
+    for (std::size_t ra = 0; ra < kNumAdvisories; ++ra) {
+      v_prev[g * kNumAdvisories + ra] = terminal;
+    }
+    // Q at tau=0 equals the terminal value for every (ra, action) so that
+    // online interpolation near tau=0 degrades gracefully.
+    for (std::size_t ra = 0; ra < kNumAdvisories; ++ra) {
+      for (std::size_t a = 0; a < kNumAdvisories; ++a) {
+        table.at(0, g, static_cast<Advisory>(ra), static_cast<Advisory>(a)) = terminal;
+      }
+    }
+  }
+
+  ValueLayer v_cur(num_points * kNumAdvisories, 0.0F);
+
+  const auto solve_point = [&](std::size_t tau, std::size_t g) {
+    const auto idx = grid.unflatten(g);
+    const double h = grid.axis(0).value(idx[0]);
+    const double dh_own = grid.axis(1).value(idx[1]);
+    const double dh_int = grid.axis(2).value(idx[2]);
+
+    // The expected successor value depends on (state, action) but not on
+    // the advisory memory, so hoist it out of the ra loop.
+    std::array<double, kNumAdvisories> next_value{};
+    for (std::size_t a = 0; a < kNumAdvisories; ++a) {
+      next_value[a] = expected_next_value(grid, v_prev, h, dh_own, dh_int,
+                                          static_cast<Advisory>(a), config.dynamics, noise);
+    }
+
+    for (std::size_t ra = 0; ra < kNumAdvisories; ++ra) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t a = 0; a < kNumAdvisories; ++a) {
+        const double q = action_cost(static_cast<Advisory>(ra), static_cast<Advisory>(a),
+                                     config.costs) +
+                         next_value[a];
+        table.at(tau, g, static_cast<Advisory>(ra), static_cast<Advisory>(a)) =
+            static_cast<float>(q);
+        best = std::min(best, q);
+      }
+      v_cur[g * kNumAdvisories + ra] = static_cast<float>(best);
+    }
+  };
+
+  for (std::size_t tau = 1; tau <= tau_max; ++tau) {
+    if (pool != nullptr) {
+      pool->parallel_for(num_points, [&](std::size_t g) { solve_point(tau, g); });
+    } else {
+      for (std::size_t g = 0; g < num_points; ++g) solve_point(tau, g);
+    }
+    v_prev.swap(v_cur);
+  }
+
+  if (stats != nullptr) {
+    stats->states_per_layer = num_points * kNumAdvisories;
+    stats->layers = tau_max + 1;
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+  }
+  return table;
+}
+
+}  // namespace cav::acasx

@@ -1,0 +1,39 @@
+// Offline generation of the ACAS XU logic table by dynamic programming.
+//
+// Because tau (time to loss of horizontal separation) decrements
+// deterministically by one per step, the MDP is layered in tau and the
+// optimal costs are computed by a single backward-induction pass:
+//
+//   V(0, s)  = nmac_cost if |h| <= nmac_h else 0          (terminal layer)
+//   Q(t, s, a) = action_cost(ra, a)
+//              + sum_noise w * V(t-1, interp(h', dh_own', dh_int'), ra'=a)
+//   V(t, s)  = min_a Q(t, s, a)
+//
+// Off-grid successor states are scattered onto grid vertices with
+// multilinear weights — the interpolation step whose fidelity §IV calls
+// out as a validation concern (ablated in bench_ablations).
+//
+// This is the paper's "Optimization" box in Fig. 1 (MDP model -> logic
+// table); footnote 2 reports <5 min on a laptop for the real model — the
+// bench_value_iteration binary reports our timing.
+#pragma once
+
+#include <cstddef>
+
+#include "acasx/logic_table.h"
+#include "util/thread_pool.h"
+
+namespace cav::acasx {
+
+struct SolveStats {
+  std::size_t states_per_layer = 0;
+  std::size_t layers = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Solve the MDP defined by `config`; parallelizes within each tau layer
+/// over `pool` when provided.
+LogicTable solve_logic_table(const AcasXuConfig& config, ThreadPool* pool = nullptr,
+                             SolveStats* stats = nullptr);
+
+}  // namespace cav::acasx

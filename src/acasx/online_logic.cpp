@@ -1,0 +1,99 @@
+#include "acasx/online_logic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+#include "util/units.h"
+
+namespace cav::acasx {
+
+AcasXuLogic::AcasXuLogic(std::shared_ptr<const LogicTable> table, OnlineConfig config)
+    : table_(std::move(table)), config_(config) {
+  expect(table_ != nullptr, "logic table provided");
+  last_costs_.fill(0.0);
+}
+
+TauEstimate AcasXuLogic::estimate_tau(const AircraftTrack& own, const AircraftTrack& intruder,
+                                      const OnlineConfig& config) {
+  TauEstimate est;
+  const double dx = units::m_to_ft(intruder.position_m.x - own.position_m.x);
+  const double dy = units::m_to_ft(intruder.position_m.y - own.position_m.y);
+  const double dvx = units::m_to_ft(intruder.velocity_mps.x - own.velocity_mps.x);
+  const double dvy = units::m_to_ft(intruder.velocity_mps.y - own.velocity_mps.y);
+
+  est.range_ft = std::hypot(dx, dy);
+  if (est.range_ft <= 1e-9) {
+    // Degenerate coincident horizontal position: separation already lost.
+    est.closure_fps = 0.0;
+    est.tau_s = 0.0;
+    est.converging = true;
+    return est;
+  }
+  // Range rate: d(range)/dt = (d . dv) / |d|; closure is its negative.
+  est.closure_fps = -(dx * dvx + dy * dvy) / est.range_ft;
+
+  if (est.range_ft <= config.dmod_ft) {
+    est.tau_s = 0.0;
+    est.converging = true;
+    return est;
+  }
+  if (est.closure_fps < config.min_closure_fps) {
+    // Diverging or drifting: no horizontal conflict is predicted.  This is
+    // deliberate fidelity to the tau-based alerting structure — see the
+    // file comment about the tail-approach blind spot.
+    est.converging = false;
+    return est;
+  }
+  est.tau_s = (est.range_ft - config.dmod_ft) / est.closure_fps;
+  est.converging = true;
+  return est;
+}
+
+Advisory select_advisory(std::array<double, kNumAdvisories> costs, Sense forbidden_sense,
+                         Advisory current) {
+  // Coordination: the intruder's announced sense is off-limits.
+  if (forbidden_sense != Sense::kNone) {
+    for (std::size_t a = 0; a < kNumAdvisories; ++a) {
+      if (sense_of(static_cast<Advisory>(a)) == forbidden_sense) {
+        costs[a] = std::numeric_limits<double>::infinity();
+      }
+    }
+  }
+
+  const double best = *std::min_element(costs.begin(), costs.end());
+  const std::array<Advisory, kNumAdvisories + 1> preference{
+      current,
+      Advisory::kCoc,
+      Advisory::kClimb1500,
+      Advisory::kDescend1500,
+      Advisory::kClimb2500,
+      Advisory::kDescend2500,
+  };
+  constexpr double kTieEps = 1e-9;
+  for (const Advisory a : preference) {
+    if (costs[static_cast<std::size_t>(a)] <= best + kTieEps) return a;
+  }
+  return Advisory::kCoc;  // unreachable: preference covers all advisories
+}
+
+Advisory AcasXuLogic::decide(const AircraftTrack& own, const AircraftTrack& intruder,
+                             Sense forbidden_sense) {
+  last_tau_ = estimate_tau(own, intruder, config_);
+
+  if (!last_tau_.converging || last_tau_.tau_s > config_.tau_alert_max_s) {
+    last_costs_.fill(0.0);
+    ra_ = Advisory::kCoc;
+    return ra_;
+  }
+
+  const double h_ft = units::m_to_ft(intruder.position_m.z - own.position_m.z);
+  const double dh_own_fps = units::m_to_ft(own.velocity_mps.z);
+  const double dh_int_fps = units::m_to_ft(intruder.velocity_mps.z);
+
+  last_costs_ = table_->action_costs(last_tau_.tau_s, h_ft, dh_own_fps, dh_int_fps, ra_);
+  ra_ = select_advisory(last_costs_, forbidden_sense, ra_);
+  return ra_;
+}
+
+}  // namespace cav::acasx

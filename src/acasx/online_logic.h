@@ -1,0 +1,91 @@
+// The online ACAS XU-style controller: estimates the relative encounter
+// state and tau from surveillance tracks, interpolates the offline logic
+// table, and selects the cost-minimizing advisory subject to coordination.
+//
+// This is the piece whose weaknesses the paper's GA search exposes: tau is
+// estimated from horizontal range and closure rate, so a slow tail
+// approach ("the relative speed is very small") yields a huge tau, the
+// logic "still thinks the collision risk is low and does not emit collision
+// avoidance commands" (§VII) — and a small disturbance can then collide the
+// aircraft from close proximity.
+#pragma once
+
+#include <array>
+#include <limits>
+#include <memory>
+
+#include "acasx/logic_table.h"
+#include "util/vec3.h"
+
+namespace cav::acasx {
+
+/// Minimal surveillance picture of one aircraft (SI units; sensor noise is
+/// the simulator's responsibility — this class trusts its inputs).
+struct AircraftTrack {
+  Vec3 position_m;   ///< ENU position, z = altitude
+  Vec3 velocity_mps; ///< ENU velocity, z = vertical rate
+};
+
+/// Result of horizontal tau estimation.
+struct TauEstimate {
+  double tau_s = std::numeric_limits<double>::infinity();
+  double range_ft = 0.0;     ///< current horizontal range
+  double closure_fps = 0.0;  ///< positive when horizontally converging
+  bool converging = false;   ///< false -> no horizontal conflict predicted
+};
+
+struct OnlineConfig {
+  /// Horizontal range treated as "separation lost" (tau = 0 inside).
+  double dmod_ft = 500.0;
+  /// Closure rates below this (ft/s) are treated as non-converging — the
+  /// structural cause of the paper's tail-approach blind spot.
+  double min_closure_fps = 1.0;
+  /// No advisory is considered beyond this tau (table horizon).
+  double tau_alert_max_s = 40.0;
+};
+
+/// Pick the cost-minimizing advisory subject to a coordination constraint,
+/// breaking ties in a stable preference order (keep the current advisory,
+/// then COC, then weaker before stronger) so equal-cost regions do not
+/// chatter.  Shared by the point-estimate and belief-aware logics.
+Advisory select_advisory(std::array<double, kNumAdvisories> costs, Sense forbidden_sense,
+                         Advisory current);
+
+class AcasXuLogic {
+ public:
+  /// The table is shared because every UAV agent in a simulation (and every
+  /// parallel simulation in a fitness evaluation) reads the same table.
+  explicit AcasXuLogic(std::shared_ptr<const LogicTable> table, OnlineConfig config = {});
+
+  /// Select the advisory for this surveillance cycle.  `forbidden_sense` is
+  /// the coordination constraint received from the intruder ("do not choose
+  /// maneuvers in the same direction"); kNone means unconstrained.
+  Advisory decide(const AircraftTrack& own, const AircraftTrack& intruder,
+                  Sense forbidden_sense = Sense::kNone);
+
+  /// Advisory currently displayed (kCoc before the first decide()).
+  Advisory current_advisory() const { return ra_; }
+
+  /// Forget advisory memory (new encounter).
+  void reset() { ra_ = Advisory::kCoc; }
+
+  /// Diagnostics from the last decide() call.
+  const TauEstimate& last_tau() const { return last_tau_; }
+  const std::array<double, kNumAdvisories>& last_costs() const { return last_costs_; }
+
+  /// Horizontal tau estimation, exposed for tests and baselines.
+  static TauEstimate estimate_tau(const AircraftTrack& own, const AircraftTrack& intruder,
+                                  const OnlineConfig& config);
+
+  const LogicTable& table() const { return *table_; }
+  const OnlineConfig& config() const { return config_; }
+
+ private:
+  std::shared_ptr<const LogicTable> table_;
+  OnlineConfig config_;
+  Advisory ra_ = Advisory::kCoc;
+  TauEstimate last_tau_{};
+  std::array<double, kNumAdvisories> last_costs_{};
+};
+
+}  // namespace cav::acasx

@@ -1,0 +1,150 @@
+#include "baselines/svo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/angles.h"
+
+namespace cav::baselines {
+
+SvoCas::SvoCas(const SvoConfig& config, sim::UavPerformance perf)
+    : config_(config), perf_(perf) {}
+
+void SvoCas::reset() {
+  avoiding_ = false;
+  active_sense_ = acasx::Sense::kNone;
+  clear_timer_s_ = 0.0;
+}
+
+SvoCas::Conflict SvoCas::predict_conflict(const acasx::AircraftTrack& own,
+                                          const acasx::AircraftTrack& intruder,
+                                          const SvoConfig& config) {
+  Conflict c;
+  const Vec3 d = intruder.position_m - own.position_m;
+  const Vec3 v = intruder.velocity_mps - own.velocity_mps;
+
+  const double v2 = v.norm_sq();
+  if (v2 < 1e-9) {
+    // No relative motion: conflict iff already inside the protected volume.
+    c.t_cpa_s = 0.0;
+    c.miss_horizontal_m = d.horizontal_norm();
+    c.miss_vertical_m = d.z;
+    c.predicted = c.miss_horizontal_m < config.protected_radius_m &&
+                  std::abs(c.miss_vertical_m) < config.protected_height_m;
+    return c;
+  }
+
+  // First-order CPA of the relative trajectory d + v t.
+  const double t_star = std::clamp(-d.dot(v) / v2, 0.0, config.lookahead_s);
+  const Vec3 miss = d + v * t_star;
+  c.t_cpa_s = t_star;
+  c.miss_horizontal_m = miss.horizontal_norm();
+  c.miss_vertical_m = miss.z;
+  c.predicted = c.miss_horizontal_m < config.protected_radius_m &&
+                std::abs(c.miss_vertical_m) < config.protected_height_m;
+  return c;
+}
+
+bool SvoCas::must_give_way(const acasx::AircraftTrack& own, const acasx::AircraftTrack& intruder,
+                           const SvoConfig& config) {
+  const double own_course = std::atan2(own.velocity_mps.y, own.velocity_mps.x);
+  const double int_course = std::atan2(intruder.velocity_mps.y, intruder.velocity_mps.x);
+  const double course_diff = angle_diff(int_course, own_course);
+
+  const Vec3 d = intruder.position_m - own.position_m;
+  const double bearing_to_int = std::atan2(d.y, d.x);
+  const double relative_bearing = angle_diff(bearing_to_int, own_course);
+
+  // Head-on: reciprocal courses, intruder roughly ahead — both give way.
+  if (std::abs(relative_bearing) <= config.head_on_half_angle_rad &&
+      std::abs(std::abs(course_diff) - kPi) <= 2.0 * config.head_on_half_angle_rad) {
+    return true;
+  }
+  // Overtaking: similar courses and the intruder ahead and slower — the
+  // overtaking (own) aircraft gives way.
+  const double own_speed = std::hypot(own.velocity_mps.x, own.velocity_mps.y);
+  const double int_speed = std::hypot(intruder.velocity_mps.x, intruder.velocity_mps.y);
+  if (std::abs(course_diff) <= config.overtake_course_diff_rad &&
+      std::abs(relative_bearing) < kPi / 2.0 && own_speed > int_speed) {
+    return true;
+  }
+  // Crossing: the aircraft that has the other on its right gives way.
+  // With the mathematical bearing convention (+CCW), "on the right" is a
+  // negative relative bearing.
+  if (relative_bearing < 0.0 && relative_bearing > -2.0) {
+    return true;
+  }
+  return false;
+}
+
+sim::CasDecision SvoCas::decide(const acasx::AircraftTrack& own,
+                                const acasx::AircraftTrack& intruder,
+                                acasx::Sense forbidden_sense) {
+  const Conflict conflict = predict_conflict(own, intruder, config_);
+  const bool responsible = must_give_way(own, intruder, config_);
+
+  if (conflict.predicted && responsible) {
+    avoiding_ = true;
+    clear_timer_s_ = 0.0;
+  } else if (avoiding_) {
+    clear_timer_s_ += 1.0;
+    if (clear_timer_s_ >= config_.clear_hysteresis_s) {
+      avoiding_ = false;
+      active_sense_ = acasx::Sense::kNone;
+    }
+  }
+
+  sim::CasDecision decision;
+  if (!avoiding_) {
+    decision.label = "COC";
+    return decision;
+  }
+
+  // Resolution: push the predicted vertical miss out of the protected
+  // volume.  Prefer the sense the geometry already favours (keep the
+  // intruder on the side it will already be on), subject to coordination.
+  if (active_sense_ == acasx::Sense::kNone) {
+    acasx::Sense preferred =
+        conflict.miss_vertical_m >= 0.0 ? acasx::Sense::kDescend : acasx::Sense::kClimb;
+    if (preferred == forbidden_sense) {
+      preferred = (preferred == acasx::Sense::kClimb) ? acasx::Sense::kDescend
+                                                      : acasx::Sense::kClimb;
+    }
+    active_sense_ = preferred;
+  }
+
+  // Required own vertical rate so that |miss_z(CPA)| reaches the margin:
+  //   miss_z = dz + (vz_int - vz_own_cmd) * t  =>  solve for vz_own_cmd.
+  const double target_sep = config_.resolution_margin * config_.protected_height_m;
+  const double t = std::max(conflict.t_cpa_s, 1.0);
+  const double dz = intruder.position_m.z - own.position_m.z;
+  const double vz_int = intruder.velocity_mps.z;
+  const double desired_miss = (active_sense_ == acasx::Sense::kDescend) ? +target_sep : -target_sep;
+  double vz_cmd = vz_int + (dz - desired_miss) / t;
+  // The geometric solution can have the opposite sign of the announced
+  // sense (e.g. a fast-descending intruder may only require a gentler
+  // descent), but the coordination sense must mean what it says: a climb
+  // resolution never commands descent and vice versa (level-off floor).
+  if (active_sense_ == acasx::Sense::kClimb) {
+    vz_cmd = std::max(vz_cmd, 0.0);
+  } else {
+    vz_cmd = std::min(vz_cmd, 0.0);
+  }
+  vz_cmd = std::clamp(vz_cmd, -config_.max_rate_mps, config_.max_rate_mps);
+  vz_cmd = std::clamp(vz_cmd, -perf_.max_vertical_speed_mps, perf_.max_vertical_speed_mps);
+
+  decision.maneuver = true;
+  decision.sense = active_sense_;
+  decision.target_vs_mps = vz_cmd;
+  decision.accel_mps2 = perf_.accel_initial_mps2;
+  decision.label = active_sense_ == acasx::Sense::kClimb ? "SVO-CL" : "SVO-DES";
+  return decision;
+}
+
+sim::CasFactory SvoCas::factory(const SvoConfig& config, sim::UavPerformance perf) {
+  return [config, perf]() -> std::unique_ptr<sim::CollisionAvoidanceSystem> {
+    return std::make_unique<SvoCas>(config, perf);
+  };
+}
+
+}  // namespace cav::baselines

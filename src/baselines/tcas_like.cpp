@@ -1,0 +1,113 @@
+#include "baselines/tcas_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/units.h"
+
+namespace cav::baselines {
+namespace {
+
+/// Projected vertical separation (ft) after tau seconds if the own-ship
+/// flies at `own_vs_fps`.
+double projected_separation_ft(double h_ft, double own_vs_fps, double int_vs_fps, double tau_s) {
+  return std::abs(h_ft + (int_vs_fps - own_vs_fps) * tau_s);
+}
+
+}  // namespace
+
+TcasLikeCas::TcasLikeCas(const TcasConfig& config, sim::UavPerformance perf)
+    : config_(config), perf_(perf) {}
+
+void TcasLikeCas::reset() {
+  active_sense_ = acasx::Sense::kNone;
+  strengthened_ = false;
+  ra_active_ = false;
+  clear_timer_s_ = 0.0;
+}
+
+sim::CasDecision TcasLikeCas::decide(const acasx::AircraftTrack& own,
+                                     const acasx::AircraftTrack& intruder,
+                                     acasx::Sense forbidden_sense) {
+  acasx::OnlineConfig tau_config;
+  tau_config.dmod_ft = config_.dmod_ft;
+  tau_config.min_closure_fps = config_.min_closure_fps;
+  const acasx::TauEstimate tau = acasx::AcasXuLogic::estimate_tau(own, intruder, tau_config);
+
+  const double h_ft = units::m_to_ft(intruder.position_m.z - own.position_m.z);
+  const double own_vs_fps = units::m_to_ft(own.velocity_mps.z);
+  const double int_vs_fps = units::m_to_ft(intruder.velocity_mps.z);
+
+  // Conflict test: converging within the RA tau threshold AND the vertical
+  // geometry threatens the ZTHR band at CPA (or is already inside it).
+  const bool tau_hit = tau.converging && tau.tau_s <= config_.ra_tau_s;
+  const double current_sep = std::abs(h_ft);
+  const double cpa_sep = projected_separation_ft(h_ft, own_vs_fps, int_vs_fps,
+                                                 std::max(tau.tau_s, 0.0));
+  const bool vertical_hit = std::min(current_sep, cpa_sep) <= config_.zthr_ft;
+  const bool conflict = tau_hit && vertical_hit;
+
+  if (conflict) {
+    ra_active_ = true;
+    clear_timer_s_ = 0.0;
+  } else if (ra_active_) {
+    clear_timer_s_ += 1.0;  // called once per decision cycle (1 s)
+    if (clear_timer_s_ >= config_.clear_hysteresis_s) {
+      ra_active_ = false;
+      active_sense_ = acasx::Sense::kNone;
+      strengthened_ = false;
+    }
+  }
+
+  sim::CasDecision decision;
+  if (!ra_active_) {
+    decision.label = "COC";
+    return decision;
+  }
+
+  // Sense selection on first activation: model both maneuvers at the
+  // initial rate and keep the one with more separation at CPA, honouring
+  // the coordination constraint.
+  if (active_sense_ == acasx::Sense::kNone) {
+    const double climb_fps = config_.initial_rate_fpm / 60.0;
+    const double sep_climb = projected_separation_ft(h_ft, +climb_fps, int_vs_fps, tau.tau_s);
+    const double sep_descend = projected_separation_ft(h_ft, -climb_fps, int_vs_fps, tau.tau_s);
+    acasx::Sense preferred =
+        sep_climb >= sep_descend ? acasx::Sense::kClimb : acasx::Sense::kDescend;
+    if (preferred == forbidden_sense) {
+      preferred = (preferred == acasx::Sense::kClimb) ? acasx::Sense::kDescend
+                                                      : acasx::Sense::kClimb;
+    }
+    active_sense_ = preferred;
+    strengthened_ = false;
+  }
+
+  // Strengthen when the current maneuver will not achieve ALIM by CPA.
+  const double rate_fpm = strengthened_ ? config_.strength_rate_fpm : config_.initial_rate_fpm;
+  const double signed_rate_fps =
+      (active_sense_ == acasx::Sense::kClimb ? +1.0 : -1.0) * rate_fpm / 60.0;
+  if (!strengthened_ &&
+      projected_separation_ft(h_ft, signed_rate_fps, int_vs_fps, tau.tau_s) < config_.alim_ft) {
+    strengthened_ = true;
+  }
+
+  const double final_rate_fpm =
+      (strengthened_ ? config_.strength_rate_fpm : config_.initial_rate_fpm) *
+      (active_sense_ == acasx::Sense::kClimb ? +1.0 : -1.0);
+
+  decision.maneuver = true;
+  decision.sense = active_sense_;
+  decision.target_vs_mps = units::fpm_to_mps(final_rate_fpm);
+  decision.accel_mps2 = strengthened_ ? perf_.accel_strength_mps2 : perf_.accel_initial_mps2;
+  decision.label = std::string(active_sense_ == acasx::Sense::kClimb ? "CL" : "DES") +
+                   (strengthened_ ? "2500" : "1500");
+  return decision;
+}
+
+sim::CasFactory TcasLikeCas::factory(const TcasConfig& config, sim::UavPerformance perf) {
+  return [config, perf]() -> std::unique_ptr<sim::CollisionAvoidanceSystem> {
+    return std::make_unique<TcasLikeCas>(config, perf);
+  };
+}
+
+}  // namespace cav::baselines

@@ -1,0 +1,162 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/angles.h"
+#include "util/expect.h"
+#include "util/rng.h"
+
+namespace cav::core {
+namespace {
+
+/// Horizontal closure speed (m/s) implied by the parameterization: the
+/// magnitude of the relative horizontal velocity (own bearing is 0).
+double horizontal_closure(const encounter::EncounterParams& p) {
+  const double rvx = p.gs_int_mps * std::cos(p.theta_int_rad) - p.gs_own_mps;
+  const double rvy = p.gs_int_mps * std::sin(p.theta_int_rad);
+  return std::hypot(rvx, rvy);
+}
+
+std::array<double, encounter::kNumParams> normalize(const encounter::EncounterParams& p,
+                                                    const encounter::ParamRanges& ranges) {
+  auto x = p.to_array();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double w = ranges.hi[i] - ranges.lo[i];
+    x[i] = w > 0.0 ? (x[i] - ranges.lo[i]) / w : 0.0;
+  }
+  return x;
+}
+
+double sq_distance(const std::array<double, encounter::kNumParams>& a,
+                   const std::array<double, encounter::kNumParams>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+const char* encounter_class_name(EncounterClass c) {
+  switch (c) {
+    case EncounterClass::kHeadOn: return "head-on";
+    case EncounterClass::kTailApproach: return "tail-approach";
+    case EncounterClass::kOvertake: return "overtake";
+    case EncounterClass::kCrossing: return "crossing";
+    case EncounterClass::kOther: return "other";
+  }
+  return "?";
+}
+
+EncounterClass classify(const encounter::EncounterParams& params,
+                        const ClassifierThresholds& thresholds) {
+  // Own bearing is fixed at 0 by the encoding, so the intruder's course IS
+  // the course difference.
+  const double course_diff = std::abs(wrap_pi(params.theta_int_rad));
+
+  if (course_diff >= thresholds.head_on_course_diff_rad) return EncounterClass::kHeadOn;
+
+  if (course_diff <= thresholds.tail_course_diff_rad &&
+      horizontal_closure(params) <= thresholds.slow_closure_mps) {
+    const bool opposite_senses = params.vs_own_mps * params.vs_int_mps < 0.0 &&
+                                 std::abs(params.vs_own_mps) >= thresholds.opposite_vs_min_mps &&
+                                 std::abs(params.vs_int_mps) >= thresholds.opposite_vs_min_mps;
+    return opposite_senses ? EncounterClass::kTailApproach : EncounterClass::kOvertake;
+  }
+
+  if (course_diff > thresholds.tail_course_diff_rad &&
+      course_diff < thresholds.head_on_course_diff_rad) {
+    return EncounterClass::kCrossing;
+  }
+  return EncounterClass::kOther;
+}
+
+KmeansResult kmeans(const std::vector<encounter::EncounterParams>& points,
+                    const encounter::ParamRanges& ranges, std::size_t k, std::uint64_t seed,
+                    std::size_t max_iterations) {
+  expect(k >= 1, "k >= 1");
+  expect(points.size() >= k, "at least k points");
+
+  std::vector<std::array<double, encounter::kNumParams>> x;
+  x.reserve(points.size());
+  for (const auto& p : points) x.push_back(normalize(p, ranges));
+
+  // k-means++ seeding: first centroid uniform, then proportional to the
+  // squared distance to the nearest existing centroid.
+  RngStream rng = RngStream::derive(seed, "kmeans");
+  KmeansResult result;
+  result.centroids.push_back(x[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<int>(x.size()) - 1))]);
+  while (result.centroids.size() < k) {
+    std::vector<double> weights(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : result.centroids) best = std::min(best, sq_distance(x[i], c));
+      weights[i] = best;
+    }
+    result.centroids.push_back(x[static_cast<std::size_t>(rng.discrete(weights))]);
+  }
+
+  result.assignment.assign(x.size(), 0);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    // Assign.
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      std::size_t best_c = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = sq_distance(x[i], result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best_c = c;
+        }
+      }
+      if (result.assignment[i] != best_c) {
+        result.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    // Update.
+    std::vector<std::array<double, encounter::kNumParams>> sums(
+        k, std::array<double, encounter::kNumParams>{});
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const std::size_t c = result.assignment[i];
+      for (std::size_t d = 0; d < encounter::kNumParams; ++d) sums[c][d] += x[i][d];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its old centroid
+      for (std::size_t d = 0; d < encounter::kNumParams; ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed) break;
+  }
+
+  result.cluster_sizes.assign(k, 0);
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ++result.cluster_sizes[result.assignment[i]];
+    result.inertia += sq_distance(x[i], result.centroids[result.assignment[i]]);
+  }
+  return result;
+}
+
+std::string describe(const encounter::EncounterParams& params) {
+  std::ostringstream out;
+  out << encounter_class_name(classify(params)) << ": closure " << horizontal_closure(params)
+      << " m/s, own vs " << params.vs_own_mps << " m/s, intruder vs " << params.vs_int_mps
+      << " m/s, intruder course " << rad_to_deg(wrap_pi(params.theta_int_rad))
+      << " deg, CPA in " << params.t_cpa_s << " s (miss " << params.r_cpa_m << " m horiz, "
+      << params.y_cpa_m << " m vert)";
+  return out.str();
+}
+
+}  // namespace cav::core

@@ -1,0 +1,60 @@
+// Analysis of discovered scenarios.
+//
+// §VII scrutinizes the high-fitness encounters by hand and finds "most of
+// them are tail approach situations".  classify() mechanizes that geometric
+// reading.  §VIII proposes extending the point-wise search to *areas* of
+// the space via clustering of logged data — kmeans() is that extension.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "encounter/encounter.h"
+
+namespace cav::core {
+
+enum class EncounterClass {
+  kHeadOn,        ///< reciprocal courses, intruder ahead
+  kTailApproach,  ///< similar courses, small closure, opposite vertical senses
+  kOvertake,      ///< similar courses, small closure, same/level vertical motion
+  kCrossing,      ///< intermediate course difference
+  kOther,
+};
+
+const char* encounter_class_name(EncounterClass c);
+
+struct ClassifierThresholds {
+  double head_on_course_diff_rad = 2.62;   ///< >150 deg apart
+  double tail_course_diff_rad = 1.05;      ///< <60 deg apart
+  /// Horizontal closure considered "slow".  The blind-spot family extends
+  /// to ~15-20 m/s in the closure sweep (bench_tail_approach), so the
+  /// default captures the full region, not only its dead center.
+  double slow_closure_mps = 15.0;
+  double opposite_vs_min_mps = 0.5;        ///< min |vs| for a climb/descend reading
+};
+
+/// Geometry-based label for an encounter parameterization.
+EncounterClass classify(const encounter::EncounterParams& params,
+                        const ClassifierThresholds& thresholds = {});
+
+/// K-means over normalized parameter vectors (Lloyd's algorithm with
+/// deterministic k-means++-style seeding from `seed`).
+struct KmeansResult {
+  std::vector<std::array<double, encounter::kNumParams>> centroids;
+  std::vector<std::size_t> assignment;  ///< cluster index per input point
+  std::vector<std::size_t> cluster_sizes;
+  double inertia = 0.0;  ///< sum of squared distances to assigned centroids
+  std::size_t iterations = 0;
+};
+
+KmeansResult kmeans(const std::vector<encounter::EncounterParams>& points,
+                    const encounter::ParamRanges& ranges, std::size_t k, std::uint64_t seed,
+                    std::size_t max_iterations = 100);
+
+/// Render a one-line description of an encounter ("tail approach, closure
+/// 4.0 m/s, own descending 2.0 m/s, intruder climbing 2.0 m/s, CPA 45 s").
+std::string describe(const encounter::EncounterParams& params);
+
+}  // namespace cav::core

@@ -1,0 +1,135 @@
+#include "core/logbook.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/expect.h"
+
+namespace cav::core {
+
+std::vector<LogEntry> Logbook::above(double fitness_threshold) const {
+  std::vector<LogEntry> out;
+  for (const auto& e : entries_) {
+    if (e.fitness >= fitness_threshold) out.push_back(e);
+  }
+  return out;
+}
+
+void Logbook::save_csv(const std::string& path) const {
+  CsvWriter csv(path);
+  std::vector<std::string> header{"evaluation", "generation"};
+  for (const auto& name : encounter::param_names()) header.emplace_back(name);
+  header.insert(header.end(), {"fitness", "nmac_rate", "alert_fraction"});
+  csv.header(header);
+  for (const auto& e : entries_) {
+    csv.cell(e.evaluation_index).cell(e.generation);
+    for (const double v : e.params.to_array()) csv.cell(v);
+    csv.cell(e.fitness).cell(e.nmac_rate).cell(e.alert_fraction);
+    csv.end_row();
+  }
+}
+
+Logbook Logbook::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Logbook::load_csv: cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("Logbook::load_csv: empty file " + path);
+
+  std::vector<LogEntry> entries;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cell;
+    std::vector<double> values;
+    while (std::getline(row, cell, ',')) values.push_back(std::stod(cell));
+    constexpr std::size_t expected = 2 + encounter::kNumParams + 3;
+    if (values.size() != expected) {
+      throw std::runtime_error("Logbook::load_csv: malformed row in " + path);
+    }
+    LogEntry e;
+    e.evaluation_index = static_cast<std::size_t>(values[0]);
+    e.generation = static_cast<std::size_t>(values[1]);
+    std::array<double, encounter::kNumParams> params{};
+    std::copy_n(values.begin() + 2, encounter::kNumParams, params.begin());
+    e.params = encounter::EncounterParams::from_array(params);
+    e.fitness = values[2 + encounter::kNumParams];
+    e.nmac_rate = values[3 + encounter::kNumParams];
+    e.alert_fraction = values[4 + encounter::kNumParams];
+    entries.push_back(e);
+  }
+  return Logbook(std::move(entries));
+}
+
+std::map<EncounterClass, std::size_t> class_histogram(const Logbook& logbook, int generation) {
+  std::map<EncounterClass, std::size_t> histogram;
+  for (const auto& e : logbook.entries()) {
+    if (generation >= 0 && e.generation != static_cast<std::size_t>(generation)) continue;
+    ++histogram[classify(e.params)];
+  }
+  return histogram;
+}
+
+std::vector<RegionReport> find_regions(const Logbook& logbook, double fitness_threshold,
+                                       std::size_t clusters,
+                                       const encounter::ParamRanges& ranges,
+                                       std::uint64_t seed) {
+  const auto survivors = logbook.above(fitness_threshold);
+  if (survivors.size() < clusters || clusters == 0) return {};
+
+  std::vector<encounter::EncounterParams> points;
+  points.reserve(survivors.size());
+  for (const auto& e : survivors) points.push_back(e.params);
+  const KmeansResult km = kmeans(points, ranges, clusters, seed);
+
+  std::vector<RegionReport> regions(clusters);
+  std::vector<std::map<EncounterClass, std::size_t>> class_counts(clusters);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    regions[c].cluster = c;
+    regions[c].lo.fill(std::numeric_limits<double>::infinity());
+    regions[c].hi.fill(-std::numeric_limits<double>::infinity());
+  }
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    const std::size_t c = km.assignment[i];
+    RegionReport& region = regions[c];
+    ++region.members;
+    region.mean_fitness += survivors[i].fitness;
+    ++class_counts[c][classify(survivors[i].params)];
+    const auto x = survivors[i].params.to_array();
+    for (std::size_t d = 0; d < encounter::kNumParams; ++d) {
+      region.lo[d] = std::min(region.lo[d], x[d]);
+      region.hi[d] = std::max(region.hi[d], x[d]);
+    }
+  }
+  for (std::size_t c = 0; c < clusters; ++c) {
+    if (regions[c].members > 0) {
+      regions[c].mean_fitness /= static_cast<double>(regions[c].members);
+      const auto dominant = std::max_element(
+          class_counts[c].begin(), class_counts[c].end(),
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      regions[c].dominant_class = dominant->first;
+    }
+  }
+  // Drop empty clusters (k-means may leave some unused on tiny inputs).
+  regions.erase(std::remove_if(regions.begin(), regions.end(),
+                               [](const RegionReport& r) { return r.members == 0; }),
+                regions.end());
+  return regions;
+}
+
+std::string describe_region(const RegionReport& region) {
+  const auto names = encounter::param_names();
+  std::ostringstream out;
+  out << "region " << region.cluster << " (" << region.members << " scenarios, mean fitness "
+      << region.mean_fitness << ", mostly " << encounter_class_name(region.dominant_class)
+      << "):";
+  for (std::size_t d = 0; d < encounter::kNumParams; ++d) {
+    out << "\n    " << names[d] << " in [" << region.lo[d] << ", " << region.hi[d] << "]";
+  }
+  return out.str();
+}
+
+}  // namespace cav::core

@@ -1,0 +1,82 @@
+// Search logbook: every scenario a search evaluates, with its outcome.
+//
+// §VIII: "It might be possible to extend the approach to instead find
+// *areas* of the search space ... Data mining techniques, such as
+// clustering, could potentially be used to analyze the logged data to find
+// such areas."  This module is that logging-and-mining substrate: the
+// scenario search records one entry per evaluation (deterministically
+// indexed, so parallel evaluation keeps the order stable), the logbook
+// round-trips through CSV, and the analysis helpers aggregate it into the
+// per-generation geometry mix and cluster-region reports the benches and
+// examples print.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/fitness.h"
+#include "encounter/encounter.h"
+
+namespace cav::core {
+
+/// One evaluated scenario.
+struct LogEntry {
+  std::size_t evaluation_index = 0;  ///< global evaluation order
+  std::size_t generation = 0;        ///< GA generation (0 for random search)
+  encounter::EncounterParams params;
+  double fitness = 0.0;
+  double nmac_rate = 0.0;
+  double alert_fraction = 0.0;
+};
+
+class Logbook {
+ public:
+  Logbook() = default;
+  explicit Logbook(std::vector<LogEntry> entries) : entries_(std::move(entries)) {}
+
+  const std::vector<LogEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void add(LogEntry entry) { entries_.push_back(std::move(entry)); }
+
+  /// Entries with fitness >= threshold.
+  std::vector<LogEntry> above(double fitness_threshold) const;
+
+  /// Save/load as CSV (header: evaluation, generation, the 9 parameters,
+  /// fitness, nmac_rate, alert_fraction).
+  void save_csv(const std::string& path) const;
+  static Logbook load_csv(const std::string& path);
+
+ private:
+  std::vector<LogEntry> entries_;
+};
+
+/// Count of entries per geometry class, optionally restricted to one
+/// generation (-1 = all).
+std::map<EncounterClass, std::size_t> class_histogram(const Logbook& logbook,
+                                                      int generation = -1);
+
+/// Axis-aligned bounding intervals of the high-fitness region per cluster:
+/// the "areas of the search space" report.  Clusters k-means over the
+/// entries above the threshold.
+struct RegionReport {
+  std::size_t cluster = 0;
+  std::size_t members = 0;
+  EncounterClass dominant_class = EncounterClass::kOther;
+  double mean_fitness = 0.0;
+  std::array<double, encounter::kNumParams> lo{};
+  std::array<double, encounter::kNumParams> hi{};
+};
+
+std::vector<RegionReport> find_regions(const Logbook& logbook, double fitness_threshold,
+                                       std::size_t clusters,
+                                       const encounter::ParamRanges& ranges,
+                                       std::uint64_t seed = 1);
+
+/// Human-readable one-paragraph rendering of a region.
+std::string describe_region(const RegionReport& region);
+
+}  // namespace cav::core

@@ -1,0 +1,77 @@
+#include "core/monte_carlo.h"
+
+#include <atomic>
+#include <limits>
+#include <mutex>
+
+#include "encounter/encounter.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace cav::core {
+
+SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
+                           const MonteCarloConfig& config, const std::string& system_name,
+                           const sim::CasFactory& own_cas, const sim::CasFactory& intruder_cas,
+                           ThreadPool* pool) {
+  SystemRates rates;
+  rates.system = system_name;
+  rates.encounters = config.encounters;
+
+  std::atomic<std::size_t> nmacs{0};
+  std::atomic<std::size_t> alerts{0};
+  std::mutex sep_mutex;
+  double sep_sum = 0.0;
+
+  const auto run_one = [&](std::size_t i) {
+    // The geometry stream depends only on (seed, i): every system sees the
+    // same traffic sample.
+    RngStream geometry_rng = RngStream::derive(config.seed, "mc-geometry", i);
+    const encounter::EncounterParams params = model.sample(geometry_rng);
+    const encounter::InitialStates init = encounter::generate_initial_states(params);
+
+    sim::SimConfig sim_config = config.sim;
+    sim_config.max_time_s = params.t_cpa_s + config.sim_time_margin_s;
+
+    sim::AgentSetup own;
+    own.initial_state = init.own;
+    if (own_cas) own.cas = own_cas();
+    sim::AgentSetup intruder;
+    intruder.initial_state = init.intruder;
+    if (intruder_cas) intruder.cas = intruder_cas();
+
+    constexpr std::uint64_t kMcTag = 0x4D43'4D43ULL;  // "MCMC"
+    const std::uint64_t sim_seed = mix64(config.seed ^ mix64(kMcTag ^ i));
+    const sim::SimResult result =
+        sim::run_encounter(sim_config, std::move(own), std::move(intruder), sim_seed);
+
+    if (result.nmac) nmacs.fetch_add(1, std::memory_order_relaxed);
+    if (result.own.ever_alerted || result.intruder.ever_alerted) {
+      alerts.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(sep_mutex);
+      sep_sum += result.proximity.min_distance_m;
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(config.encounters, run_one);
+  } else {
+    for (std::size_t i = 0; i < config.encounters; ++i) run_one(i);
+  }
+
+  rates.nmacs = nmacs.load();
+  rates.alerts = alerts.load();
+  rates.mean_min_separation_m =
+      config.encounters ? sep_sum / static_cast<double>(config.encounters) : 0.0;
+  return rates;
+}
+
+double risk_ratio(const SystemRates& system, const SystemRates& unequipped) {
+  const double base = unequipped.nmac_rate();
+  if (base <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return system.nmac_rate() / base;
+}
+
+}  // namespace cav::core

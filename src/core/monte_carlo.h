@@ -1,0 +1,58 @@
+// Monte-Carlo validation harness (§IV): estimate event probabilities —
+// accident (NMAC) rate and alert ("false alarm" proxy) rate — by sampling
+// encounters from a statistical encounter model, "the advantage of deriving
+// such probabilities" that complements the GA search (which "is effective
+// at fault-finding, but not at providing confirmatory evidence of
+// fault-freeness", §VIII).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fitness.h"
+#include "encounter/statistical_model.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace cav::core {
+
+struct MonteCarloConfig {
+  std::size_t encounters = 2000;   ///< sampled encounter geometries
+  sim::SimConfig sim;              ///< max_time_s overridden per encounter
+  double sim_time_margin_s = 45.0;
+  std::uint64_t seed = 99;
+};
+
+/// Rates for one system configuration under the common traffic model.
+struct SystemRates {
+  std::string system;
+  std::size_t encounters = 0;
+  std::size_t nmacs = 0;
+  std::size_t alerts = 0;            ///< encounters where either aircraft alerted
+  double mean_min_separation_m = 0.0;
+
+  double nmac_rate() const {
+    return encounters ? static_cast<double>(nmacs) / static_cast<double>(encounters) : 0.0;
+  }
+  double alert_rate() const {
+    return encounters ? static_cast<double>(alerts) / static_cast<double>(encounters) : 0.0;
+  }
+  Interval nmac_ci() const { return wilson_interval(nmacs, encounters); }
+  Interval alert_ci() const { return wilson_interval(alerts, encounters); }
+};
+
+/// Estimate rates for one equipage (the same factory equips both aircraft;
+/// pass nullptr factories for unequipped flight).  Encounter geometries and
+/// disturbance seeds depend only on (config.seed, encounter index), so
+/// different systems face exactly the same traffic — paired comparison.
+SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
+                           const MonteCarloConfig& config, const std::string& system_name,
+                           const sim::CasFactory& own_cas, const sim::CasFactory& intruder_cas,
+                           ThreadPool* pool = nullptr);
+
+/// Risk ratio of `system` relative to `unequipped` (the standard headline
+/// metric: equipped NMAC rate / unequipped NMAC rate).
+double risk_ratio(const SystemRates& system, const SystemRates& unequipped);
+
+}  // namespace cav::core

@@ -1,0 +1,149 @@
+#include "core/scenario_search.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace cav::core {
+namespace {
+
+/// Two scenarios are "the same finding" when every parameter is within 5%
+/// of its range of the other; keeps the reported top list diverse.
+bool similar(const encounter::EncounterParams& a, const encounter::EncounterParams& b,
+             const encounter::ParamRanges& ranges) {
+  const auto xa = a.to_array();
+  const auto xb = b.to_array();
+  for (std::size_t i = 0; i < encounter::kNumParams; ++i) {
+    const double scale = ranges.hi[i] - ranges.lo[i];
+    if (std::abs(xa[i] - xb[i]) > 0.05 * scale) return false;
+  }
+  return true;
+}
+
+std::vector<FoundScenario> collect_top(const ga::SearchResult& ga_result,
+                                       const ScenarioSearchConfig& config,
+                                       const EncounterEvaluator& evaluator) {
+  // Rank the final population plus the all-time best, deduplicate, and
+  // re-evaluate the survivors on a fixed stream for comparable reporting.
+  std::vector<ga::Individual> candidates = ga_result.final_population;
+  candidates.push_back(ga_result.best);
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ga::Individual& a, const ga::Individual& b) { return a.fitness > b.fitness; });
+
+  std::vector<FoundScenario> top;
+  for (const auto& ind : candidates) {
+    if (top.size() >= config.keep_top) break;
+    const auto params = encounter::EncounterParams::from_array(
+        [&] {
+          std::array<double, encounter::kNumParams> a{};
+          std::copy_n(ind.genome.begin(), encounter::kNumParams, a.begin());
+          return a;
+        }());
+    const bool duplicate = std::any_of(top.begin(), top.end(), [&](const FoundScenario& f) {
+      return similar(f.params, params, config.ranges);
+    });
+    if (duplicate) continue;
+
+    FoundScenario found;
+    found.params = params;
+    found.fitness = ind.fitness;
+    found.detail = evaluator.evaluate(params, /*stream_id=*/0xF00D);
+    top.push_back(std::move(found));
+  }
+  return top;
+}
+
+/// Evaluation budget of the configured GA (gen 0 evaluates the full
+/// population; later generations re-evaluate everything but the elites).
+std::size_t ga_budget(const ga::GaConfig& config) {
+  return config.population_size +
+         (config.generations - 1) * (config.population_size - config.elites);
+}
+
+/// Generation a given global evaluation index belongs to.
+std::size_t generation_of(std::size_t eval_index, const ga::GaConfig& config) {
+  if (eval_index < config.population_size) return 0;
+  const std::size_t per_gen = config.population_size - config.elites;
+  return 1 + (eval_index - config.population_size) / per_gen;
+}
+
+/// Fitness function that also records one LogEntry per evaluation.  The
+/// log slots are pre-sized and indexed by the (unique, deterministic)
+/// evaluation index, so parallel workers never contend.
+ga::FitnessFunction make_fitness(const EncounterEvaluator& evaluator,
+                                 std::vector<LogEntry>* log, const ga::GaConfig& ga_config) {
+  return [&evaluator, log, ga_config](const ga::Genome& genome, std::uint64_t eval_index) {
+    std::array<double, encounter::kNumParams> a{};
+    std::copy_n(genome.begin(), encounter::kNumParams, a.begin());
+    const auto params = encounter::EncounterParams::from_array(a);
+    const EncounterEvaluation eval = evaluator.evaluate(params, eval_index);
+    if (log != nullptr && eval_index < log->size()) {
+      LogEntry& entry = (*log)[eval_index];
+      entry.evaluation_index = eval_index;
+      entry.generation = generation_of(eval_index, ga_config);
+      entry.params = params;
+      entry.fitness = eval.fitness;
+      entry.nmac_rate = eval.nmac_rate();
+      entry.alert_fraction = eval.alert_fraction_own;
+    }
+    return eval.fitness;
+  };
+}
+
+}  // namespace
+
+ga::GenomeSpec make_genome_spec(const encounter::ParamRanges& ranges) {
+  std::vector<ga::GeneBounds> bounds(encounter::kNumParams);
+  for (std::size_t i = 0; i < encounter::kNumParams; ++i) {
+    bounds[i] = {ranges.lo[i], ranges.hi[i]};
+  }
+  return ga::GenomeSpec(std::move(bounds));
+}
+
+ScenarioSearchResult search_challenging_scenarios(const ScenarioSearchConfig& config,
+                                                  const sim::CasFactory& own_cas,
+                                                  const sim::CasFactory& intruder_cas,
+                                                  ThreadPool* pool,
+                                                  const ga::GenerationCallback& on_generation) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const EncounterEvaluator evaluator(config.fitness, own_cas, intruder_cas);
+  const ga::GenomeSpec spec = make_genome_spec(config.ranges);
+
+  ScenarioSearchResult result;
+  std::vector<LogEntry> log(ga_budget(config.ga));
+  result.ga =
+      ga::run_ga(spec, make_fitness(evaluator, &log, config.ga), config.ga, pool, on_generation);
+  log.resize(result.ga.total_evaluations);
+  result.logbook = Logbook(std::move(log));
+  result.top = collect_top(result.ga, config, evaluator);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+ScenarioSearchResult random_search_scenarios(const ScenarioSearchConfig& config,
+                                             const sim::CasFactory& own_cas,
+                                             const sim::CasFactory& intruder_cas,
+                                             ThreadPool* pool) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const EncounterEvaluator evaluator(config.fitness, own_cas, intruder_cas);
+  const ga::GenomeSpec spec = make_genome_spec(config.ranges);
+  const std::size_t budget = config.ga.population_size * config.ga.generations;
+
+  ScenarioSearchResult result;
+  std::vector<LogEntry> log(budget);
+  ga::GaConfig log_config = config.ga;  // generation_of() maps everything to gen 0
+  log_config.population_size = budget;
+  result.ga = ga::run_random_search(spec, make_fitness(evaluator, &log, log_config), budget,
+                                    config.ga.seed, pool);
+  log.resize(result.ga.total_evaluations);
+  result.logbook = Logbook(std::move(log));
+  result.top = collect_top(result.ga, config, evaluator);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace cav::core

@@ -1,0 +1,62 @@
+// The paper's contribution (Fig. 3): GA-driven search over the encounter
+// parameter space for "challenging situations where certain undesired (or
+// desired) events happen" — here, encounters where the collision avoidance
+// system under test suffers a high accident rate.
+//
+// The loop: genomes encode the 9 encounter parameters; the scenario
+// generator turns a genome into initial states; simulations score it with
+// the paper's fitness; the GA breeds toward higher fitness.  Random search
+// over the same space with the same budget is the baseline (§V / ref [7]).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fitness.h"
+#include "core/logbook.h"
+#include "encounter/encounter.h"
+#include "ga/ga.h"
+#include "util/thread_pool.h"
+
+namespace cav::core {
+
+struct ScenarioSearchConfig {
+  ga::GaConfig ga;                  ///< defaults: pop 200, 5 generations (§VII)
+  encounter::ParamRanges ranges;    ///< the scenario space
+  FitnessConfig fitness;            ///< 100 runs per encounter (§VII)
+  std::size_t keep_top = 10;        ///< distinct top scenarios to report
+};
+
+/// One challenging scenario surfaced by the search.
+struct FoundScenario {
+  encounter::EncounterParams params;
+  double fitness = 0.0;
+  EncounterEvaluation detail;  ///< re-evaluation with a fixed stream for reporting
+};
+
+struct ScenarioSearchResult {
+  ga::SearchResult ga;                ///< includes the Fig. 6 per-evaluation series
+  std::vector<FoundScenario> top;     ///< descending fitness, deduplicated
+  Logbook logbook;                    ///< every evaluated scenario with outcome
+  double wall_seconds = 0.0;
+
+  double best_fitness() const { return ga.best.fitness; }
+};
+
+/// Build the GA genome spec from the parameter ranges.
+ga::GenomeSpec make_genome_spec(const encounter::ParamRanges& ranges);
+
+/// Run the GA search against the system pair produced by the factories.
+ScenarioSearchResult search_challenging_scenarios(const ScenarioSearchConfig& config,
+                                                  const sim::CasFactory& own_cas,
+                                                  const sim::CasFactory& intruder_cas,
+                                                  ThreadPool* pool = nullptr,
+                                                  const ga::GenerationCallback& on_generation = {});
+
+/// Random-search baseline with an identical evaluation budget.
+ScenarioSearchResult random_search_scenarios(const ScenarioSearchConfig& config,
+                                             const sim::CasFactory& own_cas,
+                                             const sim::CasFactory& intruder_cas,
+                                             ThreadPool* pool = nullptr);
+
+}  // namespace cav::core

@@ -1,0 +1,143 @@
+#include "encounter/encounter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/angles.h"
+#include "util/expect.h"
+
+namespace cav::encounter {
+
+std::array<double, kNumParams> EncounterParams::to_array() const {
+  return {gs_own_mps, vs_own_mps, t_cpa_s,    r_cpa_m, theta_cpa_rad,
+          y_cpa_m,    gs_int_mps, theta_int_rad, vs_int_mps};
+}
+
+EncounterParams EncounterParams::from_array(const std::array<double, kNumParams>& a) {
+  EncounterParams p;
+  p.gs_own_mps = a[0];
+  p.vs_own_mps = a[1];
+  p.t_cpa_s = a[2];
+  p.r_cpa_m = a[3];
+  p.theta_cpa_rad = a[4];
+  p.y_cpa_m = a[5];
+  p.gs_int_mps = a[6];
+  p.theta_int_rad = a[7];
+  p.vs_int_mps = a[8];
+  return p;
+}
+
+std::array<std::string_view, kNumParams> param_names() {
+  return {"gs_own_mps",   "vs_own_mps", "t_cpa_s",    "r_cpa_m",   "theta_cpa_rad",
+          "y_cpa_m",      "gs_int_mps", "theta_int_rad", "vs_int_mps"};
+}
+
+bool ParamRanges::contains(const std::array<double, kNumParams>& x) const {
+  for (std::size_t i = 0; i < kNumParams; ++i) {
+    if (x[i] < lo[i] || x[i] > hi[i]) return false;
+  }
+  return true;
+}
+
+std::array<double, kNumParams> ParamRanges::clamp(std::array<double, kNumParams> x) const {
+  for (std::size_t i = 0; i < kNumParams; ++i) {
+    x[i] = std::clamp(x[i], lo[i], hi[i]);
+  }
+  return x;
+}
+
+EncounterParams ParamRanges::sample_uniform(RngStream& rng) const {
+  std::array<double, kNumParams> x{};
+  for (std::size_t i = 0; i < kNumParams; ++i) x[i] = rng.uniform(lo[i], hi[i]);
+  return EncounterParams::from_array(x);
+}
+
+InitialStates generate_initial_states(const EncounterParams& params,
+                                      const OwnshipReference& ref) {
+  expect(params.t_cpa_s > 0.0, "t_cpa_s > 0");
+  expect(params.gs_own_mps >= 0.0 && params.gs_int_mps >= 0.0, "ground speeds non-negative");
+
+  InitialStates out;
+  out.own.position_m = ref.position_m;
+  out.own.ground_speed_mps = params.gs_own_mps;
+  out.own.bearing_rad = ref.bearing_rad;
+  out.own.vertical_speed_mps = params.vs_own_mps;
+
+  // Equation (1)/(2): velocity components from (Gs, theta, Vs).
+  const Vec3 v_own = out.own.velocity_mps();
+  const Vec3 v_int{params.gs_int_mps * std::cos(params.theta_int_rad),
+                   params.gs_int_mps * std::sin(params.theta_int_rad), params.vs_int_mps};
+
+  // Own-ship position at the CPA, then the intruder's CPA position from the
+  // (R, theta, Y) offset, then run the intruder backwards for T seconds
+  // (equation (3)).
+  const Vec3 own_cpa = ref.position_m + v_own * params.t_cpa_s;
+  const Vec3 offset{params.r_cpa_m * std::cos(params.theta_cpa_rad),
+                    params.r_cpa_m * std::sin(params.theta_cpa_rad), params.y_cpa_m};
+  const Vec3 int_cpa = own_cpa + offset;
+  const Vec3 int_initial = int_cpa - v_int * params.t_cpa_s;
+
+  out.intruder.position_m = int_initial;
+  out.intruder.ground_speed_mps = params.gs_int_mps;
+  out.intruder.bearing_rad = wrap_pi(params.theta_int_rad);
+  out.intruder.vertical_speed_mps = params.vs_int_mps;
+  return out;
+}
+
+EncounterParams head_on() {
+  EncounterParams p;
+  p.gs_own_mps = 40.0;
+  p.vs_own_mps = 0.0;
+  p.t_cpa_s = 40.0;
+  p.r_cpa_m = 0.0;
+  p.theta_cpa_rad = 0.0;
+  p.y_cpa_m = 0.0;
+  p.gs_int_mps = 40.0;
+  p.theta_int_rad = kPi;
+  p.vs_int_mps = 0.0;
+  return p;
+}
+
+EncounterParams tail_approach() {
+  EncounterParams p;
+  p.gs_own_mps = 25.0;
+  p.vs_own_mps = -2.0;   // own-ship descending
+  p.t_cpa_s = 45.0;
+  p.r_cpa_m = 0.0;
+  p.theta_cpa_rad = 0.0;
+  p.y_cpa_m = 0.0;
+  p.gs_int_mps = 29.0;   // overtaking from behind at only 4 m/s closure
+  p.theta_int_rad = 0.0; // same course as the own-ship
+  p.vs_int_mps = 2.0;    // climbing through the own-ship's altitude
+  return p;
+}
+
+EncounterParams crossing() {
+  EncounterParams p;
+  p.gs_own_mps = 35.0;
+  p.vs_own_mps = 0.0;
+  p.t_cpa_s = 40.0;
+  p.r_cpa_m = 0.0;
+  p.theta_cpa_rad = 0.0;
+  p.y_cpa_m = 0.0;
+  p.gs_int_mps = 35.0;
+  p.theta_int_rad = kPi / 2.0;
+  p.vs_int_mps = 0.0;
+  return p;
+}
+
+EncounterParams descending_intruder() {
+  EncounterParams p;
+  p.gs_own_mps = 30.0;
+  p.vs_own_mps = 0.0;
+  p.t_cpa_s = 35.0;
+  p.r_cpa_m = 0.0;
+  p.theta_cpa_rad = 0.0;
+  p.y_cpa_m = 0.0;
+  p.gs_int_mps = 40.0;
+  p.theta_int_rad = 3.0 * kPi / 4.0;
+  p.vs_int_mps = -3.0;
+  return p;
+}
+
+}  // namespace cav::encounter

@@ -1,0 +1,94 @@
+// Encounter encoding and generation (§VI.A).
+//
+// An encounter between two UAVs is described by 9 parameters
+//   {Gs_o, Vs_o, T, R, theta, Y, Gs_i, theta_i, Vs_i}
+// relative to the Closest Point of Approach (CPA): the own-ship's initial
+// position and bearing are fixed ("Due to the fact that the collision
+// avoidance logic only considers relative state ... we can fix the
+// own-ship's initial position and initial bearing at some convenient
+// values"), and the intruder's initial state is reconstructed by running
+// its CPA state backwards for T seconds (paper equations (2) and (3)).
+//
+// All values SI; angles in radians.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+#include "sim/uav.h"
+#include "util/rng.h"
+#include "util/vec3.h"
+
+namespace cav::encounter {
+
+inline constexpr std::size_t kNumParams = 9;
+
+/// The 9-parameter genome of one encounter.
+struct EncounterParams {
+  double gs_own_mps = 40.0;   ///< own-ship ground speed
+  double vs_own_mps = 0.0;    ///< own-ship vertical speed
+  double t_cpa_s = 40.0;      ///< time for both aircraft to reach the CPA
+  double r_cpa_m = 0.0;       ///< horizontal distance between aircraft at CPA
+  double theta_cpa_rad = 0.0; ///< bearing (world frame) of that offset at CPA
+  double y_cpa_m = 0.0;       ///< vertical offset (intruder above own) at CPA
+  double gs_int_mps = 40.0;   ///< intruder ground speed (at CPA and throughout)
+  double theta_int_rad = 3.141592653589793;  ///< intruder course
+  double vs_int_mps = 0.0;    ///< intruder vertical speed
+
+  std::array<double, kNumParams> to_array() const;
+  static EncounterParams from_array(const std::array<double, kNumParams>& a);
+};
+
+/// Human-readable names, index-aligned with to_array().
+std::array<std::string_view, kNumParams> param_names();
+
+/// Per-parameter search bounds.  Defaults restrict generation to conflict
+/// geometries ("we only consider encounters where the two UAVs can
+/// actually collide (or nearly collide) if no collision avoidance actions
+/// were taken"): the CPA miss distance is at most 150 m horizontally and
+/// 60 m vertically.
+struct ParamRanges {
+  std::array<double, kNumParams> lo{15.0, -5.0, 20.0, 0.0, -3.141592653589793, -60.0,
+                                    15.0, -3.141592653589793, -5.0};
+  std::array<double, kNumParams> hi{60.0, 5.0, 60.0, 150.0, 3.141592653589793, 60.0,
+                                    60.0, 3.141592653589793, 5.0};
+
+  bool contains(const std::array<double, kNumParams>& x) const;
+  std::array<double, kNumParams> clamp(std::array<double, kNumParams> x) const;
+
+  /// Uniform random point — the paper's random scenario generator.
+  EncounterParams sample_uniform(RngStream& rng) const;
+};
+
+/// Where the own-ship starts (the fixed "convenient values").
+struct OwnshipReference {
+  Vec3 position_m{0.0, 0.0, 1000.0};
+  double bearing_rad = 0.0;
+};
+
+/// Initial kinematic states for both aircraft.
+struct InitialStates {
+  sim::UavState own;
+  sim::UavState intruder;
+};
+
+/// Reconstruct initial states from the CPA-relative parameters
+/// (equations (1)-(3) of the paper).
+InitialStates generate_initial_states(const EncounterParams& params,
+                                      const OwnshipReference& ref = {});
+
+/// Named canonical geometries used by benches/tests.
+/// Head-on: co-altitude, reciprocal courses, collision at CPA (Fig. 5).
+EncounterParams head_on();
+/// Tail approach: intruder overtakes slowly from behind while climbing
+/// through the descending own-ship — the challenging family the GA found
+/// (Figs. 7-8): tiny closure rate, so tau-based alerting stays silent.
+EncounterParams tail_approach();
+/// Perpendicular crossing at co-altitude.
+EncounterParams crossing();
+/// Vertical crossing: level own-ship, intruder descending through its
+/// altitude on a converging course.
+EncounterParams descending_intruder();
+
+}  // namespace cav::encounter

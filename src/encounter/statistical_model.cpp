@@ -1,0 +1,52 @@
+#include "encounter/statistical_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/angles.h"
+
+namespace cav::encounter {
+
+ParamRanges monte_carlo_ranges() {
+  ParamRanges ranges;
+  ranges.hi[3] = 900.0;   // r_cpa_m: allow clearly safe horizontal passes
+  ranges.lo[5] = -300.0;  // y_cpa_m: and vertically separated traffic
+  ranges.hi[5] = 300.0;
+  return ranges;
+}
+
+double StatisticalEncounterModel::sample_ground_speed(RngStream& rng) const {
+  // Truncated Normal by redraw (the acceptance region is wide, so redraws
+  // are rare); falls back to clamping after a bounded number of attempts.
+  const double lo = config_.ranges.lo[0];
+  const double hi = config_.ranges.hi[0];
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const double g = rng.gaussian(config_.gs_mean_mps, config_.gs_sigma_mps);
+    if (g >= lo && g <= hi) return g;
+  }
+  return std::clamp(config_.gs_mean_mps, lo, hi);
+}
+
+double StatisticalEncounterModel::sample_vertical_rate(RngStream& rng) const {
+  if (rng.chance(config_.p_level)) {
+    return rng.gaussian(0.0, config_.level_jitter_mps);
+  }
+  const double magnitude = rng.uniform(0.5, config_.vs_max_mps);
+  return rng.chance(0.5) ? magnitude : -magnitude;
+}
+
+EncounterParams StatisticalEncounterModel::sample(RngStream& rng) const {
+  EncounterParams p;
+  p.gs_own_mps = sample_ground_speed(rng);
+  p.vs_own_mps = sample_vertical_rate(rng);
+  p.t_cpa_s = rng.uniform(config_.t_min_s, config_.t_max_s);
+  p.r_cpa_m = std::abs(rng.gaussian(0.0, config_.r_sigma_m));
+  p.theta_cpa_rad = rng.uniform(-kPi, kPi);
+  p.y_cpa_m = rng.gaussian(0.0, config_.y_sigma_m);
+  p.gs_int_mps = sample_ground_speed(rng);
+  p.theta_int_rad = rng.uniform(-kPi, kPi);
+  p.vs_int_mps = sample_vertical_rate(rng);
+  return EncounterParams::from_array(config_.ranges.clamp(p.to_array()));
+}
+
+}  // namespace cav::encounter

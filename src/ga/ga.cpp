@@ -1,0 +1,188 @@
+#include "ga/ga.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/expect.h"
+
+namespace cav::ga {
+namespace {
+
+/// Evaluate all unevaluated individuals; eval indices are assigned in
+/// population order so results are independent of thread scheduling.
+void evaluate_batch(std::vector<Individual>& population, const FitnessFunction& fitness,
+                    std::uint64_t& next_eval_index, std::vector<double>& fitness_log,
+                    ThreadPool* pool) {
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    if (!population[i].evaluated) todo.push_back(i);
+  }
+  std::vector<std::uint64_t> indices(todo.size());
+  for (std::size_t k = 0; k < todo.size(); ++k) indices[k] = next_eval_index++;
+
+  const auto eval_one = [&](std::size_t k) {
+    Individual& ind = population[todo[k]];
+    ind.fitness = fitness(ind.genome, indices[k]);
+    ind.evaluated = true;
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(todo.size(), eval_one);
+  } else {
+    for (std::size_t k = 0; k < todo.size(); ++k) eval_one(k);
+  }
+  for (std::size_t k = 0; k < todo.size(); ++k) {
+    fitness_log.push_back(population[todo[k]].fitness);
+  }
+}
+
+GenerationStats stats_of(std::size_t generation, const std::vector<Individual>& population) {
+  GenerationStats s;
+  s.generation = generation;
+  s.min_fitness = std::numeric_limits<double>::infinity();
+  s.max_fitness = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (const auto& ind : population) {
+    s.min_fitness = std::min(s.min_fitness, ind.fitness);
+    if (ind.fitness > s.max_fitness) {
+      s.max_fitness = ind.fitness;
+      s.best_genome = ind.genome;
+    }
+    sum += ind.fitness;
+  }
+  s.mean_fitness = population.empty() ? 0.0 : sum / static_cast<double>(population.size());
+  return s;
+}
+
+void track_best(Individual& best, const std::vector<Individual>& population) {
+  for (const auto& ind : population) {
+    if (!best.evaluated || ind.fitness > best.fitness) best = ind;
+  }
+}
+
+/// Normalized genome distance in units of the spec's bounds (so the
+/// sharing radius is scale-free).
+double normalized_distance(const Genome& a, const Genome& b, const GenomeSpec& spec) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const double w = spec.bound(i).width();
+    const double d = w > 0.0 ? (a[i] - b[i]) / w : 0.0;
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(spec.size()));
+}
+
+/// Replace each individual's fitness with its shared value for breeding:
+/// f' = f / m, where m sums the sharing kernel over the population.  The
+/// raw-fitness floor is shifted to keep shared values order-consistent for
+/// negative fitness.
+std::vector<Individual> shared_view(const std::vector<Individual>& population,
+                                    const GenomeSpec& spec, const NichingConfig& config) {
+  double min_fit = std::numeric_limits<double>::infinity();
+  for (const auto& ind : population) min_fit = std::min(min_fit, ind.fitness);
+
+  std::vector<Individual> view = population;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    double crowd = 0.0;
+    for (std::size_t j = 0; j < population.size(); ++j) {
+      const double d = normalized_distance(population[i].genome, population[j].genome, spec);
+      if (d < config.share_radius) {
+        crowd += 1.0 - std::pow(d / config.share_radius, config.alpha);
+      }
+    }
+    // crowd >= 1 always (self-distance 0); dividing a shifted-positive
+    // fitness keeps the ordering meaningful.
+    view[i].fitness = (population[i].fitness - min_fit) / crowd;
+  }
+  return view;
+}
+
+}  // namespace
+
+SearchResult run_ga(const GenomeSpec& spec, const FitnessFunction& fitness, const GaConfig& config,
+                    ThreadPool* pool, const GenerationCallback& on_generation) {
+  expect(spec.size() > 0, "genome spec non-empty");
+  expect(config.population_size >= 2, "population_size >= 2");
+  expect(config.generations >= 1, "generations >= 1");
+  expect(config.elites < config.population_size, "elites < population_size");
+
+  SearchResult result;
+  std::uint64_t next_eval = 0;
+
+  RngStream init_rng = RngStream::derive(config.seed, "ga-init");
+  std::vector<Individual> population(config.population_size);
+  for (auto& ind : population) ind.genome = spec.sample(init_rng);
+
+  evaluate_batch(population, fitness, next_eval, result.fitness_by_evaluation, pool);
+  GenerationStats gen_stats = stats_of(0, population);
+  result.generations.push_back(gen_stats);
+  track_best(result.best, population);
+  if (on_generation) on_generation(gen_stats);
+
+  RngStream breed_rng = RngStream::derive(config.seed, "ga-breed");
+  for (std::size_t gen = 1; gen < config.generations; ++gen) {
+    // Elitism: carry over the best individuals unchanged (already
+    // evaluated, so they cost no simulation budget).
+    std::vector<std::size_t> order(population.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(config.elites),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        return population[a].fitness > population[b].fitness;
+                      });
+
+    std::vector<Individual> next;
+    next.reserve(config.population_size);
+    for (std::size_t e = 0; e < config.elites; ++e) next.push_back(population[order[e]]);
+
+    // With niching, parents are selected on crowding-discounted fitness.
+    std::vector<Individual> shared_storage;
+    if (config.niching.enabled) shared_storage = shared_view(population, spec, config.niching);
+    const std::vector<Individual>& breeding_pool =
+        config.niching.enabled ? shared_storage : population;
+
+    while (next.size() < config.population_size) {
+      const std::size_t pa = select_parent(breeding_pool, config.selection, breed_rng);
+      const std::size_t pb = select_parent(breeding_pool, config.selection, breed_rng);
+      Genome c1;
+      Genome c2;
+      crossover(population[pa].genome, population[pb].genome, c1, c2, config.crossover, breed_rng);
+      mutate(c1, spec, config.mutation, breed_rng);
+      mutate(c2, spec, config.mutation, breed_rng);
+      next.push_back({std::move(c1), 0.0, false});
+      if (next.size() < config.population_size) next.push_back({std::move(c2), 0.0, false});
+    }
+
+    population.swap(next);
+    evaluate_batch(population, fitness, next_eval, result.fitness_by_evaluation, pool);
+    gen_stats = stats_of(gen, population);
+    result.generations.push_back(gen_stats);
+    track_best(result.best, population);
+    if (on_generation) on_generation(gen_stats);
+  }
+
+  result.final_population = std::move(population);
+  result.total_evaluations = next_eval;
+  return result;
+}
+
+SearchResult run_random_search(const GenomeSpec& spec, const FitnessFunction& fitness,
+                               std::size_t evaluations, std::uint64_t seed, ThreadPool* pool) {
+  expect(spec.size() > 0, "genome spec non-empty");
+  expect(evaluations >= 1, "evaluations >= 1");
+
+  SearchResult result;
+  RngStream rng = RngStream::derive(seed, "random-search");
+  std::vector<Individual> batch(evaluations);
+  for (auto& ind : batch) ind.genome = spec.sample(rng);
+
+  std::uint64_t next_eval = 0;
+  evaluate_batch(batch, fitness, next_eval, result.fitness_by_evaluation, pool);
+  track_best(result.best, batch);
+  result.generations.push_back(stats_of(0, batch));
+  result.final_population = std::move(batch);
+  result.total_evaluations = next_eval;
+  return result;
+}
+
+}  // namespace cav::ga

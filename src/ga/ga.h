@@ -1,0 +1,80 @@
+// The generational genetic algorithm (§V, Fig. 3) and the random-search
+// baseline it is compared against (§V, via ref [7]).
+//
+// Fitness is MAXIMIZED (the paper's fitness rewards bad encounters for the
+// avoidance system: "the worse ACAS XU behaves in an encounter, the higher
+// fitness the encounter will get").
+//
+// Evaluations are dispatched in deterministic batches: the fitness
+// function receives a globally increasing evaluation index, from which it
+// derives its own RNG streams — parallel and serial runs produce identical
+// telemetry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ga/genome.h"
+#include "ga/operators.h"
+#include "util/thread_pool.h"
+
+namespace cav::ga {
+
+/// fitness(genome, eval_index) — must be thread-safe and deterministic in
+/// its arguments.
+using FitnessFunction = std::function<double(const Genome&, std::uint64_t eval_index)>;
+
+/// Fitness sharing (niching): selection sees fitness divided by a
+/// crowding factor, so the population spreads across multiple optima
+/// instead of collapsing onto the single best one.  Useful when the goal
+/// is mapping *areas* of challenging scenarios (§VIII) rather than the
+/// single worst point.  Telemetry and elitism always use raw fitness.
+struct NichingConfig {
+  bool enabled = false;
+  /// Sharing radius as a fraction of the normalized genome-space diagonal.
+  double share_radius = 0.15;
+  /// Kernel shape: share = 1 - (d/radius)^alpha for d < radius.
+  double alpha = 1.0;
+};
+
+struct GaConfig {
+  std::size_t population_size = 200;  ///< paper §VII: "population size to be 200"
+  std::size_t generations = 5;        ///< paper §VII: "5 generations of evolution"
+  std::size_t elites = 2;             ///< best individuals copied unchanged
+  SelectionConfig selection;
+  CrossoverConfig crossover;
+  MutationConfig mutation;
+  NichingConfig niching;
+  std::uint64_t seed = 1;
+};
+
+struct GenerationStats {
+  std::size_t generation = 0;
+  double min_fitness = 0.0;
+  double mean_fitness = 0.0;
+  double max_fitness = 0.0;
+  Genome best_genome;
+};
+
+struct SearchResult {
+  Individual best;
+  std::vector<double> fitness_by_evaluation;  ///< Fig. 6's series, in eval order
+  std::vector<GenerationStats> generations;
+  std::vector<Individual> final_population;
+  std::size_t total_evaluations = 0;
+};
+
+using GenerationCallback = std::function<void(const GenerationStats&)>;
+
+/// Run the GA.  `pool` parallelizes fitness evaluation when provided.
+SearchResult run_ga(const GenomeSpec& spec, const FitnessFunction& fitness, const GaConfig& config,
+                    ThreadPool* pool = nullptr, const GenerationCallback& on_generation = {});
+
+/// Random search with the same evaluation budget and telemetry shape:
+/// every candidate drawn uniformly from the spec.
+SearchResult run_random_search(const GenomeSpec& spec, const FitnessFunction& fitness,
+                               std::size_t evaluations, std::uint64_t seed,
+                               ThreadPool* pool = nullptr);
+
+}  // namespace cav::ga

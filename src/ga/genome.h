@@ -1,0 +1,68 @@
+// Real-valued bounded genomes.  A scenario is "parameterized ... then
+// encoded as genomes for the use of GA" (§V); here a genome is a fixed-
+// length vector of doubles with per-gene bounds (the encounter parameter
+// ranges).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/expect.h"
+#include "util/rng.h"
+
+namespace cav::ga {
+
+using Genome = std::vector<double>;
+
+struct GeneBounds {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  double width() const { return hi - lo; }
+};
+
+/// The search space: one bound per gene.
+class GenomeSpec {
+ public:
+  GenomeSpec() = default;
+  explicit GenomeSpec(std::vector<GeneBounds> bounds) : bounds_(std::move(bounds)) {
+    for (const auto& b : bounds_) expect(b.hi > b.lo, "gene bounds hi > lo");
+  }
+
+  std::size_t size() const { return bounds_.size(); }
+  const GeneBounds& bound(std::size_t i) const { return bounds_[i]; }
+
+  /// Uniform random genome within bounds.
+  Genome sample(RngStream& rng) const {
+    Genome g(bounds_.size());
+    for (std::size_t i = 0; i < bounds_.size(); ++i) g[i] = rng.uniform(bounds_[i].lo, bounds_[i].hi);
+    return g;
+  }
+
+  /// Clamp each gene into its bounds.
+  void clamp(Genome& g) const {
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      if (g[i] < bounds_[i].lo) g[i] = bounds_[i].lo;
+      if (g[i] > bounds_[i].hi) g[i] = bounds_[i].hi;
+    }
+  }
+
+  bool contains(const Genome& g) const {
+    if (g.size() != bounds_.size()) return false;
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      if (g[i] < bounds_[i].lo || g[i] > bounds_[i].hi) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<GeneBounds> bounds_;
+};
+
+struct Individual {
+  Genome genome;
+  double fitness = 0.0;
+  bool evaluated = false;
+};
+
+}  // namespace cav::ga

@@ -1,0 +1,99 @@
+#include "ga/operators.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/expect.h"
+
+namespace cav::ga {
+
+std::size_t select_parent(const std::vector<Individual>& population,
+                          const SelectionConfig& config, RngStream& rng) {
+  expect(!population.empty(), "population non-empty");
+  const int max_index = static_cast<int>(population.size()) - 1;
+
+  if (config.type == SelectionType::kTournament) {
+    expect(config.tournament_size >= 1, "tournament_size >= 1");
+    std::size_t best = static_cast<std::size_t>(rng.uniform_int(0, max_index));
+    for (std::size_t k = 1; k < config.tournament_size; ++k) {
+      const auto challenger = static_cast<std::size_t>(rng.uniform_int(0, max_index));
+      if (population[challenger].fitness > population[best].fitness) best = challenger;
+    }
+    return best;
+  }
+
+  // Roulette: weights are fitness shifted so the worst individual gets a
+  // small positive weight (handles negative fitness).
+  double min_fit = std::numeric_limits<double>::infinity();
+  double max_fit = -std::numeric_limits<double>::infinity();
+  for (const auto& ind : population) {
+    min_fit = std::min(min_fit, ind.fitness);
+    max_fit = std::max(max_fit, ind.fitness);
+  }
+  const double span = max_fit - min_fit;
+  const double floor_weight = span > 0.0 ? span * 1e-3 : 1.0;
+  std::vector<double> weights(population.size());
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    weights[i] = population[i].fitness - min_fit + floor_weight;
+  }
+  return static_cast<std::size_t>(rng.discrete(weights));
+}
+
+void crossover(const Genome& a, const Genome& b, Genome& child1, Genome& child2,
+               const CrossoverConfig& config, RngStream& rng) {
+  expect(a.size() == b.size(), "parents have equal genome length");
+  child1 = a;
+  child2 = b;
+  if (a.size() < 2) return;
+  if (!rng.chance(config.probability)) return;
+
+  const auto n = a.size();
+  switch (config.type) {
+    case CrossoverType::kOnePoint: {
+      const auto cut = static_cast<std::size_t>(rng.uniform_int(1, static_cast<int>(n) - 1));
+      for (std::size_t i = cut; i < n; ++i) std::swap(child1[i], child2[i]);
+      break;
+    }
+    case CrossoverType::kTwoPoint: {
+      auto c1 = static_cast<std::size_t>(rng.uniform_int(1, static_cast<int>(n) - 1));
+      auto c2 = static_cast<std::size_t>(rng.uniform_int(1, static_cast<int>(n) - 1));
+      if (c1 > c2) std::swap(c1, c2);
+      for (std::size_t i = c1; i < c2; ++i) std::swap(child1[i], child2[i]);
+      break;
+    }
+    case CrossoverType::kUniform: {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng.chance(config.uniform_swap)) std::swap(child1[i], child2[i]);
+      }
+      break;
+    }
+    case CrossoverType::kBlend: {
+      // BLX-alpha: children drawn uniformly from the parents' interval
+      // expanded by alpha on both sides.
+      for (std::size_t i = 0; i < n; ++i) {
+        const double lo = std::min(a[i], b[i]);
+        const double hi = std::max(a[i], b[i]);
+        const double pad = (hi - lo) * config.blend_alpha;
+        child1[i] = rng.uniform(lo - pad, hi + pad);
+        child2[i] = rng.uniform(lo - pad, hi + pad);
+      }
+      break;
+    }
+  }
+}
+
+void mutate(Genome& g, const GenomeSpec& spec, const MutationConfig& config, RngStream& rng) {
+  expect(g.size() == spec.size(), "genome matches spec");
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (!rng.chance(config.gene_probability)) continue;
+    const GeneBounds& b = spec.bound(i);
+    if (rng.chance(config.reset_probability)) {
+      g[i] = rng.uniform(b.lo, b.hi);
+    } else {
+      g[i] += rng.gaussian(0.0, config.gaussian_sigma_frac * b.width());
+    }
+  }
+  spec.clamp(g);
+}
+
+}  // namespace cav::ga

@@ -1,0 +1,48 @@
+// Genetic operators: selection, crossover, mutation.  The set mirrors what
+// the paper's ECJ configuration exposes ("the size of the population, the
+// number of generations and the selection mechanism etc.", §VI.B).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ga/genome.h"
+#include "util/rng.h"
+
+namespace cav::ga {
+
+enum class SelectionType { kTournament, kRoulette };
+enum class CrossoverType { kOnePoint, kTwoPoint, kUniform, kBlend };
+
+struct SelectionConfig {
+  SelectionType type = SelectionType::kTournament;
+  std::size_t tournament_size = 2;  ///< ECJ's default binary tournament
+};
+
+struct CrossoverConfig {
+  CrossoverType type = CrossoverType::kUniform;
+  double probability = 0.9;   ///< applied per offspring pair; else parents copy
+  double uniform_swap = 0.5;  ///< per-gene swap probability (kUniform)
+  double blend_alpha = 0.3;   ///< BLX-alpha expansion (kBlend)
+};
+
+struct MutationConfig {
+  double gene_probability = 0.15;  ///< chance each gene mutates
+  double gaussian_sigma_frac = 0.1;  ///< sigma as a fraction of the gene's range
+  double reset_probability = 0.02;   ///< chance a mutating gene resets uniformly
+};
+
+/// Select one parent index from the population (fitness-maximizing).
+/// Roulette shifts fitness so the minimum has weight ~0.
+std::size_t select_parent(const std::vector<Individual>& population,
+                          const SelectionConfig& config, RngStream& rng);
+
+/// Produce two children from two parents (genomes only; fitness cleared by
+/// the caller).  Parents must have equal sizes.
+void crossover(const Genome& a, const Genome& b, Genome& child1, Genome& child2,
+               const CrossoverConfig& config, RngStream& rng);
+
+/// Mutate in place, then clamp to the spec.
+void mutate(Genome& g, const GenomeSpec& spec, const MutationConfig& config, RngStream& rng);
+
+}  // namespace cav::ga

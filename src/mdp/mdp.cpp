@@ -1,0 +1,33 @@
+#include "mdp/mdp.h"
+
+#include <limits>
+
+namespace cav::mdp {
+
+Policy greedy_policy(const QTable& table, std::size_t num_states) {
+  Policy policy(num_states, 0);
+  for (std::size_t s = 0; s < num_states; ++s) {
+    double best = std::numeric_limits<double>::infinity();
+    Action best_a = 0;
+    for (std::size_t a = 0; a < table.num_actions; ++a) {
+      const double q = table.q[s * table.num_actions + a];
+      if (q < best) {
+        best = q;
+        best_a = static_cast<Action>(a);
+      }
+    }
+    policy[s] = best_a;
+  }
+  return policy;
+}
+
+double backup(const FiniteMdp& mdp, State s, Action a, const Values& values, double discount,
+              std::vector<Transition>& scratch) {
+  scratch.clear();
+  mdp.transitions(s, a, scratch);
+  double expected = 0.0;
+  for (const Transition& t : scratch) expected += t.prob * values[t.next];
+  return mdp.cost(s, a) + discount * expected;
+}
+
+}  // namespace cav::mdp

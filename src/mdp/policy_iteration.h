@@ -1,0 +1,31 @@
+// Policy Iteration (Howard's algorithm) — the paper names it alongside
+// Value Iteration as the DP techniques that "automatically figure out the
+// best strategy" (§III).  Policy evaluation is iterative (successive
+// approximation) rather than a linear solve, which is appropriate for the
+// sparse episodic models in this library.
+#pragma once
+
+#include <cstddef>
+
+#include "mdp/mdp.h"
+
+namespace cav::mdp {
+
+struct PolicyIterationConfig {
+  double discount = 1.0;
+  double eval_tolerance = 1e-9;       ///< policy-evaluation residual
+  std::size_t max_eval_sweeps = 10000;
+  std::size_t max_policy_updates = 1000;
+};
+
+struct PolicyIterationResult {
+  Values values;
+  Policy policy;
+  std::size_t policy_updates = 0;  ///< improvement rounds performed
+  bool converged = false;          ///< true when the policy became stable
+};
+
+PolicyIterationResult solve_policy_iteration(const FiniteMdp& mdp,
+                                             const PolicyIterationConfig& config = {});
+
+}  // namespace cav::mdp

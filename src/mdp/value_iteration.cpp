@@ -1,0 +1,120 @@
+#include "mdp/value_iteration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.h"
+
+namespace cav::mdp {
+namespace {
+
+/// One Bellman update for state s given current values; returns new V(s)
+/// and writes the Q row.
+double bellman_update(const FiniteMdp& mdp, State s, const Values& values, double discount,
+                      QTable& q, std::vector<Transition>& scratch) {
+  const std::size_t na = mdp.num_actions();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < na; ++a) {
+    const double qa = backup(mdp, s, static_cast<Action>(a), values, discount, scratch);
+    q.at(s, static_cast<Action>(a)) = qa;
+    best = std::min(best, qa);
+  }
+  return best;
+}
+
+}  // namespace
+
+ValueIterationResult solve_value_iteration(const FiniteMdp& mdp,
+                                           const ValueIterationConfig& config) {
+  const std::size_t ns = mdp.num_states();
+  const std::size_t na = mdp.num_actions();
+  expect(ns > 0, "MDP has at least one state");
+  expect(na > 0, "MDP has at least one action");
+  expect(config.discount > 0.0 && config.discount <= 1.0, "discount in (0, 1]");
+
+  ValueIterationResult result;
+  result.values.assign(ns, 0.0);
+  result.q.num_actions = na;
+  result.q.q.assign(ns * na, 0.0);
+
+  for (std::size_t s = 0; s < ns; ++s) {
+    if (mdp.is_terminal(static_cast<State>(s))) {
+      result.values[s] = mdp.terminal_cost(static_cast<State>(s));
+      for (std::size_t a = 0; a < na; ++a) {
+        result.q.at(static_cast<State>(s), static_cast<Action>(a)) = result.values[s];
+      }
+    }
+  }
+
+  std::vector<Transition> scratch;
+  scratch.reserve(64);
+  Values next(ns, 0.0);
+
+  for (std::size_t it = 0; it < config.max_iterations; ++it) {
+    double residual = 0.0;
+    if (config.gauss_seidel) {
+      for (std::size_t s = 0; s < ns; ++s) {
+        const auto state = static_cast<State>(s);
+        if (mdp.is_terminal(state)) continue;
+        const double v = bellman_update(mdp, state, result.values, config.discount, result.q, scratch);
+        residual = std::max(residual, std::abs(v - result.values[s]));
+        result.values[s] = v;
+      }
+    } else {
+      next = result.values;
+      for (std::size_t s = 0; s < ns; ++s) {
+        const auto state = static_cast<State>(s);
+        if (mdp.is_terminal(state)) continue;
+        const double v = bellman_update(mdp, state, result.values, config.discount, result.q, scratch);
+        residual = std::max(residual, std::abs(v - result.values[s]));
+        next[s] = v;
+      }
+      result.values.swap(next);
+    }
+    result.iterations = it + 1;
+    result.residual = residual;
+    if (residual <= config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.policy = greedy_policy(result.q, ns);
+  return result;
+}
+
+std::vector<Values> solve_finite_horizon(const FiniteMdp& mdp, std::size_t horizon,
+                                         double discount) {
+  const std::size_t ns = mdp.num_states();
+  const std::size_t na = mdp.num_actions();
+  expect(ns > 0, "MDP has at least one state");
+  expect(na > 0, "MDP has at least one action");
+
+  std::vector<Values> stage(horizon + 1, Values(ns, 0.0));
+  for (std::size_t s = 0; s < ns; ++s) {
+    if (mdp.is_terminal(static_cast<State>(s))) {
+      stage[0][s] = mdp.terminal_cost(static_cast<State>(s));
+    }
+  }
+
+  std::vector<Transition> scratch;
+  scratch.reserve(64);
+  for (std::size_t t = 1; t <= horizon; ++t) {
+    for (std::size_t s = 0; s < ns; ++s) {
+      const auto state = static_cast<State>(s);
+      if (mdp.is_terminal(state)) {
+        stage[t][s] = mdp.terminal_cost(state);
+        continue;
+      }
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t a = 0; a < na; ++a) {
+        best = std::min(best, backup(mdp, state, static_cast<Action>(a), stage[t - 1], discount, scratch));
+      }
+      stage[t][s] = best;
+    }
+  }
+  return stage;
+}
+
+}  // namespace cav::mdp

@@ -1,0 +1,38 @@
+#include "sim/acasx_cas.h"
+
+#include "util/units.h"
+
+namespace cav::sim {
+
+AcasXuCas::AcasXuCas(std::shared_ptr<const acasx::LogicTable> table, acasx::OnlineConfig online,
+                     UavPerformance perf, TrackerConfig tracker)
+    : logic_(std::move(table), online), perf_(perf), smoother_(tracker) {}
+
+CasDecision AcasXuCas::decide(const acasx::AircraftTrack& own,
+                              const acasx::AircraftTrack& intruder,
+                              acasx::Sense forbidden_sense) {
+  const acasx::AircraftTrack smoothed = smoother_.update(intruder);
+  const acasx::Advisory advisory = logic_.decide(own, smoothed, forbidden_sense);
+
+  CasDecision decision;
+  decision.label = acasx::advisory_name(advisory);
+  decision.sense = acasx::sense_of(advisory);
+  if (advisory == acasx::Advisory::kCoc) return decision;
+
+  decision.maneuver = true;
+  decision.target_vs_mps = units::fpm_to_mps(acasx::target_rate_fpm(advisory));
+  decision.accel_mps2 = acasx::is_strengthened(advisory) ? perf_.accel_strength_mps2
+                                                         : perf_.accel_initial_mps2;
+  return decision;
+}
+
+CasFactory AcasXuCas::factory(std::shared_ptr<const acasx::LogicTable> table,
+                              acasx::OnlineConfig online, UavPerformance perf,
+                              TrackerConfig tracker) {
+  return [table = std::move(table), online, perf,
+          tracker]() -> std::unique_ptr<CollisionAvoidanceSystem> {
+    return std::make_unique<AcasXuCas>(table, online, perf, tracker);
+  };
+}
+
+}  // namespace cav::sim

@@ -1,0 +1,39 @@
+// Adapter exposing the ACAS XU online logic as a simulator plug-in.
+#pragma once
+
+#include <memory>
+
+#include "acasx/online_logic.h"
+#include "sim/cas.h"
+#include "sim/tracker.h"
+#include "sim/uav.h"
+
+namespace cav::sim {
+
+class AcasXuCas final : public CollisionAvoidanceSystem {
+ public:
+  AcasXuCas(std::shared_ptr<const acasx::LogicTable> table, acasx::OnlineConfig online = {},
+            UavPerformance perf = {}, TrackerConfig tracker = {});
+
+  CasDecision decide(const acasx::AircraftTrack& own, const acasx::AircraftTrack& intruder,
+                     acasx::Sense forbidden_sense) override;
+  void reset() override {
+    logic_.reset();
+    smoother_.reset();
+  }
+  std::string name() const override { return "ACAS-XU"; }
+
+  const acasx::AcasXuLogic& logic() const { return logic_; }
+
+  /// Factory capturing a shared table.
+  static CasFactory factory(std::shared_ptr<const acasx::LogicTable> table,
+                            acasx::OnlineConfig online = {}, UavPerformance perf = {},
+                            TrackerConfig tracker = {});
+
+ private:
+  acasx::AcasXuLogic logic_;
+  UavPerformance perf_;
+  TrackSmoother smoother_;  ///< the STM analog: smooths the intruder track
+};
+
+}  // namespace cav::sim

@@ -1,0 +1,39 @@
+#include "sim/belief_cas.h"
+
+#include "util/units.h"
+
+namespace cav::sim {
+
+BeliefAcasXuCas::BeliefAcasXuCas(std::shared_ptr<const acasx::LogicTable> table,
+                                 acasx::BeliefConfig belief, acasx::OnlineConfig online,
+                                 UavPerformance perf, TrackerConfig tracker)
+    : logic_(std::move(table), belief, online), perf_(perf), smoother_(tracker) {}
+
+CasDecision BeliefAcasXuCas::decide(const acasx::AircraftTrack& own,
+                                    const acasx::AircraftTrack& intruder,
+                                    acasx::Sense forbidden_sense) {
+  const acasx::AircraftTrack smoothed = smoother_.update(intruder);
+  const acasx::Advisory advisory = logic_.decide(own, smoothed, forbidden_sense);
+
+  CasDecision decision;
+  decision.label = acasx::advisory_name(advisory);
+  decision.sense = acasx::sense_of(advisory);
+  if (advisory == acasx::Advisory::kCoc) return decision;
+
+  decision.maneuver = true;
+  decision.target_vs_mps = units::fpm_to_mps(acasx::target_rate_fpm(advisory));
+  decision.accel_mps2 = acasx::is_strengthened(advisory) ? perf_.accel_strength_mps2
+                                                         : perf_.accel_initial_mps2;
+  return decision;
+}
+
+CasFactory BeliefAcasXuCas::factory(std::shared_ptr<const acasx::LogicTable> table,
+                                    acasx::BeliefConfig belief, acasx::OnlineConfig online,
+                                    UavPerformance perf, TrackerConfig tracker) {
+  return [table = std::move(table), belief, online, perf,
+          tracker]() -> std::unique_ptr<CollisionAvoidanceSystem> {
+    return std::make_unique<BeliefAcasXuCas>(table, belief, online, perf, tracker);
+  };
+}
+
+}  // namespace cav::sim

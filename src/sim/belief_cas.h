@@ -1,0 +1,41 @@
+// Simulator plug-in for the belief-aware (QMDP-style) online logic.
+// Identical plumbing to AcasXuCas — track smoothing, advisory-to-command
+// mapping — with the belief-averaged advisory selection inside.
+#pragma once
+
+#include <memory>
+
+#include "acasx/belief_logic.h"
+#include "sim/cas.h"
+#include "sim/tracker.h"
+#include "sim/uav.h"
+
+namespace cav::sim {
+
+class BeliefAcasXuCas final : public CollisionAvoidanceSystem {
+ public:
+  BeliefAcasXuCas(std::shared_ptr<const acasx::LogicTable> table,
+                  acasx::BeliefConfig belief = {}, acasx::OnlineConfig online = {},
+                  UavPerformance perf = {}, TrackerConfig tracker = {});
+
+  CasDecision decide(const acasx::AircraftTrack& own, const acasx::AircraftTrack& intruder,
+                     acasx::Sense forbidden_sense) override;
+  void reset() override {
+    logic_.reset();
+    smoother_.reset();
+  }
+  std::string name() const override { return "ACAS-XU-belief"; }
+
+  const acasx::BeliefAwareLogic& logic() const { return logic_; }
+
+  static CasFactory factory(std::shared_ptr<const acasx::LogicTable> table,
+                            acasx::BeliefConfig belief = {}, acasx::OnlineConfig online = {},
+                            UavPerformance perf = {}, TrackerConfig tracker = {});
+
+ private:
+  acasx::BeliefAwareLogic logic_;
+  UavPerformance perf_;
+  TrackSmoother smoother_;
+};
+
+}  // namespace cav::sim

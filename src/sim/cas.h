@@ -1,0 +1,63 @@
+// Collision-avoidance-system plug-in interface for the simulator.
+//
+// Each UAV carries one CollisionAvoidanceSystem instance per simulation run
+// (systems are stateful: advisory memory, alert hysteresis).  Systems are
+// produced by a CasFactory so that parallel fitness evaluations get
+// independent instances while sharing immutable assets (the logic table).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "acasx/advisory.h"
+#include "acasx/online_logic.h"
+
+namespace cav::sim {
+
+/// The decision a system hands back to its UAV each surveillance cycle.
+/// Vertical and horizontal channels are independent: a system may command
+/// either, both, or neither.
+struct CasDecision {
+  bool maneuver = false;            ///< false -> fly free vertically
+  double target_vs_mps = 0.0;       ///< commanded vertical rate when maneuvering
+  double accel_mps2 = 0.0;          ///< capture acceleration
+  acasx::Sense sense = acasx::Sense::kNone;  ///< announced coordination sense
+  bool turn = false;                ///< horizontal channel active
+  double turn_rate_rad_s = 0.0;     ///< signed commanded turn rate (CCW +)
+  std::string label = "COC";        ///< human-readable advisory name
+};
+
+class CollisionAvoidanceSystem {
+ public:
+  virtual ~CollisionAvoidanceSystem() = default;
+
+  /// One surveillance cycle: own and intruder tracks (already noisy), and
+  /// the coordination constraint announced by the intruder (kNone if no
+  /// message was received).
+  virtual CasDecision decide(const acasx::AircraftTrack& own,
+                             const acasx::AircraftTrack& intruder,
+                             acasx::Sense forbidden_sense) = 0;
+
+  /// Clear internal state for a new encounter.
+  virtual void reset() = 0;
+
+  /// Identifier used in reports ("ACAS-XU", "TCAS-like", "SVO", "none").
+  virtual std::string name() const = 0;
+};
+
+using CasFactory = std::function<std::unique_ptr<CollisionAvoidanceSystem>()>;
+
+/// The unequipped aircraft: never maneuvers.  The Monte-Carlo baseline and
+/// the "what would have happened" reference for false-alarm accounting.
+class UnequippedCas final : public CollisionAvoidanceSystem {
+ public:
+  CasDecision decide(const acasx::AircraftTrack&, const acasx::AircraftTrack&,
+                     acasx::Sense) override {
+    return {};
+  }
+  void reset() override {}
+  std::string name() const override { return "none"; }
+};
+
+}  // namespace cav::sim

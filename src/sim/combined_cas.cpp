@@ -1,0 +1,52 @@
+#include "sim/combined_cas.h"
+
+#include "util/units.h"
+
+namespace cav::sim {
+
+CombinedCas::CombinedCas(std::shared_ptr<const acasx::LogicTable> vertical_table,
+                         std::shared_ptr<const acasx::HorizontalTable> horizontal_table,
+                         acasx::OnlineConfig online, UavPerformance perf, TrackerConfig tracker)
+    : vertical_(std::move(vertical_table), online),
+      horizontal_(std::move(horizontal_table)),
+      perf_(perf),
+      smoother_(tracker) {}
+
+CasDecision CombinedCas::decide(const acasx::AircraftTrack& own,
+                                const acasx::AircraftTrack& intruder,
+                                acasx::Sense forbidden_sense) {
+  const acasx::AircraftTrack smoothed = smoother_.update(intruder);
+
+  const acasx::Advisory advisory = vertical_.decide(own, smoothed, forbidden_sense);
+  const acasx::TurnAdvisory turn = horizontal_.decide(own, smoothed);
+
+  CasDecision decision;
+  decision.label = acasx::advisory_name(advisory);
+  decision.sense = acasx::sense_of(advisory);
+  if (advisory != acasx::Advisory::kCoc) {
+    decision.maneuver = true;
+    decision.target_vs_mps = units::fpm_to_mps(acasx::target_rate_fpm(advisory));
+    decision.accel_mps2 = acasx::is_strengthened(advisory) ? perf_.accel_strength_mps2
+                                                           : perf_.accel_initial_mps2;
+  }
+  if (turn != acasx::TurnAdvisory::kStraight) {
+    decision.turn = true;
+    decision.turn_rate_rad_s =
+        acasx::turn_rate_of(turn, horizontal_.table().config().turn_rate_rad_s);
+    decision.label += turn == acasx::TurnAdvisory::kTurnLeft ? "+L" : "+R";
+  }
+  return decision;
+}
+
+CasFactory CombinedCas::factory(std::shared_ptr<const acasx::LogicTable> vertical_table,
+                                std::shared_ptr<const acasx::HorizontalTable> horizontal_table,
+                                acasx::OnlineConfig online, UavPerformance perf,
+                                TrackerConfig tracker) {
+  return [vertical_table = std::move(vertical_table),
+          horizontal_table = std::move(horizontal_table), online, perf,
+          tracker]() -> std::unique_ptr<CollisionAvoidanceSystem> {
+    return std::make_unique<CombinedCas>(vertical_table, horizontal_table, online, perf, tracker);
+  };
+}
+
+}  // namespace cav::sim

@@ -1,0 +1,49 @@
+// Combined vertical + horizontal collision avoidance — the post-revision
+// system (see acasx/horizontal.h): the tau-indexed vertical logic handles
+// converging traffic as before, and the position-state horizontal logic
+// covers the slow-closure blind spot the GA search exposed.  The two
+// channels command independently (vertical-rate capture and turn rate).
+#pragma once
+
+#include <memory>
+
+#include "acasx/horizontal.h"
+#include "acasx/online_logic.h"
+#include "sim/cas.h"
+#include "sim/tracker.h"
+#include "sim/uav.h"
+
+namespace cav::sim {
+
+class CombinedCas final : public CollisionAvoidanceSystem {
+ public:
+  CombinedCas(std::shared_ptr<const acasx::LogicTable> vertical_table,
+              std::shared_ptr<const acasx::HorizontalTable> horizontal_table,
+              acasx::OnlineConfig online = {}, UavPerformance perf = {},
+              TrackerConfig tracker = {});
+
+  CasDecision decide(const acasx::AircraftTrack& own, const acasx::AircraftTrack& intruder,
+                     acasx::Sense forbidden_sense) override;
+  void reset() override {
+    vertical_.reset();
+    horizontal_.reset();
+    smoother_.reset();
+  }
+  std::string name() const override { return "ACAS-XU+H"; }
+
+  const acasx::AcasXuLogic& vertical() const { return vertical_; }
+  const acasx::HorizontalLogic& horizontal() const { return horizontal_; }
+
+  static CasFactory factory(std::shared_ptr<const acasx::LogicTable> vertical_table,
+                            std::shared_ptr<const acasx::HorizontalTable> horizontal_table,
+                            acasx::OnlineConfig online = {}, UavPerformance perf = {},
+                            TrackerConfig tracker = {});
+
+ private:
+  acasx::AcasXuLogic vertical_;
+  acasx::HorizontalLogic horizontal_;
+  UavPerformance perf_;
+  TrackSmoother smoother_;
+};
+
+}  // namespace cav::sim

@@ -1,0 +1,49 @@
+// Maneuver coordination between the two UAVs (§VI.C): "if the own-ship
+// chooses a 'climb' maneuver, it will send a coordination command to the
+// intruder to require it not to choose maneuvers in the same direction."
+//
+// The channel holds the latest sense announced by each aircraft; a reader
+// asks for the constraint imposed on it by the *other* aircraft.  Message
+// loss and staleness are injectable for robustness experiments.
+#pragma once
+
+#include <array>
+
+#include "acasx/advisory.h"
+#include "util/rng.h"
+
+namespace cav::sim {
+
+struct CoordinationConfig {
+  bool enabled = true;
+  double message_loss_prob = 0.0;  ///< per-post probability the message is lost
+};
+
+class CoordinationChannel {
+ public:
+  explicit CoordinationChannel(const CoordinationConfig& config = {}) : config_(config) {}
+
+  /// Aircraft `sender` (0 or 1) announces the sense of its chosen maneuver.
+  /// A lost message leaves the previously delivered announcement in place
+  /// (receivers work with the last thing they heard).
+  void post(int sender, acasx::Sense sense, RngStream& rng) {
+    if (!config_.enabled) return;
+    if (config_.message_loss_prob > 0.0 && rng.chance(config_.message_loss_prob)) return;
+    announced_[static_cast<std::size_t>(sender)] = sense;
+  }
+
+  /// The sense forbidden to aircraft `receiver`: whatever the other
+  /// aircraft announced (kNone when coordination is disabled or silent).
+  acasx::Sense forbidden_for(int receiver) const {
+    if (!config_.enabled) return acasx::Sense::kNone;
+    return announced_[static_cast<std::size_t>(1 - receiver)];
+  }
+
+  void reset() { announced_ = {acasx::Sense::kNone, acasx::Sense::kNone}; }
+
+ private:
+  CoordinationConfig config_;
+  std::array<acasx::Sense, 2> announced_{acasx::Sense::kNone, acasx::Sense::kNone};
+};
+
+}  // namespace cav::sim

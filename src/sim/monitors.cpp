@@ -1,0 +1,29 @@
+#include "sim/monitors.h"
+
+namespace cav::sim {
+
+void ProximityMeasurer::update(double t_s, const Vec3& a, const Vec3& b) {
+  const double d = distance(a, b);
+  if (d < report_.min_distance_m) {
+    report_.min_distance_m = d;
+    report_.time_of_min_distance_s = t_s;
+  }
+  const double h = horizontal_distance(a, b);
+  if (h < report_.min_horizontal_m) report_.min_horizontal_m = h;
+  const double v = vertical_distance(a, b);
+  if (v < report_.min_vertical_m) report_.min_vertical_m = v;
+}
+
+void AccidentDetector::update(double t_s, const Vec3& a, const Vec3& b) {
+  const double h = horizontal_distance(a, b);
+  const double v = vertical_distance(a, b);
+  if (!nmac_ && h < config_.nmac_horizontal_m && v < config_.nmac_vertical_m) {
+    nmac_ = true;
+    nmac_time_s_ = t_s;
+  }
+  if (!hard_collision_ && distance(a, b) < config_.collision_radius_m) {
+    hard_collision_ = true;
+  }
+}
+
+}  // namespace cav::sim

@@ -1,0 +1,62 @@
+// Simulation monitors (§VI.C): the Proximity Measurer "measures the
+// proximities (in horizontal distance and vertical distance) ... and
+// records the minimum proximity experienced", and the Accident Detector
+// "monitors the simulations and detects any mid-air collisions".
+//
+// Accident semantics: the headline "mid-air collision" event is an NMAC
+// (near mid-air collision) cylinder — simultaneous horizontal separation
+// < 500 ft and vertical separation < 100 ft — which is both the standard
+// surrogate in the encounter-model literature and the event the MDP's
+// 10000-cost terminal state encodes.  A 30 m "hard collision" sphere is
+// tracked separately.
+#pragma once
+
+#include <limits>
+
+#include "util/units.h"
+#include "util/vec3.h"
+
+namespace cav::sim {
+
+struct ProximityReport {
+  double min_distance_m = std::numeric_limits<double>::infinity();   ///< 3-D separation
+  double min_horizontal_m = std::numeric_limits<double>::infinity(); ///< over the whole run
+  double min_vertical_m = std::numeric_limits<double>::infinity();   ///< over the whole run
+  double time_of_min_distance_s = 0.0;
+};
+
+class ProximityMeasurer {
+ public:
+  void update(double t_s, const Vec3& a, const Vec3& b);
+  const ProximityReport& report() const { return report_; }
+
+ private:
+  ProximityReport report_;
+};
+
+struct AccidentConfig {
+  double nmac_horizontal_m = units::ft_to_m(500.0);
+  double nmac_vertical_m = units::ft_to_m(100.0);
+  double collision_radius_m = 30.0;
+};
+
+class AccidentDetector {
+ public:
+  explicit AccidentDetector(const AccidentConfig& config = {}) : config_(config) {}
+
+  void update(double t_s, const Vec3& a, const Vec3& b);
+
+  bool nmac() const { return nmac_; }
+  /// Time of first NMAC penetration; -1 when no NMAC occurred.
+  double nmac_time_s() const { return nmac_time_s_; }
+  bool hard_collision() const { return hard_collision_; }
+  const AccidentConfig& config() const { return config_; }
+
+ private:
+  AccidentConfig config_;
+  bool nmac_ = false;
+  bool hard_collision_ = false;
+  double nmac_time_s_ = -1.0;
+};
+
+}  // namespace cav::sim

@@ -1,0 +1,151 @@
+#include "sim/simulation.h"
+
+#include <array>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace cav::sim {
+namespace {
+
+/// Per-aircraft bookkeeping during a run.
+struct AgentRuntime {
+  UavAgent agent;
+  CollisionAvoidanceSystem* cas;  // may be null
+  std::optional<acasx::AircraftTrack> last_track_of_other;
+  AgentReport report;
+  acasx::Sense last_sense = acasx::Sense::kNone;
+  std::string current_label = "COC";
+};
+
+acasx::AircraftTrack self_track(const UavState& state) {
+  // Own state is known exactly (GPS/IMU fidelity is far above ADS-B noise
+  // at these scales); only the *other* aircraft is seen through ADS-B.
+  return {state.position_m, state.velocity_mps()};
+}
+
+void decide_for(AgentRuntime& me, const AgentRuntime& other, CoordinationChannel& coord,
+                const AdsbSensor& sensor, int my_id, double t_s, RngStream& adsb_rng) {
+  if (me.cas == nullptr) return;
+
+  // Receive the other aircraft's broadcast; coast on the last track if the
+  // message was lost, and stay passive if we have never heard anything.
+  auto received = sensor.observe(other.agent.state(), adsb_rng);
+  if (received.has_value()) me.last_track_of_other = *received;
+  if (!me.last_track_of_other.has_value()) return;
+
+  const CasDecision decision =
+      me.cas->decide(self_track(me.agent.state()), *me.last_track_of_other,
+                     coord.forbidden_for(my_id));
+
+  VerticalCommand command;
+  command.active = decision.maneuver;
+  command.target_vs_mps = decision.target_vs_mps;
+  command.accel_mps2 = decision.accel_mps2;
+  me.agent.set_command(command);
+
+  TurnCommand turn;
+  turn.active = decision.turn;
+  turn.rate_rad_s = decision.turn_rate_rad_s;
+  me.agent.set_turn_command(turn);
+
+  me.current_label = decision.label;
+
+  if (decision.maneuver || decision.turn) {
+    if (!me.report.ever_alerted) {
+      me.report.ever_alerted = true;
+      me.report.first_alert_time_s = t_s;
+    }
+    ++me.report.alert_cycles;
+    if (me.last_sense != acasx::Sense::kNone && decision.sense != acasx::Sense::kNone &&
+        me.last_sense != decision.sense) {
+      ++me.report.reversals;
+    }
+    me.last_sense = decision.sense;
+  } else {
+    me.last_sense = acasx::Sense::kNone;
+  }
+  me.report.final_advisory = decision.label;
+}
+
+}  // namespace
+
+SimResult run_encounter(const SimConfig& config, AgentSetup own, AgentSetup intruder,
+                        std::uint64_t seed) {
+  expect(config.dt_dynamics_s > 0.0, "dt_dynamics_s > 0");
+  expect(config.decision_period_s >= config.dt_dynamics_s,
+         "decision period is at least one physics step");
+  expect(config.max_time_s > 0.0, "max_time_s > 0");
+
+  AgentRuntime a{UavAgent(0, own.initial_state, own.performance), own.cas.get(), {}, {}, {}, "COC"};
+  AgentRuntime b{UavAgent(1, intruder.initial_state, intruder.performance), intruder.cas.get(),
+                 {}, {}, {}, "COC"};
+  if (a.cas != nullptr) a.cas->reset();
+  if (b.cas != nullptr) b.cas->reset();
+
+  CoordinationChannel coord(config.coordination);
+  AdsbSensor sensor(config.adsb);
+  ProximityMeasurer proximity;
+  AccidentDetector accidents(config.accident);
+
+  // Independent streams per random source keep results identical across
+  // serial/parallel execution and make failure injection orthogonal.
+  RngStream rng_adsb_a = RngStream::derive(seed, "adsb", 0);
+  RngStream rng_adsb_b = RngStream::derive(seed, "adsb", 1);
+  RngStream rng_dist_a = RngStream::derive(seed, "disturbance", 0);
+  RngStream rng_dist_b = RngStream::derive(seed, "disturbance", 1);
+  RngStream rng_coord = RngStream::derive(seed, "coordination");
+
+  SimResult result;
+  const auto steps_per_decision =
+      static_cast<std::size_t>(std::lround(config.decision_period_s / config.dt_dynamics_s));
+  const auto total_steps = static_cast<std::size_t>(std::lround(config.max_time_s / config.dt_dynamics_s));
+
+  double t = 0.0;
+  proximity.update(t, a.agent.state().position_m, b.agent.state().position_m);
+  accidents.update(t, a.agent.state().position_m, b.agent.state().position_m);
+
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    if (step % steps_per_decision == 0) {
+      // Sequential decisions: the own-ship announces first, so the intruder
+      // sees a fresh constraint (the paper's own-ship -> intruder
+      // coordination command); the own-ship saw the intruder's previous
+      // announcement, giving the one-cycle latency a real datalink has.
+      decide_for(a, b, coord, sensor, 0, t, rng_adsb_a);
+      coord.post(0, a.last_sense, rng_coord);
+      decide_for(b, a, coord, sensor, 1, t, rng_adsb_b);
+      coord.post(1, b.last_sense, rng_coord);
+
+      if (config.record_trajectory) {
+        TrajectorySample s;
+        s.t_s = t;
+        s.own_position_m = a.agent.state().position_m;
+        s.intruder_position_m = b.agent.state().position_m;
+        s.own_vs_mps = a.agent.state().vertical_speed_mps;
+        s.intruder_vs_mps = b.agent.state().vertical_speed_mps;
+        s.own_advisory = a.current_label;
+        s.intruder_advisory = b.current_label;
+        s.separation_m = distance(a.agent.state().position_m, b.agent.state().position_m);
+        result.trajectory.push_back(std::move(s));
+      }
+    }
+
+    a.agent.step(config.dt_dynamics_s, config.disturbance, rng_dist_a);
+    b.agent.step(config.dt_dynamics_s, config.disturbance, rng_dist_b);
+    t += config.dt_dynamics_s;
+
+    proximity.update(t, a.agent.state().position_m, b.agent.state().position_m);
+    accidents.update(t, a.agent.state().position_m, b.agent.state().position_m);
+  }
+
+  result.proximity = proximity.report();
+  result.nmac = accidents.nmac();
+  result.nmac_time_s = accidents.nmac_time_s();
+  result.hard_collision = accidents.hard_collision();
+  result.own = a.report;
+  result.intruder = b.report;
+  result.elapsed_s = t;
+  return result;
+}
+
+}  // namespace cav::sim

@@ -1,0 +1,76 @@
+// Two-UAV encounter simulation (§VI.C): "The environment in our simulation
+// is a 3-D infinite flight area ... When simulation begins, the two UAVs
+// fly following their initial velocities but also be affected by
+// environment disturbance.  The collision avoidance algorithm is
+// incorporated into the UAVs."
+//
+// Structure per decision cycle (1 Hz by default):
+//   1. each UAV receives the other's ADS-B broadcast (white sensor noise,
+//      optional dropout -> coast on last track);
+//   2. each UAV runs its collision avoidance system, constrained by the
+//      coordination sense last announced by the other aircraft, then
+//      announces its own sense;
+//   3. dynamics integrate at the (faster) physics rate with environment
+//      disturbance, while the monitors watch true separations.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "sim/cas.h"
+#include "sim/coordination.h"
+#include "sim/monitors.h"
+#include "sim/sensors.h"
+#include "sim/trajectory.h"
+#include "sim/uav.h"
+#include "util/rng.h"
+
+namespace cav::sim {
+
+struct SimConfig {
+  double dt_dynamics_s = 0.1;     ///< physics integration step
+  double decision_period_s = 1.0; ///< surveillance/decision cycle
+  double max_time_s = 120.0;      ///< hard stop
+  DisturbanceConfig disturbance;
+  AdsbConfig adsb;
+  CoordinationConfig coordination;
+  AccidentConfig accident;
+  bool record_trajectory = false; ///< keep per-decision-cycle samples
+};
+
+struct AgentReport {
+  bool ever_alerted = false;
+  double first_alert_time_s = -1.0;
+  int alert_cycles = 0;       ///< decision cycles with an active maneuver
+  int reversals = 0;          ///< sense flips between consecutive maneuvers
+  std::string final_advisory = "COC";
+};
+
+struct SimResult {
+  ProximityReport proximity;
+  bool nmac = false;
+  double nmac_time_s = -1.0;
+  bool hard_collision = false;
+  AgentReport own;
+  AgentReport intruder;
+  double elapsed_s = 0.0;
+  Trajectory trajectory;  ///< empty unless SimConfig::record_trajectory
+
+  /// The fitness distance d_k of the paper (§VII): 0 on a mid-air
+  /// collision, otherwise the minimum 3-D separation over the run.
+  double miss_distance_m() const { return nmac ? 0.0 : proximity.min_distance_m; }
+};
+
+/// Initial condition + avoidance system for one aircraft.
+struct AgentSetup {
+  UavState initial_state;
+  std::unique_ptr<CollisionAvoidanceSystem> cas;  ///< may be null (unequipped)
+  UavPerformance performance;
+};
+
+/// Run one encounter to completion.  All stochastic draws derive from
+/// `seed`, so identical inputs give identical results regardless of thread.
+SimResult run_encounter(const SimConfig& config, AgentSetup own, AgentSetup intruder,
+                        std::uint64_t seed);
+
+}  // namespace cav::sim

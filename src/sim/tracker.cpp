@@ -1,0 +1,24 @@
+#include "sim/tracker.h"
+
+namespace cav::sim {
+
+acasx::AircraftTrack TrackSmoother::update(const acasx::AircraftTrack& measurement) {
+  if (!config_.enabled) return measurement;
+  if (!initialized_) {
+    state_ = measurement;
+    initialized_ = true;
+    return state_;
+  }
+
+  const double dt = config_.dt_s;
+  const double a = config_.position_alpha;
+  const double b = config_.velocity_beta;
+
+  // Predict with the previous velocity estimate, then blend.
+  const Vec3 predicted_pos = state_.position_m + state_.velocity_mps * dt;
+  state_.velocity_mps = measurement.velocity_mps * b + state_.velocity_mps * (1.0 - b);
+  state_.position_m = measurement.position_m * a + predicted_pos * (1.0 - a);
+  return state_;
+}
+
+}  // namespace cav::sim

@@ -1,0 +1,37 @@
+// Trajectory recording and rendering — the headless substitute for the
+// paper tool's MASON visualization mode.  Examples dump CSV files and
+// render top/side ASCII views of encounters (cf. Figs. 5, 7, 8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/vec3.h"
+
+namespace cav::sim {
+
+struct TrajectorySample {
+  double t_s = 0.0;
+  Vec3 own_position_m;
+  Vec3 intruder_position_m;
+  double own_vs_mps = 0.0;
+  double intruder_vs_mps = 0.0;
+  std::string own_advisory = "COC";
+  std::string intruder_advisory = "COC";
+  double separation_m = 0.0;
+};
+
+using Trajectory = std::vector<TrajectorySample>;
+
+/// Write one sample per row (t, positions, rates, advisories, separation).
+void write_trajectory_csv(const Trajectory& trajectory, const std::string& path);
+
+/// Plan view (x-y) of both aircraft; own-ship 'o', intruder 'i'; samples
+/// where an advisory was active are upper-cased (cf. the red/green maneuver
+/// dots in Fig. 5).
+std::string render_top_view(const Trajectory& trajectory, int width = 72, int height = 20);
+
+/// Profile view (time vs altitude) of both aircraft, same glyph scheme.
+std::string render_side_view(const Trajectory& trajectory, int width = 72, int height = 20);
+
+}  // namespace cav::sim

@@ -1,0 +1,128 @@
+// The paper's §III worked example: a two-UAV encounter in a 2-D vertical
+// plane, modelled as a finite MDP and solved by dynamic programming.
+//
+// State: {y_o, x_r, y_i} where y_o is the own-ship altitude, x_r the
+// relative horizontal distance (also the intruder's x coordinate, since the
+// own-ship's horizontal movement is folded into the intruder's), and y_i
+// the intruder altitude.  Each time step the intruder moves left one grid.
+//
+// Actions (own-ship, vertical only): level off (0), move up (+1),
+// move down (-1).
+//
+// Paper-given stochastics:
+//   * own-ship "move up": lands at +1 with 0.7, +0 with 0.2, -1 with 0.1
+//     (mirrored for "move down"; "level off" uses the analogous
+//     distribution centred on 0 — the paper says "similar distribution
+//     applies", we use {0 -> 0.7, +1 -> 0.15, -1 -> 0.15});
+//   * intruder vertical white noise: {0 -> 0.5, -1 -> 0.15, +1 -> 0.15,
+//     -2 -> 0.1, +2 -> 0.1}.
+//
+// Paper-given preferences: collision (y_o == y_i and x_r == 0) costs 10000,
+// a move up/down action costs 100, level off is rewarded 50 (cost -50).
+//
+// Altitudes are clamped to [-y_max, y_max] (probability mass that would
+// leave the grid collapses onto the boundary row), keeping the state space
+// finite as the figure suggests.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mdp/mdp.h"
+
+namespace cav::toy2d {
+
+enum class Action : int { kLevel = 0, kUp = 1, kDown = 2 };
+inline constexpr std::size_t kNumActions = 3;
+
+/// Display glyphs: level '.', up '^', down 'v'.
+char action_glyph(Action a);
+const char* action_name(Action a);
+
+struct Config {
+  int x_max = 9;  ///< intruder starts at x_r = x_max (Fig. 2 grid)
+  int y_max = 3;  ///< altitude grid spans [-y_max, +y_max]
+
+  double collision_cost = 10000.0;  ///< paper: "punish a collision state ... 10000"
+  double maneuver_cost = 100.0;     ///< paper: "punish a move up/down action ... 100"
+  double level_reward = 50.0;       ///< paper: "reward a level off action ... 50"
+
+  /// P(own displacement | action): index 0 -> intended direction,
+  /// 1 -> no move, 2 -> opposite direction.  Paper: {0.7, 0.2, 0.1}.
+  std::array<double, 3> own_move_probs{0.7, 0.2, 0.1};
+  /// Level-off: {stay, +1, -1}.
+  std::array<double, 3> own_level_probs{0.7, 0.15, 0.15};
+
+  /// Intruder vertical displacement distribution over {0, -1, +1, -2, +2}.
+  std::array<double, 5> intruder_probs{0.5, 0.15, 0.15, 0.1, 0.1};
+
+  int num_altitudes() const { return 2 * y_max + 1; }
+  int num_ranges() const { return x_max + 1; }
+};
+
+/// Grid state in user coordinates.
+struct GridState {
+  int y_own = 0;
+  int x_rel = 0;
+  int y_int = 0;
+
+  bool operator==(const GridState&) const = default;
+};
+
+/// The §III MDP.  States are dense-indexed; x_r == 0 states are terminal
+/// (the encounter has resolved: collision iff y_o == y_i).
+class Toy2dMdp final : public mdp::FiniteMdp {
+ public:
+  explicit Toy2dMdp(const Config& config);
+
+  std::size_t num_states() const override;
+  std::size_t num_actions() const override { return kNumActions; }
+  double cost(mdp::State s, mdp::Action a) const override;
+  void transitions(mdp::State s, mdp::Action a, std::vector<mdp::Transition>& out) const override;
+  bool is_terminal(mdp::State s) const override;
+  double terminal_cost(mdp::State s) const override;
+
+  const Config& config() const { return config_; }
+
+  mdp::State encode(const GridState& g) const;
+  GridState decode(mdp::State s) const;
+
+  /// True when the state is a collision (x_r == 0 and equal altitudes).
+  bool is_collision(const GridState& g) const;
+
+  /// Clamp an altitude to the grid.
+  int clamp_altitude(int y) const;
+
+ private:
+  Config config_;
+};
+
+/// The generated "logic table": the optimal action for every state, the
+/// paper's look-up-table representation of the avoidance strategy.
+class PolicyTable {
+ public:
+  PolicyTable(const Toy2dMdp& model, mdp::Policy policy, mdp::Values values);
+
+  Action action_for(const GridState& g) const;
+  double value_for(const GridState& g) const;
+
+  /// Render the policy slice for a fixed intruder altitude: rows are own
+  /// altitudes (top = +y_max), columns are x_r = 0..x_max.
+  std::string render_slice(int y_int) const;
+
+  const mdp::Policy& policy() const { return policy_; }
+  const mdp::Values& values() const { return values_; }
+  const Toy2dMdp& model() const { return model_; }
+
+ private:
+  Toy2dMdp model_;  // the model is cheap (config only); owning a copy keeps the table self-contained
+  mdp::Policy policy_;
+  mdp::Values values_;
+};
+
+/// Solve the model with value iteration and wrap the result.
+PolicyTable solve(const Toy2dMdp& model);
+
+}  // namespace cav::toy2d

@@ -1,0 +1,74 @@
+#include "toy2d/toy2d_sim.h"
+
+#include <array>
+
+#include "util/expect.h"
+
+namespace cav::toy2d {
+namespace {
+
+constexpr std::array<int, 5> kIntruderMoves{0, -1, +1, -2, +2};
+
+int sample_own_displacement(const Config& config, Action a, RngStream& rng) {
+  if (a == Action::kLevel) {
+    const int k = rng.discrete(config.own_level_probs);
+    return std::array<int, 3>{0, +1, -1}[static_cast<std::size_t>(k)];
+  }
+  const int k = rng.discrete(config.own_move_probs);
+  const int intended = (a == Action::kUp) ? +1 : -1;
+  switch (k) {
+    case 0: return intended;
+    case 1: return 0;
+    default: return -intended;
+  }
+}
+
+}  // namespace
+
+Rollout rollout(const Toy2dMdp& model, const Controller& controller, const GridState& start,
+                RngStream& rng) {
+  expect(start.x_rel >= 0 && start.x_rel <= model.config().x_max, "start x_rel on the grid");
+  const Config& config = model.config();
+
+  Rollout result;
+  GridState s{model.clamp_altitude(start.y_own), start.x_rel, model.clamp_altitude(start.y_int)};
+  result.trajectory.push_back(s);
+
+  while (s.x_rel > 0) {
+    const Action a = controller.act(s);
+    result.total_cost += model.cost(model.encode(s), static_cast<mdp::Action>(a));
+    if (a != Action::kLevel) ++result.maneuver_steps;
+
+    s.y_own = model.clamp_altitude(s.y_own + sample_own_displacement(config, a, rng));
+    s.y_int = model.clamp_altitude(s.y_int + kIntruderMoves[static_cast<std::size_t>(
+                                                 rng.discrete(config.intruder_probs))]);
+    s.x_rel -= 1;
+    result.trajectory.push_back(s);
+  }
+
+  result.collided = model.is_collision(s);
+  if (result.collided) result.total_cost += config.collision_cost;
+  return result;
+}
+
+EvalSummary evaluate(const Toy2dMdp& model, const Controller& controller, const GridState& start,
+                     std::size_t episodes, std::uint64_t seed) {
+  EvalSummary summary;
+  summary.episodes = episodes;
+  double maneuver_sum = 0.0;
+  double cost_sum = 0.0;
+  for (std::size_t k = 0; k < episodes; ++k) {
+    RngStream rng = RngStream::derive(seed, "toy2d-eval", k);
+    const Rollout r = rollout(model, controller, start, rng);
+    if (r.collided) ++summary.collisions;
+    maneuver_sum += r.maneuver_steps;
+    cost_sum += r.total_cost;
+  }
+  if (episodes > 0) {
+    summary.mean_maneuver_steps = maneuver_sum / static_cast<double>(episodes);
+    summary.mean_cost = cost_sum / static_cast<double>(episodes);
+  }
+  return summary;
+}
+
+}  // namespace cav::toy2d

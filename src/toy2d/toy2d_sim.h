@@ -1,0 +1,65 @@
+// Closed-loop Monte-Carlo rollout of the §III grid model: "The resultant
+// logic can be evaluated in simulations" — this is that evaluation, used by
+// tests and by bench_toy2d_policy to show the generated table actually
+// avoids collisions while mostly flying level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "toy2d/toy2d_mdp.h"
+#include "util/rng.h"
+
+namespace cav::toy2d {
+
+/// A controller for the grid world.  TablePolicy wraps the generated logic
+/// table; AlwaysLevel is the unequipped baseline.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+  virtual Action act(const GridState& state) const = 0;
+};
+
+class TablePolicy final : public Controller {
+ public:
+  explicit TablePolicy(const PolicyTable& table) : table_(&table) {}
+  Action act(const GridState& state) const override { return table_->action_for(state); }
+
+ private:
+  const PolicyTable* table_;  // non-owning
+};
+
+class AlwaysLevel final : public Controller {
+ public:
+  Action act(const GridState&) const override { return Action::kLevel; }
+};
+
+/// Outcome of one episode.
+struct Rollout {
+  bool collided = false;
+  int maneuver_steps = 0;             ///< steps where the action was up/down
+  double total_cost = 0.0;            ///< accumulated MDP cost incl. terminal
+  std::vector<GridState> trajectory;  ///< state at each step (incl. initial)
+};
+
+/// Simulate one episode from `start` under `controller`, sampling the MDP's
+/// own dynamics (so the simulation and the model agree by construction).
+Rollout rollout(const Toy2dMdp& model, const Controller& controller, const GridState& start,
+                RngStream& rng);
+
+/// Aggregate collision statistics over `episodes` rollouts.
+struct EvalSummary {
+  std::size_t episodes = 0;
+  std::size_t collisions = 0;
+  double mean_maneuver_steps = 0.0;
+  double mean_cost = 0.0;
+
+  double collision_rate() const {
+    return episodes ? static_cast<double>(collisions) / static_cast<double>(episodes) : 0.0;
+  }
+};
+
+EvalSummary evaluate(const Toy2dMdp& model, const Controller& controller, const GridState& start,
+                     std::size_t episodes, std::uint64_t seed);
+
+}  // namespace cav::toy2d

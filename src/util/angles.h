@@ -1,0 +1,34 @@
+// Angle helpers.  Bearings follow the paper's convention (Fig. 4): an angle
+// theta measured in the horizontal plane, with the horizontal velocity
+// decomposed as Vx = Gs*cos(theta), Vy = Gs*sin(theta).
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace cav {
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+constexpr double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+constexpr double rad_to_deg(double rad) { return rad * 180.0 / kPi; }
+
+/// Wrap an angle to (-pi, pi].
+inline double wrap_pi(double a) {
+  a = std::fmod(a + kPi, kTwoPi);
+  if (a <= 0.0) a += kTwoPi;
+  return a - kPi;
+}
+
+/// Wrap an angle to [0, 2*pi).
+inline double wrap_two_pi(double a) {
+  a = std::fmod(a, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  return a;
+}
+
+/// Smallest signed difference a-b, wrapped to (-pi, pi].
+inline double angle_diff(double a, double b) { return wrap_pi(a - b); }
+
+}  // namespace cav

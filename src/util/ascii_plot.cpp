@@ -1,0 +1,118 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace cav {
+namespace {
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+Range finite_range(const std::vector<double>& v) {
+  Range r{std::numeric_limits<double>::infinity(), -std::numeric_limits<double>::infinity()};
+  for (const double x : v) {
+    if (!std::isfinite(x)) continue;
+    r.lo = std::min(r.lo, x);
+    r.hi = std::max(r.hi, x);
+  }
+  if (r.lo > r.hi) return {0.0, 1.0};
+  if (r.lo == r.hi) return {r.lo - 0.5, r.hi + 0.5};
+  return r;
+}
+
+std::string render(const std::vector<std::vector<double>>& xs,
+                   const std::vector<std::vector<double>>& ys, const std::string& marks,
+                   const AsciiPlotOptions& opts) {
+  const int w = std::max(8, opts.width);
+  const int h = std::max(4, opts.height);
+
+  std::vector<double> all_x;
+  std::vector<double> all_y;
+  for (const auto& s : xs) all_x.insert(all_x.end(), s.begin(), s.end());
+  for (const auto& s : ys) all_y.insert(all_y.end(), s.begin(), s.end());
+  const Range rx = finite_range(all_x);
+  const Range ry = finite_range(all_y);
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' '));
+  for (std::size_t s = 0; s < ys.size(); ++s) {
+    const char mark = marks.empty() ? '*' : marks[s % marks.size()];
+    for (std::size_t i = 0; i < ys[s].size(); ++i) {
+      const double xv = xs[s][i];
+      const double yv = ys[s][i];
+      if (!std::isfinite(xv) || !std::isfinite(yv)) continue;
+      const int col = static_cast<int>(std::lround((xv - rx.lo) / (rx.hi - rx.lo) * (w - 1)));
+      const int row = static_cast<int>(std::lround((yv - ry.lo) / (ry.hi - ry.lo) * (h - 1)));
+      const int r = h - 1 - std::clamp(row, 0, h - 1);
+      const int c = std::clamp(col, 0, w - 1);
+      canvas[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = mark;
+    }
+  }
+
+  std::ostringstream out;
+  if (!opts.title.empty()) out << opts.title << '\n';
+  out << "  " << ry.hi;
+  if (!opts.y_label.empty()) out << "  (" << opts.y_label << ')';
+  out << '\n';
+  for (const auto& line : canvas) out << "  |" << line << '\n';
+  out << "  +" << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  out << "  " << ry.lo << "    x: [" << rx.lo << ", " << rx.hi << ']';
+  if (!opts.x_label.empty()) out << "  (" << opts.x_label << ')';
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace
+
+std::string ascii_plot(const std::vector<double>& y, const AsciiPlotOptions& opts) {
+  std::vector<double> x(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) x[i] = static_cast<double>(i);
+  return render({x}, {y}, std::string(1, opts.mark), opts);
+}
+
+std::string ascii_plot_xy(const std::vector<double>& x, const std::vector<double>& y,
+                          const AsciiPlotOptions& opts) {
+  const std::size_t n = std::min(x.size(), y.size());
+  return render({std::vector<double>(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(n))},
+                {std::vector<double>(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(n))},
+                std::string(1, opts.mark), opts);
+}
+
+std::string ascii_plot_multi(const std::vector<std::vector<double>>& series,
+                             const std::string& marks, const AsciiPlotOptions& opts) {
+  std::vector<std::vector<double>> xs;
+  xs.reserve(series.size());
+  for (const auto& s : series) {
+    std::vector<double> x(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) x[i] = static_cast<double>(i);
+    xs.push_back(std::move(x));
+  }
+  return render(xs, series, marks, opts);
+}
+
+std::string ascii_heatmap(const std::vector<double>& values, int rows, int cols,
+                          const std::string& title) {
+  static const std::string ramp = " .:-=+*#%@";
+  const Range r = finite_range(values);
+  std::ostringstream out;
+  if (!title.empty()) out << title << '\n';
+  for (int i = 0; i < rows; ++i) {
+    out << "  ";
+    for (int j = 0; j < cols; ++j) {
+      const double v = values[static_cast<std::size_t>(i * cols + j)];
+      double t = (r.hi > r.lo) ? (v - r.lo) / (r.hi - r.lo) : 0.0;
+      t = std::clamp(t, 0.0, 1.0);
+      const auto k = static_cast<std::size_t>(t * static_cast<double>(ramp.size() - 1));
+      out << ramp[k];
+    }
+    out << '\n';
+  }
+  out << "  scale: [" << r.lo << " = ' ', " << r.hi << " = '@']\n";
+  return out.str();
+}
+
+}  // namespace cav

@@ -1,0 +1,38 @@
+// ASCII rendering of series and heatmaps.
+//
+// The paper's tool has a MASON GUI ("visualization mode"); this library is
+// headless, so benches and examples render fitness curves (Fig. 6) and
+// encounter trajectories (Figs. 5/7/8) as terminal plots plus CSV dumps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cav {
+
+struct AsciiPlotOptions {
+  int width = 72;        ///< plot columns
+  int height = 16;       ///< plot rows
+  char mark = '*';       ///< glyph for data points
+  std::string title;     ///< optional title line
+  std::string x_label;   ///< optional x-axis caption
+  std::string y_label;   ///< printed next to the y range
+};
+
+/// Scatter/line plot of y against index (x = 0..n-1).
+std::string ascii_plot(const std::vector<double>& y, const AsciiPlotOptions& opts = {});
+
+/// Scatter plot of (x, y) pairs.
+std::string ascii_plot_xy(const std::vector<double>& x, const std::vector<double>& y,
+                          const AsciiPlotOptions& opts = {});
+
+/// Multi-series overlay; series i uses marks[i % marks.size()].
+std::string ascii_plot_multi(const std::vector<std::vector<double>>& series,
+                             const std::string& marks, const AsciiPlotOptions& opts = {});
+
+/// Render a matrix (row-major, rows x cols) as a shaded heatmap using a
+/// density ramp.  Used by the policy inspector for logic-table slices.
+std::string ascii_heatmap(const std::vector<double>& values, int rows, int cols,
+                          const std::string& title = "");
+
+}  // namespace cav

@@ -1,0 +1,82 @@
+// Tiny CSV writer for experiment artifacts (fitness series, trajectories,
+// Monte-Carlo tables).  Deliberately minimal: numeric and string cells,
+// RFC-4180-style quoting for strings that need it.
+#pragma once
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cav {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; throws std::runtime_error on failure.
+  /// Doubles are written with max_digits10 precision so files round-trip
+  /// losslessly.
+  explicit CsvWriter(const std::string& path) : out_(path) {
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+    out_.precision(std::numeric_limits<double>::max_digits10);
+  }
+
+  /// Start a row from a list of header names.
+  void header(const std::vector<std::string>& names) {
+    for (const auto& n : names) cell(n);
+    end_row();
+  }
+
+  CsvWriter& cell(double v) {
+    sep();
+    out_ << v;
+    return *this;
+  }
+  CsvWriter& cell(std::size_t v) {
+    sep();
+    out_ << v;
+    return *this;
+  }
+  CsvWriter& cell(int v) {
+    sep();
+    out_ << v;
+    return *this;
+  }
+  CsvWriter& cell(std::string_view s) {
+    sep();
+    out_ << quote(s);
+    return *this;
+  }
+
+  void end_row() {
+    out_ << '\n';
+    first_in_row_ = true;
+  }
+
+  void flush() { out_.flush(); }
+
+ private:
+  void sep() {
+    if (!first_in_row_) out_ << ',';
+    first_in_row_ = false;
+  }
+
+  static std::string quote(std::string_view s) {
+    const bool needs = s.find_first_of(",\"\n") != std::string_view::npos;
+    if (!needs) return std::string(s);
+    std::ostringstream q;
+    q << '"';
+    for (const char c : s) {
+      if (c == '"') q << "\"\"";
+      else q << c;
+    }
+    q << '"';
+    return q.str();
+  }
+
+  std::ofstream out_;
+  bool first_in_row_ = true;
+};
+
+}  // namespace cav

@@ -1,0 +1,29 @@
+// Precondition / invariant checking in the spirit of the Core Guidelines'
+// Expects()/Ensures(): violations throw std::logic_error with a location
+// string so tests can assert on contract enforcement.  Hot inner loops use
+// plain assert() instead; these checks guard public API boundaries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cav {
+
+/// Thrown when a public-API precondition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Check a precondition; `what` should name the requirement, e.g.
+/// "population_size > 0".
+inline void expect(bool condition, const char* what) {
+  if (!condition) throw ContractViolation(std::string("precondition failed: ") + what);
+}
+
+/// Check a postcondition / invariant.
+inline void ensure(bool condition, const char* what) {
+  if (!condition) throw ContractViolation(std::string("invariant violated: ") + what);
+}
+
+}  // namespace cav

@@ -1,0 +1,48 @@
+// Minimal leveled logger writing to stderr.  The library is quiet by
+// default (kWarn); benches and examples raise verbosity explicitly.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace cav {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace detail {
+inline LogLevel& log_threshold() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+inline std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+inline const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace detail
+
+inline void set_log_level(LogLevel level) { detail::log_threshold() = level; }
+inline LogLevel log_level() { return detail::log_threshold(); }
+
+inline void log_message(LogLevel level, const std::string& msg) {
+  if (level < detail::log_threshold()) return;
+  const std::lock_guard<std::mutex> lock(detail::log_mutex());
+  std::cerr << '[' << detail::level_name(level) << "] " << msg << '\n';
+}
+
+inline void log_debug(const std::string& msg) { log_message(LogLevel::kDebug, msg); }
+inline void log_info(const std::string& msg) { log_message(LogLevel::kInfo, msg); }
+inline void log_warn(const std::string& msg) { log_message(LogLevel::kWarn, msg); }
+inline void log_error(const std::string& msg) { log_message(LogLevel::kError, msg); }
+
+}  // namespace cav

@@ -1,0 +1,84 @@
+// Small statistics helpers used by the Monte-Carlo harness and the GA
+// telemetry: streaming mean/variance, min/max, and Wilson score intervals
+// for event-rate estimates (accident rate, alert rate).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace cav {
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return n_ ? min_ : std::numeric_limits<double>::quiet_NaN(); }
+  double max() const { return n_ ? max_ : std::numeric_limits<double>::quiet_NaN(); }
+
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  /// Standard error of the mean.
+  double sem() const { return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// A two-sided confidence interval.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Wilson score interval for a binomial proportion (successes/trials).
+/// z defaults to the 95% normal quantile.  Preferred over the normal
+/// approximation because our event rates (mid-air collisions) are rare.
+inline Interval wilson_interval(std::size_t successes, std::size_t trials, double z = 1.959964) {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+/// Arithmetic mean of a vector; NaN when empty.
+inline double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double s = 0.0;
+  for (const double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// Percentile by linear interpolation between order statistics; q in [0,1].
+inline double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+}  // namespace cav

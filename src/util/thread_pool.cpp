@@ -1,0 +1,82 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+namespace cav {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 2;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Chunk the index space so that small items do not drown in queue
+  // overhead; an atomic cursor keeps the chunks balanced.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t workers = thread_count();
+  const std::size_t chunk = std::max<std::size_t>(1, n / (workers * 8));
+  for (std::size_t w = 0; w < workers; ++w) {
+    submit([cursor, n, chunk, &fn] {
+      for (;;) {
+        const std::size_t begin = cursor->fetch_add(chunk);
+        if (begin >= n) return;
+        const std::size_t end = std::min(n, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      }
+    });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace cav

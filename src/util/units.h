@@ -1,0 +1,37 @@
+// Unit conversions between SI (used by the simulator) and the aviation
+// units (ft, ft/min, kt) in which the ACAS XU MDP is specified.
+//
+// Convention: every quantity crossing a module boundary is SI unless the
+// identifier says otherwise (e.g. `h_ft`, `vs_fpm`).  These helpers keep
+// the conversions explicit and grep-able.
+#pragma once
+
+namespace cav::units {
+
+inline constexpr double kFtPerMeter = 3.280839895013123;
+inline constexpr double kMeterPerFt = 1.0 / kFtPerMeter;
+inline constexpr double kKtPerMps = 1.9438444924406046;
+inline constexpr double kMpsPerKt = 1.0 / kKtPerMps;
+
+/// Feet -> meters.
+constexpr double ft_to_m(double ft) { return ft * kMeterPerFt; }
+/// Meters -> feet.
+constexpr double m_to_ft(double m) { return m * kFtPerMeter; }
+
+/// Feet-per-minute -> meters-per-second.
+constexpr double fpm_to_mps(double fpm) { return fpm * kMeterPerFt / 60.0; }
+/// Meters-per-second -> feet-per-minute.
+constexpr double mps_to_fpm(double mps) { return mps * kFtPerMeter * 60.0; }
+
+/// Knots -> meters-per-second.
+constexpr double kt_to_mps(double kt) { return kt * kMpsPerKt; }
+/// Meters-per-second -> knots.
+constexpr double mps_to_kt(double mps) { return mps * kKtPerMps; }
+
+/// Standard gravitational acceleration, m/s^2 (used for maneuver-strength
+/// specifications such as "g/4 vertical acceleration").
+inline constexpr double kGravity = 9.80665;
+/// Same in ft/s^2 — the ACAS X reports express accelerations this way.
+inline constexpr double kGravityFtS2 = kGravity * kFtPerMeter;
+
+}  // namespace cav::units

@@ -1,0 +1,11 @@
+#include "util/vec3.h"
+
+#include <ostream>
+
+namespace cav {
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace cav

@@ -1,0 +1,74 @@
+// Minimal 3-D vector used throughout the simulator.  East-North-Up frame:
+// x = east, y = north, z = up (altitude).
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace cav {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const = default;
+
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  double norm() const { return std::sqrt(dot(*this)); }
+  constexpr double norm_sq() const { return dot(*this); }
+
+  /// Length of the horizontal (x, y) projection.
+  double horizontal_norm() const { return std::hypot(x, y); }
+
+  /// Unit vector in the same direction; the zero vector maps to itself.
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? *this / n : Vec3{};
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+/// Euclidean distance between two points.
+inline double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+
+/// Distance of the horizontal projections only.
+inline double horizontal_distance(const Vec3& a, const Vec3& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Absolute altitude difference.
+inline double vertical_distance(const Vec3& a, const Vec3& b) {
+  return std::abs(a.z - b.z);
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+}  // namespace cav

@@ -1,0 +1,64 @@
+#include "acasx/advisory.h"
+
+#include <gtest/gtest.h>
+
+namespace cav::acasx {
+namespace {
+
+TEST(Advisory, SenseMapping) {
+  EXPECT_EQ(sense_of(Advisory::kCoc), Sense::kNone);
+  EXPECT_EQ(sense_of(Advisory::kClimb1500), Sense::kClimb);
+  EXPECT_EQ(sense_of(Advisory::kClimb2500), Sense::kClimb);
+  EXPECT_EQ(sense_of(Advisory::kDescend1500), Sense::kDescend);
+  EXPECT_EQ(sense_of(Advisory::kDescend2500), Sense::kDescend);
+}
+
+TEST(Advisory, TargetRates) {
+  EXPECT_DOUBLE_EQ(target_rate_fpm(Advisory::kCoc), 0.0);
+  EXPECT_DOUBLE_EQ(target_rate_fpm(Advisory::kClimb1500), 1500.0);
+  EXPECT_DOUBLE_EQ(target_rate_fpm(Advisory::kDescend1500), -1500.0);
+  EXPECT_DOUBLE_EQ(target_rate_fpm(Advisory::kClimb2500), 2500.0);
+  EXPECT_DOUBLE_EQ(target_rate_fpm(Advisory::kDescend2500), -2500.0);
+}
+
+TEST(Advisory, Strengthened) {
+  EXPECT_FALSE(is_strengthened(Advisory::kCoc));
+  EXPECT_FALSE(is_strengthened(Advisory::kClimb1500));
+  EXPECT_TRUE(is_strengthened(Advisory::kClimb2500));
+  EXPECT_TRUE(is_strengthened(Advisory::kDescend2500));
+}
+
+TEST(Advisory, ReversalDetection) {
+  EXPECT_TRUE(is_reversal(Advisory::kClimb1500, Advisory::kDescend1500));
+  EXPECT_TRUE(is_reversal(Advisory::kDescend2500, Advisory::kClimb1500));
+  EXPECT_FALSE(is_reversal(Advisory::kClimb1500, Advisory::kClimb2500));
+  EXPECT_FALSE(is_reversal(Advisory::kCoc, Advisory::kClimb1500));
+  EXPECT_FALSE(is_reversal(Advisory::kDescend1500, Advisory::kCoc));
+}
+
+TEST(Advisory, StrengtheningDetection) {
+  EXPECT_TRUE(is_strengthening(Advisory::kClimb1500, Advisory::kClimb2500));
+  EXPECT_TRUE(is_strengthening(Advisory::kDescend1500, Advisory::kDescend2500));
+  EXPECT_FALSE(is_strengthening(Advisory::kClimb1500, Advisory::kDescend2500));
+  EXPECT_FALSE(is_strengthening(Advisory::kClimb2500, Advisory::kClimb2500));
+  EXPECT_FALSE(is_strengthening(Advisory::kCoc, Advisory::kClimb2500));
+  EXPECT_FALSE(is_strengthening(Advisory::kClimb2500, Advisory::kClimb1500));
+}
+
+TEST(Advisory, NamesAreUnique) {
+  for (std::size_t i = 0; i < kNumAdvisories; ++i) {
+    for (std::size_t j = i + 1; j < kNumAdvisories; ++j) {
+      EXPECT_STRNE(advisory_name(kAllAdvisories[i]), advisory_name(kAllAdvisories[j]));
+    }
+  }
+}
+
+TEST(Advisory, ClimbRatesAreSymmetricWithDescend) {
+  EXPECT_DOUBLE_EQ(target_rate_fpm(Advisory::kClimb1500),
+                   -target_rate_fpm(Advisory::kDescend1500));
+  EXPECT_DOUBLE_EQ(target_rate_fpm(Advisory::kClimb2500),
+                   -target_rate_fpm(Advisory::kDescend2500));
+}
+
+}  // namespace
+}  // namespace cav::acasx

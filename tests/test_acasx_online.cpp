@@ -1,0 +1,194 @@
+// Online-logic tests: tau estimation geometry, advisory selection against
+// the solved table, coordination masking, and hysteresis.
+#include "acasx/online_logic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "acasx/offline_solver.h"
+#include "util/expect.h"
+#include "util/units.h"
+
+namespace cav::acasx {
+namespace {
+
+AircraftTrack track(double x, double y, double z, double vx, double vy, double vz) {
+  return {{x, y, z}, {vx, vy, vz}};
+}
+
+class OnlineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    table_ = new std::shared_ptr<const LogicTable>(
+        std::make_shared<const LogicTable>(solve_logic_table(AcasXuConfig::coarse())));
+  }
+  static void TearDownTestSuite() {
+    delete table_;
+    table_ = nullptr;
+  }
+  static std::shared_ptr<const LogicTable>* table_;
+};
+
+std::shared_ptr<const LogicTable>* OnlineTest::table_ = nullptr;
+
+TEST(TauEstimate, HeadOnClosure) {
+  // Intruder 2000 m ahead closing at 80 m/s.
+  const auto own = track(0, 0, 1000, 40, 0, 0);
+  const auto intr = track(2000, 0, 1000, -40, 0, 0);
+  const auto est = AcasXuLogic::estimate_tau(own, intr, {});
+  EXPECT_TRUE(est.converging);
+  EXPECT_NEAR(est.range_ft, units::m_to_ft(2000.0), 1e-6);
+  EXPECT_NEAR(est.closure_fps, units::m_to_ft(80.0), 1e-6);
+  // tau = (range - dmod) / closure.
+  const double expected = (units::m_to_ft(2000.0) - 500.0) / units::m_to_ft(80.0);
+  EXPECT_NEAR(est.tau_s, expected, 1e-6);
+}
+
+TEST(TauEstimate, DivergingIsNotConverging) {
+  const auto own = track(0, 0, 1000, 40, 0, 0);
+  const auto intr = track(2000, 0, 1000, 40, 0, 0);  // same velocity: no closure
+  EXPECT_FALSE(AcasXuLogic::estimate_tau(own, intr, {}).converging);
+  const auto receding = track(2000, 0, 1000, 80, 0, 0);
+  EXPECT_FALSE(AcasXuLogic::estimate_tau(own, receding, {}).converging);
+}
+
+TEST(TauEstimate, InsideDmodIsZero) {
+  const auto own = track(0, 0, 1000, 40, 0, 0);
+  const auto intr = track(100.0, 0, 1000, 39, 0, 0);  // 328 ft < dmod
+  const auto est = AcasXuLogic::estimate_tau(own, intr, {});
+  EXPECT_TRUE(est.converging);
+  EXPECT_DOUBLE_EQ(est.tau_s, 0.0);
+}
+
+TEST(TauEstimate, SlowClosureBlindSpot) {
+  // The structural weakness: 260 m apart, closing at only 0.2 m/s.
+  const auto own = track(0, 0, 1000, 25, 0, -2);
+  const auto intr = track(-260, 0, 990, 25.2, 0, 2);
+  const auto est = AcasXuLogic::estimate_tau(own, intr, {});
+  EXPECT_FALSE(est.converging) << "closure below min_closure must not predict conflict";
+}
+
+TEST(TauEstimate, CoincidentHorizontalPositions) {
+  const auto own = track(0, 0, 1000, 40, 0, 0);
+  const auto intr = track(0, 0, 1200, 40, 0, -5);
+  const auto est = AcasXuLogic::estimate_tau(own, intr, {});
+  EXPECT_TRUE(est.converging);
+  EXPECT_DOUBLE_EQ(est.tau_s, 0.0);
+}
+
+TEST(TauEstimate, CrossingGeometry) {
+  // Perpendicular crossing, both 1000 m from the crossing point at 40 m/s:
+  // range 1414 m, closure = |d/dt range| = 40 * sqrt(2).
+  const auto own = track(-1000, 0, 1000, 40, 0, 0);
+  const auto intr = track(0, -1000, 1000, 0, 40, 0);
+  const auto est = AcasXuLogic::estimate_tau(own, intr, {});
+  EXPECT_TRUE(est.converging);
+  EXPECT_NEAR(est.closure_fps, units::m_to_ft(40.0 * std::sqrt(2.0)), 1e-6);
+}
+
+TEST_F(OnlineTest, FarTrafficGetsCoc) {
+  AcasXuLogic logic(*table_);
+  const auto own = track(0, 0, 1000, 40, 0, 0);
+  const auto intr = track(20000, 0, 1000, -40, 0, 0);  // tau ~ 240 s
+  EXPECT_EQ(logic.decide(own, intr), Advisory::kCoc);
+  EXPECT_FALSE(logic.last_tau().converging && logic.last_tau().tau_s < 40.0);
+}
+
+TEST_F(OnlineTest, ImminentCoAltitudeThreatAlerts) {
+  AcasXuLogic logic(*table_);
+  const auto own = track(0, 0, 1000, 40, 0, 0);
+  const auto intr = track(1200, 0, 1000, -40, 0, 0);  // tau ~ 13 s, co-altitude
+  const Advisory a = logic.decide(own, intr);
+  EXPECT_NE(a, Advisory::kCoc);
+}
+
+TEST_F(OnlineTest, AdvisorySenseAwayFromIntruder) {
+  AcasXuLogic logic(*table_);
+  const auto own = track(0, 0, 1000, 40, 0, 0);
+  // Intruder converging and 60 m ABOVE, descending toward us.
+  const auto intr = track(1200, 0, 1060, -40, 0, -3);
+  const Advisory a = logic.decide(own, intr);
+  EXPECT_EQ(sense_of(a), Sense::kDescend) << "chose " << advisory_name(a);
+
+  logic.reset();
+  // Mirrored: intruder below, climbing toward us.
+  const auto intr2 = track(1200, 0, 940, -40, 0, 3);
+  const Advisory a2 = logic.decide(own, intr2);
+  EXPECT_EQ(sense_of(a2), Sense::kClimb) << "chose " << advisory_name(a2);
+}
+
+TEST_F(OnlineTest, CoordinationMaskForbidsSense) {
+  const auto own = track(0, 0, 1000, 40, 0, 0);
+  const auto intr = track(1200, 0, 1000, -40, 0, 0);
+
+  AcasXuLogic unconstrained(*table_);
+  const Advisory free_choice = unconstrained.decide(own, intr);
+  ASSERT_NE(free_choice, Advisory::kCoc);
+
+  AcasXuLogic constrained(*table_);
+  const Advisory forced = constrained.decide(own, intr, sense_of(free_choice));
+  EXPECT_NE(sense_of(forced), sense_of(free_choice))
+      << "coordination must forbid the intruder's announced sense";
+}
+
+TEST_F(OnlineTest, HysteresisKeepsAdvisoryThroughEncounter) {
+  AcasXuLogic logic(*table_);
+  // Fly the encounter forward: a reasonable logic alerts once and holds the
+  // sense (no chattering).
+  int sense_changes = 0;
+  Sense last = Sense::kNone;
+  for (double t = 0.0; t < 25.0; t += 1.0) {
+    const double x_int = 1400.0 - 80.0 * t;
+    if (x_int < 30.0) break;
+    const auto own = track(0, 0, 1000, 40, 0, 0);
+    const auto intr = track(x_int, 0, 1002, -40, 0, 0);
+    const Advisory a = logic.decide(own, intr);
+    const Sense s = sense_of(a);
+    if (s != Sense::kNone && last != Sense::kNone && s != last) ++sense_changes;
+    if (s != Sense::kNone) last = s;
+  }
+  EXPECT_EQ(sense_changes, 0) << "sense reversed mid-encounter without cause";
+  EXPECT_NE(last, Sense::kNone) << "never alerted at all";
+}
+
+TEST_F(OnlineTest, ResetClearsAdvisoryMemory) {
+  AcasXuLogic logic(*table_);
+  const auto own = track(0, 0, 1000, 40, 0, 0);
+  const auto intr = track(1200, 0, 1000, -40, 0, 0);
+  ASSERT_NE(logic.decide(own, intr), Advisory::kCoc);
+  logic.reset();
+  EXPECT_EQ(logic.current_advisory(), Advisory::kCoc);
+}
+
+TEST_F(OnlineTest, CocAfterThreatPasses) {
+  AcasXuLogic logic(*table_);
+  const auto own = track(0, 0, 1000, 40, 0, 0);
+  const auto intr = track(1200, 0, 1000, -40, 0, 0);
+  ASSERT_NE(logic.decide(own, intr), Advisory::kCoc);
+  // Intruder now behind and receding.
+  const auto past = track(-2000, 0, 1000, -40, 0, 0);
+  EXPECT_EQ(logic.decide(own, past), Advisory::kCoc);
+}
+
+TEST_F(OnlineTest, NullTableRejected) {
+  EXPECT_THROW(AcasXuLogic(nullptr), ContractViolation);
+}
+
+TEST_F(OnlineTest, LastCostsExposed) {
+  AcasXuLogic logic(*table_);
+  const auto own = track(0, 0, 1000, 40, 0, 0);
+  const auto intr = track(1200, 0, 1000, -40, 0, 0);
+  logic.decide(own, intr);
+  const auto& costs = logic.last_costs();
+  // Costs must differ across actions in a threat state.
+  bool all_equal = true;
+  for (std::size_t a = 1; a < kNumAdvisories; ++a) {
+    if (costs[a] != costs[0]) all_equal = false;
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+}  // namespace
+}  // namespace cav::acasx

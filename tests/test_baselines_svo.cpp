@@ -1,0 +1,180 @@
+#include "baselines/svo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/angles.h"
+
+namespace cav::baselines {
+namespace {
+
+acasx::AircraftTrack track(double x, double y, double z, double vx, double vy, double vz) {
+  return {{x, y, z}, {vx, vy, vz}};
+}
+
+TEST(SvoConflict, HeadOnPredicted) {
+  const SvoConfig config;
+  const auto c = SvoCas::predict_conflict(track(0, 0, 1000, 40, 0, 0),
+                                          track(2000, 0, 1000, -40, 0, 0), config);
+  EXPECT_TRUE(c.predicted);
+  EXPECT_NEAR(c.t_cpa_s, 25.0, 1e-6);
+  EXPECT_NEAR(c.miss_horizontal_m, 0.0, 1e-6);
+}
+
+TEST(SvoConflict, LateralMissOutsideProtectedZone) {
+  const SvoConfig config;  // protected radius 150 m
+  const auto c = SvoCas::predict_conflict(track(0, 0, 1000, 40, 0, 0),
+                                          track(2000, 200, 1000, -40, 0, 0), config);
+  EXPECT_FALSE(c.predicted);
+  EXPECT_NEAR(c.miss_horizontal_m, 200.0, 1e-6);
+}
+
+TEST(SvoConflict, VerticalMissOutsideProtectedZone) {
+  const SvoConfig config;  // protected half-height 60 m
+  const auto c = SvoCas::predict_conflict(track(0, 0, 1000, 40, 0, 0),
+                                          track(2000, 0, 1100, -40, 0, 0), config);
+  EXPECT_FALSE(c.predicted);
+  EXPECT_NEAR(c.miss_vertical_m, 100.0, 1e-6);
+}
+
+TEST(SvoConflict, SignedVerticalMiss) {
+  const SvoConfig config;
+  const auto above = SvoCas::predict_conflict(track(0, 0, 1000, 40, 0, 0),
+                                              track(2000, 0, 1040, -40, 0, 0), config);
+  EXPECT_GT(above.miss_vertical_m, 0.0);
+  const auto below = SvoCas::predict_conflict(track(0, 0, 1000, 40, 0, 0),
+                                              track(2000, 0, 960, -40, 0, 0), config);
+  EXPECT_LT(below.miss_vertical_m, 0.0);
+}
+
+TEST(SvoConflict, BeyondLookaheadIgnored) {
+  SvoConfig config;
+  config.lookahead_s = 10.0;
+  // CPA at 25 s: clamped to 10 s, where separation is still large.
+  const auto c = SvoCas::predict_conflict(track(0, 0, 1000, 40, 0, 0),
+                                          track(2000, 0, 1000, -40, 0, 0), config);
+  EXPECT_FALSE(c.predicted);
+}
+
+TEST(SvoConflict, NoRelativeMotionInsideZone) {
+  const SvoConfig config;
+  const auto c = SvoCas::predict_conflict(track(0, 0, 1000, 40, 0, 0),
+                                          track(100, 0, 1010, 40, 0, 0), config);
+  EXPECT_TRUE(c.predicted);
+  EXPECT_DOUBLE_EQ(c.t_cpa_s, 0.0);
+}
+
+TEST(SvoRightOfWay, HeadOnBothGiveWay) {
+  const SvoConfig config;
+  EXPECT_TRUE(SvoCas::must_give_way(track(0, 0, 1000, 40, 0, 0),
+                                    track(2000, 0, 1000, -40, 0, 0), config));
+}
+
+TEST(SvoRightOfWay, OvertakerGivesWay) {
+  const SvoConfig config;
+  // Own faster, intruder ahead on the same course.
+  EXPECT_TRUE(SvoCas::must_give_way(track(0, 0, 1000, 40, 0, 0),
+                                    track(500, 0, 1000, 25, 0, 0), config));
+  // The slower aircraft being overtaken stands on (intruder behind).
+  EXPECT_FALSE(SvoCas::must_give_way(track(500, 0, 1000, 25, 0, 0),
+                                     track(0, 0, 1000, 40, 0, 0), config));
+}
+
+TEST(SvoRightOfWay, IntruderOnRightGivesWay) {
+  const SvoConfig config;
+  // Own flying +x; intruder to the south (negative y = to the right),
+  // crossing northbound.
+  EXPECT_TRUE(SvoCas::must_give_way(track(0, 0, 1000, 40, 0, 0),
+                                    track(800, -800, 1000, 0, 40, 0), config));
+  // Intruder to the left crossing southbound: own stands on.
+  EXPECT_FALSE(SvoCas::must_give_way(track(0, 0, 1000, 40, 0, 0),
+                                     track(800, 800, 1000, 0, -40, 0), config));
+}
+
+TEST(SvoDecide, ManeuversOnConflictWhenResponsible) {
+  SvoCas svo;
+  const auto d = svo.decide(track(0, 0, 1000, 40, 0, 0), track(2000, 0, 1000, -40, 0, 0),
+                            acasx::Sense::kNone);
+  EXPECT_TRUE(d.maneuver);
+  EXPECT_NE(d.sense, acasx::Sense::kNone);
+  EXPECT_NE(d.target_vs_mps, 0.0);
+}
+
+TEST(SvoDecide, StandOnAircraftDoesNotManeuver) {
+  SvoCas svo;
+  // Intruder crossing from the left: own has right of way.
+  const auto d = svo.decide(track(0, 0, 1000, 40, 0, 0), track(800, 800, 1000, 0, -40, 0),
+                            acasx::Sense::kNone);
+  EXPECT_FALSE(d.maneuver);
+}
+
+TEST(SvoDecide, ResolutionRestoresProtectedVolume) {
+  SvoCas svo;
+  const auto own = track(0, 0, 1000, 40, 0, 0);
+  const auto intr = track(2000, 0, 1010, -40, 0, 0);
+  const auto d = svo.decide(own, intr, acasx::Sense::kNone);
+  ASSERT_TRUE(d.maneuver);
+  // Apply the commanded rate and re-predict: the conflict must be resolved.
+  auto own_after = own;
+  own_after.velocity_mps.z = d.target_vs_mps;
+  const auto c = SvoCas::predict_conflict(own_after, intr, SvoConfig{});
+  EXPECT_FALSE(c.predicted) << "commanded rate must clear the protected volume";
+}
+
+TEST(SvoDecide, PrefersGeometricallyFavoredSense) {
+  SvoCas svo;
+  // Intruder will pass slightly above: descending (away) is favored.
+  const auto d = svo.decide(track(0, 0, 1000, 40, 0, 0), track(2000, 0, 1030, -40, 0, 0),
+                            acasx::Sense::kNone);
+  ASSERT_TRUE(d.maneuver);
+  EXPECT_EQ(d.sense, acasx::Sense::kDescend);
+}
+
+TEST(SvoDecide, CoordinationForbidsSense) {
+  const auto own = track(0, 0, 1000, 40, 0, 0);
+  const auto intr = track(2000, 0, 1030, -40, 0, 0);
+  SvoCas free_svo;
+  const auto preferred = free_svo.decide(own, intr, acasx::Sense::kNone);
+  ASSERT_TRUE(preferred.maneuver);
+  SvoCas constrained;
+  const auto forced = constrained.decide(own, intr, preferred.sense);
+  ASSERT_TRUE(forced.maneuver);
+  EXPECT_NE(forced.sense, preferred.sense);
+}
+
+TEST(SvoDecide, HysteresisThenClear) {
+  SvoConfig config;
+  config.clear_hysteresis_s = 2.0;
+  SvoCas svo(config);
+  const auto own = track(0, 0, 1000, 40, 0, 0);
+  ASSERT_TRUE(svo.decide(own, track(2000, 0, 1000, -40, 0, 0), acasx::Sense::kNone).maneuver);
+  int cycles = 0;
+  for (int i = 0; i < 10; ++i) {
+    ++cycles;
+    if (!svo.decide(own, track(-5000, 0, 1000, -40, 0, 0), acasx::Sense::kNone).maneuver) break;
+  }
+  EXPECT_LE(cycles, 4);
+}
+
+TEST(SvoDecide, CommandedRateRespectsCaps) {
+  SvoConfig config;
+  config.max_rate_mps = 2.0;
+  SvoCas svo(config);
+  // Late, severe conflict wanting a big rate: must clamp to 2 m/s.
+  const auto d = svo.decide(track(0, 0, 1000, 40, 0, 0), track(400, 0, 1005, -40, 0, 0),
+                            acasx::Sense::kNone);
+  ASSERT_TRUE(d.maneuver);
+  EXPECT_LE(std::abs(d.target_vs_mps), 2.0 + 1e-9);
+}
+
+TEST(SvoDecide, ResetClearsAvoidanceState) {
+  SvoCas svo;
+  const auto own = track(0, 0, 1000, 40, 0, 0);
+  ASSERT_TRUE(svo.decide(own, track(2000, 0, 1000, -40, 0, 0), acasx::Sense::kNone).maneuver);
+  svo.reset();
+  EXPECT_FALSE(svo.decide(own, track(20000, 0, 1000, -40, 0, 0), acasx::Sense::kNone).maneuver);
+}
+
+}  // namespace
+}  // namespace cav::baselines

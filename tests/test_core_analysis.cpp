@@ -1,0 +1,145 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "util/angles.h"
+#include "util/expect.h"
+#include "util/rng.h"
+
+namespace cav::core {
+namespace {
+
+TEST(Classify, CanonicalGeometries) {
+  EXPECT_EQ(classify(encounter::head_on()), EncounterClass::kHeadOn);
+  EXPECT_EQ(classify(encounter::tail_approach()), EncounterClass::kTailApproach);
+  EXPECT_EQ(classify(encounter::crossing()), EncounterClass::kCrossing);
+}
+
+TEST(Classify, OvertakeWithoutVerticalCrossing) {
+  encounter::EncounterParams p = encounter::tail_approach();
+  p.vs_own_mps = 0.0;  // both near-level: overtake, not the tail-approach trap
+  p.vs_int_mps = 0.0;
+  EXPECT_EQ(classify(p), EncounterClass::kOvertake);
+}
+
+TEST(Classify, SameSenseVerticalIsOvertake) {
+  encounter::EncounterParams p = encounter::tail_approach();
+  p.vs_own_mps = 2.0;  // both climbing
+  p.vs_int_mps = 2.0;
+  EXPECT_EQ(classify(p), EncounterClass::kOvertake);
+}
+
+TEST(Classify, FastSameCourseIsNotTailApproach) {
+  encounter::EncounterParams p = encounter::tail_approach();
+  p.gs_int_mps = 55.0;  // 30 m/s closure: fast overtake, tau logic works
+  EXPECT_NE(classify(p), EncounterClass::kTailApproach);
+}
+
+TEST(Classify, NearReciprocalCoursesAreHeadOn) {
+  encounter::EncounterParams p = encounter::head_on();
+  p.theta_int_rad = kPi - 0.2;
+  EXPECT_EQ(classify(p), EncounterClass::kHeadOn);
+  p.theta_int_rad = -kPi + 0.2;
+  EXPECT_EQ(classify(p), EncounterClass::kHeadOn);
+}
+
+TEST(Classify, ClassNamesDistinct) {
+  std::set<std::string> names;
+  for (const auto c : {EncounterClass::kHeadOn, EncounterClass::kTailApproach,
+                       EncounterClass::kOvertake, EncounterClass::kCrossing,
+                       EncounterClass::kOther}) {
+    names.insert(encounter_class_name(c));
+  }
+  EXPECT_EQ(names.size(), 5U);
+}
+
+TEST(Describe, MentionsClassAndNumbers) {
+  const std::string d = describe(encounter::tail_approach());
+  EXPECT_NE(d.find("tail-approach"), std::string::npos);
+  EXPECT_NE(d.find("closure"), std::string::npos);
+  EXPECT_NE(d.find("CPA"), std::string::npos);
+}
+
+class KmeansTest : public ::testing::Test {
+ protected:
+  /// Two well-separated groups in parameter space: slow tail geometries and
+  /// fast head-on geometries.
+  std::vector<encounter::EncounterParams> two_groups() const {
+    std::vector<encounter::EncounterParams> points;
+    RngStream rng(3);
+    for (int i = 0; i < 30; ++i) {
+      encounter::EncounterParams p = encounter::tail_approach();
+      p.t_cpa_s += rng.uniform(-2.0, 2.0);
+      p.vs_own_mps += rng.uniform(-0.2, 0.2);
+      points.push_back(p);
+    }
+    for (int i = 0; i < 20; ++i) {
+      encounter::EncounterParams p = encounter::head_on();
+      p.t_cpa_s += rng.uniform(-2.0, 2.0);
+      p.gs_own_mps += rng.uniform(-1.0, 1.0);
+      points.push_back(p);
+    }
+    return points;
+  }
+  encounter::ParamRanges ranges_;
+};
+
+TEST_F(KmeansTest, SeparatesObviousClusters) {
+  const auto points = two_groups();
+  const auto result = kmeans(points, ranges_, 2, 1);
+  ASSERT_EQ(result.cluster_sizes.size(), 2U);
+  // One cluster of 30, one of 20 (order free).
+  const auto sizes = result.cluster_sizes;
+  EXPECT_TRUE((sizes[0] == 30 && sizes[1] == 20) || (sizes[0] == 20 && sizes[1] == 30));
+  // All tail points share a cluster.
+  for (int i = 1; i < 30; ++i) EXPECT_EQ(result.assignment[0], result.assignment[i]);
+  for (int i = 31; i < 50; ++i) EXPECT_EQ(result.assignment[30], result.assignment[i]);
+  EXPECT_NE(result.assignment[0], result.assignment[30]);
+}
+
+TEST_F(KmeansTest, SingleClusterCentroidIsMean) {
+  const auto points = two_groups();
+  const auto result = kmeans(points, ranges_, 1, 1);
+  EXPECT_EQ(result.cluster_sizes[0], points.size());
+  EXPECT_GT(result.inertia, 0.0);
+}
+
+TEST_F(KmeansTest, MoreClustersNeverIncreaseInertia) {
+  const auto points = two_groups();
+  const double inertia1 = kmeans(points, ranges_, 1, 1).inertia;
+  const double inertia2 = kmeans(points, ranges_, 2, 1).inertia;
+  const double inertia4 = kmeans(points, ranges_, 4, 1).inertia;
+  EXPECT_LE(inertia2, inertia1 + 1e-9);
+  EXPECT_LE(inertia4, inertia2 + 1e-9);
+}
+
+TEST_F(KmeansTest, DeterministicPerSeed) {
+  const auto points = two_groups();
+  const auto a = kmeans(points, ranges_, 3, 7);
+  const auto b = kmeans(points, ranges_, 3, 7);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST_F(KmeansTest, RejectsTooFewPoints) {
+  std::vector<encounter::EncounterParams> two{encounter::head_on(), encounter::crossing()};
+  EXPECT_THROW(kmeans(two, ranges_, 3, 1), ContractViolation);
+  EXPECT_THROW(kmeans({}, ranges_, 1, 1), ContractViolation);
+}
+
+TEST_F(KmeansTest, AssignmentsIndexValidClusters) {
+  const auto points = two_groups();
+  const auto result = kmeans(points, ranges_, 5, 2);
+  for (const std::size_t a : result.assignment) {
+    EXPECT_LT(a, 5U);
+  }
+  std::size_t total = 0;
+  for (const std::size_t s : result.cluster_sizes) total += s;
+  EXPECT_EQ(total, points.size());
+}
+
+}  // namespace
+}  // namespace cav::core

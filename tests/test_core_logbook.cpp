@@ -1,0 +1,139 @@
+// Logbook tests: CSV round trip, filtering, class histograms, and the
+// §VIII "areas of the search space" region mining.
+#include "core/logbook.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace cav::core {
+namespace {
+
+LogEntry entry(std::size_t index, std::size_t generation,
+               const encounter::EncounterParams& params, double fitness) {
+  LogEntry e;
+  e.evaluation_index = index;
+  e.generation = generation;
+  e.params = params;
+  e.fitness = fitness;
+  e.nmac_rate = fitness / 10000.0;
+  e.alert_fraction = 1.0 - fitness / 10000.0;
+  return e;
+}
+
+Logbook mixed_logbook() {
+  Logbook logbook;
+  RngStream rng(5);
+  // Generation 0: mostly benign crossings; generation 1: tail approaches.
+  for (std::size_t i = 0; i < 20; ++i) {
+    encounter::EncounterParams p = encounter::crossing();
+    p.t_cpa_s += rng.uniform(-5.0, 5.0);
+    logbook.add(entry(i, 0, p, rng.uniform(50.0, 300.0)));
+  }
+  for (std::size_t i = 20; i < 35; ++i) {
+    encounter::EncounterParams p = encounter::tail_approach();
+    p.t_cpa_s += rng.uniform(-5.0, 5.0);
+    p.vs_int_mps += rng.uniform(-0.3, 0.3);
+    logbook.add(entry(i, 1, p, rng.uniform(8000.0, 10000.0)));
+  }
+  return logbook;
+}
+
+TEST(Logbook, AboveThresholdFilters) {
+  const Logbook logbook = mixed_logbook();
+  EXPECT_EQ(logbook.size(), 35U);
+  EXPECT_EQ(logbook.above(5000.0).size(), 15U);
+  EXPECT_EQ(logbook.above(20000.0).size(), 0U);
+  EXPECT_EQ(logbook.above(0.0).size(), 35U);
+}
+
+TEST(Logbook, CsvRoundTrip) {
+  const Logbook logbook = mixed_logbook();
+  const std::string path = ::testing::TempDir() + "/cav_logbook_test.csv";
+  logbook.save_csv(path);
+  const Logbook loaded = Logbook::load_csv(path);
+  ASSERT_EQ(loaded.size(), logbook.size());
+  for (std::size_t i = 0; i < logbook.size(); ++i) {
+    const auto& a = logbook.entries()[i];
+    const auto& b = loaded.entries()[i];
+    EXPECT_EQ(a.evaluation_index, b.evaluation_index);
+    EXPECT_EQ(a.generation, b.generation);
+    EXPECT_NEAR(a.fitness, b.fitness, 1e-6);
+    const auto pa = a.params.to_array();
+    const auto pb = b.params.to_array();
+    for (std::size_t d = 0; d < pa.size(); ++d) {
+      EXPECT_NEAR(pa[d], pb[d], 1e-6);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Logbook, LoadRejectsMissingAndMalformed) {
+  EXPECT_THROW(Logbook::load_csv("/nonexistent/logbook.csv"), std::runtime_error);
+  const std::string path = ::testing::TempDir() + "/cav_logbook_bad.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("header\n1,2,3\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(Logbook::load_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Logbook, ClassHistogramOverall) {
+  const Logbook logbook = mixed_logbook();
+  const auto histogram = class_histogram(logbook);
+  EXPECT_EQ(histogram.at(EncounterClass::kCrossing), 20U);
+  EXPECT_EQ(histogram.at(EncounterClass::kTailApproach), 15U);
+}
+
+TEST(Logbook, ClassHistogramPerGeneration) {
+  const Logbook logbook = mixed_logbook();
+  const auto gen0 = class_histogram(logbook, 0);
+  EXPECT_EQ(gen0.at(EncounterClass::kCrossing), 20U);
+  EXPECT_EQ(gen0.count(EncounterClass::kTailApproach), 0U);
+  const auto gen1 = class_histogram(logbook, 1);
+  EXPECT_EQ(gen1.at(EncounterClass::kTailApproach), 15U);
+}
+
+TEST(Logbook, FindRegionsIsolatesHighFitnessArea) {
+  const Logbook logbook = mixed_logbook();
+  const encounter::ParamRanges ranges;
+  const auto regions = find_regions(logbook, 5000.0, 1, ranges);
+  ASSERT_EQ(regions.size(), 1U);
+  EXPECT_EQ(regions[0].members, 15U);
+  EXPECT_EQ(regions[0].dominant_class, EncounterClass::kTailApproach);
+  EXPECT_GT(regions[0].mean_fitness, 8000.0);
+  // The bounding box must cover the tail-approach CPA times (40-50 s).
+  EXPECT_LE(regions[0].lo[2], 41.0);
+  EXPECT_GE(regions[0].hi[2], 49.0);
+}
+
+TEST(Logbook, FindRegionsHandlesUnderfilledClusters) {
+  const Logbook logbook = mixed_logbook();
+  const encounter::ParamRanges ranges;
+  // More clusters than distinct areas: empty ones must be dropped, member
+  // counts must sum to the survivor count.
+  const auto regions = find_regions(logbook, 5000.0, 4, ranges);
+  std::size_t total = 0;
+  for (const auto& r : regions) total += r.members;
+  EXPECT_EQ(total, 15U);
+  // Requesting more clusters than points yields nothing.
+  EXPECT_TRUE(find_regions(logbook, 9999.9, 16, ranges).empty());
+}
+
+TEST(Logbook, DescribeRegionMentionsBoundsAndClass) {
+  const Logbook logbook = mixed_logbook();
+  const encounter::ParamRanges ranges;
+  const auto regions = find_regions(logbook, 5000.0, 1, ranges);
+  ASSERT_FALSE(regions.empty());
+  const std::string text = describe_region(regions[0]);
+  EXPECT_NE(text.find("tail-approach"), std::string::npos);
+  EXPECT_NE(text.find("t_cpa_s"), std::string::npos);
+  EXPECT_NE(text.find("gs_own_mps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cav::core

@@ -1,0 +1,133 @@
+// Scenario-search integration tests with a scaled-down budget: the GA glue
+// (genome <-> encounter params), telemetry, top-list deduplication, and the
+// improvement property on the real simulation fitness.
+#include "core/scenario_search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "acasx/offline_solver.h"
+#include "core/analysis.h"
+#include "sim/acasx_cas.h"
+
+namespace cav::core {
+namespace {
+
+class SearchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    table_ = new std::shared_ptr<const acasx::LogicTable>(std::make_shared<const acasx::LogicTable>(
+        acasx::solve_logic_table(acasx::AcasXuConfig::coarse())));
+    pool_ = new ThreadPool();
+  }
+  static void TearDownTestSuite() {
+    delete pool_;
+    delete table_;
+    pool_ = nullptr;
+    table_ = nullptr;
+  }
+
+  static ScenarioSearchConfig small_search(std::uint64_t seed = 1) {
+    ScenarioSearchConfig config;
+    config.ga.population_size = 16;
+    config.ga.generations = 4;
+    config.ga.seed = seed;
+    config.fitness.runs_per_encounter = 10;
+    config.keep_top = 5;
+    return config;
+  }
+  static sim::CasFactory acas() { return sim::AcasXuCas::factory(*table_); }
+
+  static std::shared_ptr<const acasx::LogicTable>* table_;
+  static ThreadPool* pool_;
+};
+
+std::shared_ptr<const acasx::LogicTable>* SearchTest::table_ = nullptr;
+ThreadPool* SearchTest::pool_ = nullptr;
+
+TEST(GenomeSpecMapping, BoundsMatchRanges) {
+  const encounter::ParamRanges ranges;
+  const ga::GenomeSpec spec = make_genome_spec(ranges);
+  ASSERT_EQ(spec.size(), encounter::kNumParams);
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    EXPECT_DOUBLE_EQ(spec.bound(i).lo, ranges.lo[i]);
+    EXPECT_DOUBLE_EQ(spec.bound(i).hi, ranges.hi[i]);
+  }
+}
+
+TEST_F(SearchTest, FindsChallengingScenarios) {
+  const auto result = search_challenging_scenarios(small_search(), acas(), acas(), pool_);
+  ASSERT_FALSE(result.top.empty());
+  // With tail-approach blind spots in range, a short search already finds
+  // high-fitness encounters.
+  EXPECT_GT(result.best_fitness(), 0.0);
+}
+
+TEST_F(SearchTest, BestIsAtLeastInitialGenerationMax) {
+  const auto result = search_challenging_scenarios(small_search(), acas(), acas(), pool_);
+  EXPECT_GE(result.ga.best.fitness, result.ga.generations.front().max_fitness - 1e-9);
+}
+
+TEST_F(SearchTest, TelemetryCoversBudget) {
+  const auto config = small_search();
+  const auto result = search_challenging_scenarios(config, acas(), acas(), pool_);
+  EXPECT_EQ(result.ga.generations.size(), config.ga.generations);
+  EXPECT_EQ(result.ga.fitness_by_evaluation.size(), result.ga.total_evaluations);
+  EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST_F(SearchTest, TopListIsSortedAndDeduplicated) {
+  const auto config = small_search();
+  const auto result = search_challenging_scenarios(config, acas(), acas(), pool_);
+  ASSERT_LE(result.top.size(), config.keep_top);
+  for (std::size_t i = 1; i < result.top.size(); ++i) {
+    EXPECT_GE(result.top[i - 1].fitness, result.top[i].fitness);
+  }
+  // Deduplication: no two entries nearly identical in every parameter.
+  for (std::size_t i = 0; i < result.top.size(); ++i) {
+    for (std::size_t j = i + 1; j < result.top.size(); ++j) {
+      const auto a = result.top[i].params.to_array();
+      const auto b = result.top[j].params.to_array();
+      bool all_close = true;
+      for (std::size_t k = 0; k < a.size(); ++k) {
+        const double scale = config.ranges.hi[k] - config.ranges.lo[k];
+        if (std::abs(a[k] - b[k]) > 0.05 * scale) all_close = false;
+      }
+      EXPECT_FALSE(all_close) << "entries " << i << " and " << j << " are duplicates";
+    }
+  }
+}
+
+TEST_F(SearchTest, TopScenariosHaveReEvaluatedDetail) {
+  const auto result = search_challenging_scenarios(small_search(), acas(), acas(), pool_);
+  for (const auto& found : result.top) {
+    EXPECT_EQ(found.detail.runs, 10U);
+    EXPECT_GE(found.detail.fitness, 0.0);
+  }
+}
+
+TEST_F(SearchTest, DeterministicPerSeed) {
+  const auto a = search_challenging_scenarios(small_search(3), acas(), acas(), pool_);
+  const auto b = search_challenging_scenarios(small_search(3), acas(), acas(), pool_);
+  EXPECT_EQ(a.ga.fitness_by_evaluation, b.ga.fitness_by_evaluation);
+  EXPECT_EQ(a.ga.best.genome, b.ga.best.genome);
+}
+
+TEST_F(SearchTest, RandomSearchUsesSameBudget) {
+  const auto config = small_search();
+  const auto result = random_search_scenarios(config, acas(), acas(), pool_);
+  EXPECT_EQ(result.ga.total_evaluations, config.ga.population_size * config.ga.generations);
+  EXPECT_LE(result.top.size(), config.keep_top);
+}
+
+TEST_F(SearchTest, GenerationCallbackStreamsProgress) {
+  std::size_t calls = 0;
+  search_challenging_scenarios(small_search(), acas(), acas(), pool_,
+                               [&calls](const ga::GenerationStats&) { ++calls; });
+  EXPECT_EQ(calls, small_search().ga.generations);
+}
+
+}  // namespace
+}  // namespace cav::core

@@ -1,0 +1,157 @@
+// Encounter-encoding tests.  The central property (the paper's equations
+// (1)-(3)): reconstructing initial states from the 9 CPA-relative
+// parameters and flying both aircraft straight (no noise, no avoidance)
+// must bring them to the encoded miss distance at the encoded time.
+#include "encounter/encounter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulation.h"
+#include "util/angles.h"
+#include "util/expect.h"
+
+namespace cav::encounter {
+namespace {
+
+TEST(EncounterParams, ArrayRoundTrip) {
+  EncounterParams p = tail_approach();
+  const auto a = p.to_array();
+  const EncounterParams q = EncounterParams::from_array(a);
+  EXPECT_EQ(q.to_array(), a);
+}
+
+TEST(EncounterParams, NamesAlignWithArray) {
+  const auto names = param_names();
+  EXPECT_EQ(names.size(), kNumParams);
+  EXPECT_EQ(names[0], "gs_own_mps");
+  EXPECT_EQ(names[2], "t_cpa_s");
+  EXPECT_EQ(names[8], "vs_int_mps");
+}
+
+TEST(ParamRanges, ContainsAndClamp) {
+  const ParamRanges ranges;
+  auto x = head_on().to_array();
+  EXPECT_TRUE(ranges.contains(x));
+  x[0] = 1000.0;  // ground speed far out of range
+  EXPECT_FALSE(ranges.contains(x));
+  const auto clamped = ranges.clamp(x);
+  EXPECT_TRUE(ranges.contains(clamped));
+  EXPECT_DOUBLE_EQ(clamped[0], ranges.hi[0]);
+}
+
+TEST(ParamRanges, UniformSamplesStayInside) {
+  const ParamRanges ranges;
+  RngStream rng(5);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(ranges.contains(ranges.sample_uniform(rng).to_array()));
+  }
+}
+
+TEST(Generate, OwnShipStartsAtReference) {
+  const OwnshipReference ref;
+  const InitialStates init = generate_initial_states(head_on(), ref);
+  EXPECT_EQ(init.own.position_m, ref.position_m);
+  EXPECT_DOUBLE_EQ(init.own.bearing_rad, ref.bearing_rad);
+}
+
+TEST(Generate, HeadOnGeometryIsSymmetric) {
+  const InitialStates init = generate_initial_states(head_on());
+  // Own flies +x at 40; intruder starts 3200 m ahead flying -x at 40.
+  EXPECT_NEAR(init.intruder.position_m.x, 40.0 * 40.0 + 40.0 * 40.0, 1e-9);
+  EXPECT_NEAR(init.intruder.position_m.y, 0.0, 1e-9);
+  EXPECT_NEAR(init.intruder.position_m.z, init.own.position_m.z, 1e-9);
+  EXPECT_NEAR(init.intruder.velocity_mps().x, -40.0, 1e-9);
+}
+
+TEST(Generate, RejectsNonPositiveTime) {
+  EncounterParams p = head_on();
+  p.t_cpa_s = 0.0;
+  EXPECT_THROW(generate_initial_states(p), ContractViolation);
+}
+
+/// The round-trip property, swept across the parameter space.
+class CpaRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpaRoundTripTest, StraightFlightReachesEncodedCpa) {
+  RngStream rng(static_cast<std::uint64_t>(GetParam()));
+  const ParamRanges ranges;
+  const EncounterParams params = ranges.sample_uniform(rng);
+  const InitialStates init = generate_initial_states(params);
+
+  // Propagate both trajectories analytically to t_cpa.
+  const Vec3 own_cpa = init.own.position_m + init.own.velocity_mps() * params.t_cpa_s;
+  const Vec3 int_cpa = init.intruder.position_m + init.intruder.velocity_mps() * params.t_cpa_s;
+  const Vec3 offset = int_cpa - own_cpa;
+
+  EXPECT_NEAR(std::hypot(offset.x, offset.y), params.r_cpa_m, 1e-6);
+  EXPECT_NEAR(offset.z, params.y_cpa_m, 1e-6);
+  if (params.r_cpa_m > 1.0) {
+    EXPECT_NEAR(wrap_pi(std::atan2(offset.y, offset.x) - params.theta_cpa_rad), 0.0, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomParams, CpaRoundTripTest, ::testing::Range(1, 26));
+
+TEST(Generate, SimulatedFlightMatchesAnalyticCpa) {
+  // Integrate with the actual simulator (no noise, unequipped) and compare
+  // against the analytic CPA of the two straight-line trajectories.
+  //
+  // Note a real property of the paper's encoding: the parameters place the
+  // intruder at offset (R, theta, Y) at time T, but when R > 0 that offset
+  // need not be perpendicular to the relative velocity, so the *true* CPA
+  // can be slightly closer than hypot(R, Y) and slightly off T.
+  EncounterParams params = crossing();
+  params.r_cpa_m = 80.0;
+  params.y_cpa_m = 20.0;
+  const InitialStates init = generate_initial_states(params);
+
+  // Analytic straight-line CPA.
+  const Vec3 d0 = init.intruder.position_m - init.own.position_m;
+  const Vec3 dv = init.intruder.velocity_mps() - init.own.velocity_mps();
+  const double t_star = -d0.dot(dv) / dv.norm_sq();
+  const double analytic_miss = (d0 + dv * t_star).norm();
+
+  sim::SimConfig config;
+  config.disturbance = sim::DisturbanceConfig::none();
+  config.adsb = sim::AdsbConfig::perfect();
+  config.max_time_s = params.t_cpa_s + 30.0;
+
+  sim::AgentSetup own;
+  own.initial_state = init.own;
+  sim::AgentSetup intruder;
+  intruder.initial_state = init.intruder;
+  const auto result = sim::run_encounter(config, std::move(own), std::move(intruder), 1);
+
+  EXPECT_NEAR(result.proximity.min_distance_m, analytic_miss, 1.0);
+  EXPECT_NEAR(result.proximity.time_of_min_distance_s, t_star, 1.0);
+  // The encoded miss is an upper bound on the true CPA distance.
+  EXPECT_LE(result.proximity.min_distance_m, std::hypot(80.0, 20.0) + 1.0);
+}
+
+TEST(Canonical, HeadOnIsCollisionCourse) {
+  const EncounterParams p = head_on();
+  EXPECT_DOUBLE_EQ(p.r_cpa_m, 0.0);
+  EXPECT_DOUBLE_EQ(p.y_cpa_m, 0.0);
+  EXPECT_NEAR(std::abs(wrap_pi(p.theta_int_rad)), kPi, 1e-9);
+}
+
+TEST(Canonical, TailApproachHasSlowClosureAndOppositeVerticalSenses) {
+  const EncounterParams p = tail_approach();
+  const double rvx = p.gs_int_mps * std::cos(p.theta_int_rad) - p.gs_own_mps;
+  const double rvy = p.gs_int_mps * std::sin(p.theta_int_rad);
+  EXPECT_LT(std::hypot(rvx, rvy), 10.0) << "closure must be slow";
+  EXPECT_LT(p.vs_own_mps * p.vs_int_mps, 0.0) << "one climbs, one descends";
+}
+
+TEST(Canonical, AllWithinDefaultRanges) {
+  const ParamRanges ranges;
+  EXPECT_TRUE(ranges.contains(head_on().to_array()));
+  EXPECT_TRUE(ranges.contains(tail_approach().to_array()));
+  EXPECT_TRUE(ranges.contains(crossing().to_array()));
+  EXPECT_TRUE(ranges.contains(descending_intruder().to_array()));
+}
+
+}  // namespace
+}  // namespace cav::encounter

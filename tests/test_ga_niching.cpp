@@ -1,0 +1,106 @@
+// Fitness-sharing (niching) tests: on a symmetric two-peak landscape the
+// plain GA collapses onto one peak while the niched GA keeps both
+// populated — the mechanism behind searching for *areas* of challenging
+// scenarios instead of a single worst point (§VIII).
+#include "ga/ga.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cav::ga {
+namespace {
+
+/// Two equal peaks at x = 0.2 and x = 0.8 (1-D), value 1 at each apex.
+double two_peaks(const Genome& g) {
+  const double x = g[0];
+  const double p1 = std::exp(-std::pow((x - 0.2) / 0.05, 2.0));
+  const double p2 = std::exp(-std::pow((x - 0.8) / 0.05, 2.0));
+  return std::max(p1, p2);
+}
+
+/// Count final individuals near each peak.
+std::pair<int, int> peak_census(const std::vector<Individual>& population) {
+  int near1 = 0;
+  int near2 = 0;
+  for (const auto& ind : population) {
+    if (std::abs(ind.genome[0] - 0.2) < 0.1) ++near1;
+    if (std::abs(ind.genome[0] - 0.8) < 0.1) ++near2;
+  }
+  return {near1, near2};
+}
+
+GaConfig base_config(std::uint64_t seed) {
+  GaConfig config;
+  config.population_size = 60;
+  config.generations = 25;
+  config.seed = seed;
+  // Low mutation keeps the collapse/spread contrast sharp.
+  config.mutation.gene_probability = 0.2;
+  config.mutation.gaussian_sigma_frac = 0.03;
+  config.mutation.reset_probability = 0.0;
+  return config;
+}
+
+TEST(Niching, KeepsBothPeaksPopulated) {
+  const GenomeSpec spec({{0.0, 1.0}});
+  const auto fitness = [](const Genome& g, std::uint64_t) { return two_peaks(g); };
+
+  int niched_both = 0;
+  int plain_both = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    GaConfig plain = base_config(seed);
+    const auto plain_result = run_ga(spec, fitness, plain);
+    const auto [p1, p2] = peak_census(plain_result.final_population);
+
+    GaConfig niched = base_config(seed);
+    niched.niching.enabled = true;
+    niched.niching.share_radius = 0.2;
+    const auto niched_result = run_ga(spec, fitness, niched);
+    const auto [n1, n2] = peak_census(niched_result.final_population);
+
+    if (p1 >= 5 && p2 >= 5) ++plain_both;
+    if (n1 >= 5 && n2 >= 5) ++niched_both;
+  }
+  // Niching must retain both peaks at least as often as the plain GA, and
+  // must do so in the majority of seeds.
+  EXPECT_GE(niched_both, plain_both);
+  EXPECT_GE(niched_both, 3);
+}
+
+TEST(Niching, DoesNotHurtPeakQuality) {
+  const GenomeSpec spec({{0.0, 1.0}});
+  const auto fitness = [](const Genome& g, std::uint64_t) { return two_peaks(g); };
+  GaConfig config = base_config(3);
+  config.niching.enabled = true;
+  const auto result = run_ga(spec, fitness, config);
+  EXPECT_GT(result.best.fitness, 0.95) << "niching must still climb the peaks";
+}
+
+TEST(Niching, DisabledMatchesPlainGaExactly) {
+  const GenomeSpec spec({{0.0, 1.0}, {0.0, 1.0}});
+  const auto fitness = [](const Genome& g, std::uint64_t) { return g[0] + g[1]; };
+  GaConfig a = base_config(9);
+  GaConfig b = base_config(9);
+  b.niching.enabled = false;  // explicit, same as default
+  const auto ra = run_ga(spec, fitness, a);
+  const auto rb = run_ga(spec, fitness, b);
+  EXPECT_EQ(ra.fitness_by_evaluation, rb.fitness_by_evaluation);
+}
+
+TEST(Niching, ElitismStillUsesRawFitness) {
+  // The crowded best individual must survive even when sharing discounts
+  // its neighborhood: elitism operates on raw fitness.
+  const GenomeSpec spec({{0.0, 1.0}});
+  const auto fitness = [](const Genome& g, std::uint64_t) { return two_peaks(g); };
+  GaConfig config = base_config(5);
+  config.niching.enabled = true;
+  const auto result = run_ga(spec, fitness, config);
+  for (std::size_t g = 1; g < result.generations.size(); ++g) {
+    EXPECT_GE(result.generations[g].max_fitness,
+              result.generations[g - 1].max_fitness - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cav::ga

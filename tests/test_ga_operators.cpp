@@ -1,0 +1,253 @@
+#include "ga/operators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/expect.h"
+
+namespace cav::ga {
+namespace {
+
+GenomeSpec unit_spec(std::size_t n) {
+  return GenomeSpec(std::vector<GeneBounds>(n, GeneBounds{0.0, 1.0}));
+}
+
+std::vector<Individual> ramp_population(std::size_t n) {
+  std::vector<Individual> pop(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pop[i].genome = {static_cast<double>(i)};
+    pop[i].fitness = static_cast<double>(i);  // individual i has fitness i
+    pop[i].evaluated = true;
+  }
+  return pop;
+}
+
+TEST(GenomeSpec, SampleWithinBounds) {
+  GenomeSpec spec({{0.0, 1.0}, {-5.0, 5.0}, {100.0, 200.0}});
+  RngStream rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Genome g = spec.sample(rng);
+    EXPECT_TRUE(spec.contains(g));
+  }
+}
+
+TEST(GenomeSpec, ClampPullsIntoBounds) {
+  GenomeSpec spec({{0.0, 1.0}, {0.0, 1.0}});
+  Genome g{-0.5, 1.5};
+  spec.clamp(g);
+  EXPECT_EQ(g, (Genome{0.0, 1.0}));
+}
+
+TEST(GenomeSpec, RejectsInvertedBounds) {
+  EXPECT_THROW(GenomeSpec({{1.0, 0.0}}), ContractViolation);
+}
+
+TEST(Selection, TournamentPrefersFitter) {
+  const auto pop = ramp_population(50);
+  SelectionConfig config;
+  config.tournament_size = 4;
+  RngStream rng(2);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    sum += pop[select_parent(pop, config, rng)].fitness;
+  }
+  // Expected max of 4 uniform picks from 0..49 is ~39; demand well above
+  // the uniform mean of 24.5.
+  EXPECT_GT(sum / n, 33.0);
+}
+
+TEST(Selection, LargerTournamentsSelectHarder) {
+  const auto pop = ramp_population(50);
+  RngStream rng(3);
+  const auto mean_fitness = [&](std::size_t k) {
+    SelectionConfig config;
+    config.tournament_size = k;
+    double sum = 0.0;
+    for (int i = 0; i < 4000; ++i) sum += pop[select_parent(pop, config, rng)].fitness;
+    return sum / 4000.0;
+  };
+  EXPECT_LT(mean_fitness(1), mean_fitness(2));
+  EXPECT_LT(mean_fitness(2), mean_fitness(6));
+}
+
+TEST(Selection, RoulettePrefersFitter) {
+  const auto pop = ramp_population(20);
+  SelectionConfig config;
+  config.type = SelectionType::kRoulette;
+  RngStream rng(4);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += pop[select_parent(pop, config, rng)].fitness;
+  EXPECT_GT(sum / n, 11.0);  // uniform mean would be 9.5
+}
+
+TEST(Selection, RouletteHandlesNegativeFitness) {
+  auto pop = ramp_population(10);
+  for (auto& ind : pop) ind.fitness -= 100.0;  // all negative
+  SelectionConfig config;
+  config.type = SelectionType::kRoulette;
+  RngStream rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t s = select_parent(pop, config, rng);
+    EXPECT_LT(s, pop.size());
+  }
+}
+
+TEST(Selection, EmptyPopulationRejected) {
+  const std::vector<Individual> empty;
+  RngStream rng(6);
+  EXPECT_THROW(select_parent(empty, {}, rng), ContractViolation);
+}
+
+TEST(Crossover, OnePointPreservesPrefixSuffix) {
+  const Genome a{1, 1, 1, 1, 1, 1};
+  const Genome b{2, 2, 2, 2, 2, 2};
+  CrossoverConfig config;
+  config.type = CrossoverType::kOnePoint;
+  config.probability = 1.0;
+  RngStream rng(7);
+  Genome c1;
+  Genome c2;
+  crossover(a, b, c1, c2, config, rng);
+  // Each child must be a prefix of one parent and suffix of the other.
+  int switches1 = 0;
+  for (std::size_t i = 1; i < c1.size(); ++i) {
+    if (c1[i] != c1[i - 1]) ++switches1;
+  }
+  EXPECT_LE(switches1, 1);
+  // Gene-wise, children are a permutation of parents.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(c1[i] + c2[i], 3.0);
+  }
+}
+
+TEST(Crossover, TwoPointSwapsMiddle) {
+  const Genome a{1, 1, 1, 1, 1, 1, 1, 1};
+  const Genome b{2, 2, 2, 2, 2, 2, 2, 2};
+  CrossoverConfig config;
+  config.type = CrossoverType::kTwoPoint;
+  config.probability = 1.0;
+  RngStream rng(8);
+  Genome c1;
+  Genome c2;
+  crossover(a, b, c1, c2, config, rng);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(c1[i] + c2[i], 3.0);
+  int switches = 0;
+  for (std::size_t i = 1; i < c1.size(); ++i) {
+    if (c1[i] != c1[i - 1]) ++switches;
+  }
+  EXPECT_LE(switches, 2);
+}
+
+TEST(Crossover, UniformGeneWiseComplement) {
+  const Genome a{1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  const Genome b{2, 2, 2, 2, 2, 2, 2, 2, 2, 2};
+  CrossoverConfig config;
+  config.type = CrossoverType::kUniform;
+  config.probability = 1.0;
+  RngStream rng(9);
+  Genome c1;
+  Genome c2;
+  crossover(a, b, c1, c2, config, rng);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(c1[i] + c2[i], 3.0);
+}
+
+TEST(Crossover, BlendStaysInExpandedInterval) {
+  const Genome a{0.0, 10.0};
+  const Genome b{1.0, 20.0};
+  CrossoverConfig config;
+  config.type = CrossoverType::kBlend;
+  config.probability = 1.0;
+  config.blend_alpha = 0.5;
+  RngStream rng(10);
+  for (int i = 0; i < 100; ++i) {
+    Genome c1;
+    Genome c2;
+    crossover(a, b, c1, c2, config, rng);
+    EXPECT_GE(c1[0], -0.5);
+    EXPECT_LE(c1[0], 1.5);
+    EXPECT_GE(c1[1], 5.0);
+    EXPECT_LE(c1[1], 25.0);
+  }
+}
+
+TEST(Crossover, ZeroProbabilityCopiesParents) {
+  const Genome a{1, 2, 3};
+  const Genome b{4, 5, 6};
+  CrossoverConfig config;
+  config.probability = 0.0;
+  RngStream rng(11);
+  Genome c1;
+  Genome c2;
+  crossover(a, b, c1, c2, config, rng);
+  EXPECT_EQ(c1, a);
+  EXPECT_EQ(c2, b);
+}
+
+TEST(Crossover, MismatchedParentsRejected) {
+  RngStream rng(12);
+  Genome c1;
+  Genome c2;
+  EXPECT_THROW(crossover({1.0}, {1.0, 2.0}, c1, c2, {}, rng), ContractViolation);
+}
+
+TEST(Mutation, RespectsGeneProbability) {
+  const GenomeSpec spec = unit_spec(1000);
+  MutationConfig config;
+  config.gene_probability = 0.1;
+  config.reset_probability = 0.0;
+  config.gaussian_sigma_frac = 0.05;
+  RngStream rng(13);
+  Genome g(1000, 0.5);
+  mutate(g, spec, config, rng);
+  int changed = 0;
+  for (const double x : g) {
+    if (x != 0.5) ++changed;
+  }
+  EXPECT_NEAR(changed / 1000.0, 0.1, 0.04);
+}
+
+TEST(Mutation, AlwaysClampsToBounds) {
+  const GenomeSpec spec = unit_spec(50);
+  MutationConfig config;
+  config.gene_probability = 1.0;
+  config.gaussian_sigma_frac = 10.0;  // violent
+  RngStream rng(14);
+  for (int i = 0; i < 50; ++i) {
+    Genome g(50, 0.5);
+    mutate(g, spec, config, rng);
+    EXPECT_TRUE(spec.contains(g));
+  }
+}
+
+TEST(Mutation, ZeroProbabilityIsIdentity) {
+  const GenomeSpec spec = unit_spec(10);
+  MutationConfig config;
+  config.gene_probability = 0.0;
+  RngStream rng(15);
+  Genome g(10, 0.25);
+  const Genome before = g;
+  mutate(g, spec, config, rng);
+  EXPECT_EQ(g, before);
+}
+
+TEST(Mutation, ResetDrawsUniform) {
+  const GenomeSpec spec = unit_spec(1);
+  MutationConfig config;
+  config.gene_probability = 1.0;
+  config.reset_probability = 1.0;
+  RngStream rng(16);
+  std::set<double> seen;
+  for (int i = 0; i < 50; ++i) {
+    Genome g{0.5};
+    mutate(g, spec, config, rng);
+    seen.insert(g[0]);
+  }
+  EXPECT_GT(seen.size(), 45U);  // essentially always a fresh uniform value
+}
+
+}  // namespace
+}  // namespace cav::ga

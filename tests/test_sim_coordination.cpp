@@ -1,0 +1,88 @@
+#include "sim/coordination.h"
+
+#include <gtest/gtest.h>
+
+namespace cav::sim {
+namespace {
+
+TEST(Coordination, ForbidsOtherAircraftsSense) {
+  CoordinationChannel channel;
+  RngStream rng(1);
+  channel.post(0, acasx::Sense::kClimb, rng);
+  EXPECT_EQ(channel.forbidden_for(1), acasx::Sense::kClimb);
+  EXPECT_EQ(channel.forbidden_for(0), acasx::Sense::kNone);  // own message doesn't bind self
+}
+
+TEST(Coordination, LatestAnnouncementWins) {
+  CoordinationChannel channel;
+  RngStream rng(2);
+  channel.post(0, acasx::Sense::kClimb, rng);
+  channel.post(0, acasx::Sense::kDescend, rng);
+  EXPECT_EQ(channel.forbidden_for(1), acasx::Sense::kDescend);
+}
+
+TEST(Coordination, BothDirectionsIndependent) {
+  CoordinationChannel channel;
+  RngStream rng(3);
+  channel.post(0, acasx::Sense::kClimb, rng);
+  channel.post(1, acasx::Sense::kDescend, rng);
+  EXPECT_EQ(channel.forbidden_for(0), acasx::Sense::kDescend);
+  EXPECT_EQ(channel.forbidden_for(1), acasx::Sense::kClimb);
+}
+
+TEST(Coordination, DisabledChannelIsSilent) {
+  CoordinationConfig config;
+  config.enabled = false;
+  CoordinationChannel channel(config);
+  RngStream rng(4);
+  channel.post(0, acasx::Sense::kClimb, rng);
+  EXPECT_EQ(channel.forbidden_for(1), acasx::Sense::kNone);
+}
+
+TEST(Coordination, ResetClearsAnnouncements) {
+  CoordinationChannel channel;
+  RngStream rng(5);
+  channel.post(0, acasx::Sense::kClimb, rng);
+  channel.post(1, acasx::Sense::kDescend, rng);
+  channel.reset();
+  EXPECT_EQ(channel.forbidden_for(0), acasx::Sense::kNone);
+  EXPECT_EQ(channel.forbidden_for(1), acasx::Sense::kNone);
+}
+
+TEST(Coordination, TotalLossNeverDelivers) {
+  CoordinationConfig config;
+  config.message_loss_prob = 1.0;
+  CoordinationChannel channel(config);
+  RngStream rng(6);
+  for (int i = 0; i < 32; ++i) channel.post(0, acasx::Sense::kClimb, rng);
+  EXPECT_EQ(channel.forbidden_for(1), acasx::Sense::kNone);
+}
+
+TEST(Coordination, PartialLossEventuallyDelivers) {
+  CoordinationConfig config;
+  config.message_loss_prob = 0.5;
+  CoordinationChannel channel(config);
+  RngStream rng(7);
+  bool delivered = false;
+  for (int i = 0; i < 64 && !delivered; ++i) {
+    channel.post(0, acasx::Sense::kDescend, rng);
+    delivered = channel.forbidden_for(1) == acasx::Sense::kDescend;
+  }
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Coordination, LostUpdateKeepsPreviousAnnouncement) {
+  // Deliver a climb reliably, then lose every subsequent update: receivers
+  // keep acting on the last thing they heard (stale-coordination hazard).
+  CoordinationConfig lossless;
+  CoordinationChannel channel(lossless);
+  RngStream rng(8);
+  channel.post(0, acasx::Sense::kClimb, rng);
+  ASSERT_EQ(channel.forbidden_for(1), acasx::Sense::kClimb);
+  // The channel has no config swap; emulate staleness by simply not
+  // posting again — the announcement persists.
+  EXPECT_EQ(channel.forbidden_for(1), acasx::Sense::kClimb);
+}
+
+}  // namespace
+}  // namespace cav::sim

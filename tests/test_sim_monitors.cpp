@@ -1,0 +1,93 @@
+#include "sim/monitors.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace cav::sim {
+namespace {
+
+TEST(ProximityMeasurer, TracksMinimumDistance) {
+  ProximityMeasurer m;
+  m.update(0.0, {0, 0, 0}, {1000, 0, 0});
+  m.update(1.0, {0, 0, 0}, {500, 0, 0});
+  m.update(2.0, {0, 0, 0}, {800, 0, 0});
+  EXPECT_DOUBLE_EQ(m.report().min_distance_m, 500.0);
+  EXPECT_DOUBLE_EQ(m.report().time_of_min_distance_s, 1.0);
+}
+
+TEST(ProximityMeasurer, TracksComponentsIndependently) {
+  // Min horizontal and min vertical can occur at different times.
+  ProximityMeasurer m;
+  m.update(0.0, {0, 0, 0}, {100, 0, 500});  // horiz 100, vert 500
+  m.update(1.0, {0, 0, 0}, {900, 0, 10});   // horiz 900, vert 10
+  EXPECT_DOUBLE_EQ(m.report().min_horizontal_m, 100.0);
+  EXPECT_DOUBLE_EQ(m.report().min_vertical_m, 10.0);
+}
+
+TEST(AccidentDetector, NmacRequiresBothThresholds) {
+  const double h = units::ft_to_m(500.0);
+  const double v = units::ft_to_m(100.0);
+  {
+    AccidentDetector d;
+    d.update(0.0, {0, 0, 0}, {h * 0.9, 0, v * 1.5});  // horizontal ok, vertical not
+    EXPECT_FALSE(d.nmac());
+  }
+  {
+    AccidentDetector d;
+    d.update(0.0, {0, 0, 0}, {h * 1.5, 0, v * 0.5});  // vertical ok, horizontal not
+    EXPECT_FALSE(d.nmac());
+  }
+  {
+    AccidentDetector d;
+    d.update(3.0, {0, 0, 0}, {h * 0.9, 0, v * 0.9});
+    EXPECT_TRUE(d.nmac());
+    EXPECT_DOUBLE_EQ(d.nmac_time_s(), 3.0);
+  }
+}
+
+TEST(AccidentDetector, FirstNmacTimeIsKept) {
+  AccidentDetector d;
+  d.update(1.0, {0, 0, 0}, {10, 0, 5});
+  d.update(2.0, {0, 0, 0}, {5, 0, 2});
+  EXPECT_TRUE(d.nmac());
+  EXPECT_DOUBLE_EQ(d.nmac_time_s(), 1.0);
+}
+
+TEST(AccidentDetector, NoNmacReportsNegativeTime) {
+  AccidentDetector d;
+  d.update(0.0, {0, 0, 0}, {10000, 0, 0});
+  EXPECT_FALSE(d.nmac());
+  EXPECT_DOUBLE_EQ(d.nmac_time_s(), -1.0);
+}
+
+TEST(AccidentDetector, HardCollisionSphere) {
+  AccidentConfig config;
+  config.collision_radius_m = 30.0;
+  {
+    AccidentDetector d(config);
+    d.update(0.0, {0, 0, 0}, {20, 20, 5});  // |d| ~ 28.7 < 30
+    EXPECT_TRUE(d.hard_collision());
+  }
+  {
+    AccidentDetector d(config);
+    d.update(0.0, {0, 0, 0}, {25, 25, 5});  // |d| ~ 35.7 > 30
+    EXPECT_FALSE(d.hard_collision());
+  }
+}
+
+TEST(AccidentDetector, HardCollisionImpliesNmacWithDefaults) {
+  AccidentDetector d;
+  d.update(0.0, {0, 0, 0}, {10, 0, 3});
+  EXPECT_TRUE(d.hard_collision());
+  EXPECT_TRUE(d.nmac());
+}
+
+TEST(AccidentDetector, DefaultThresholdsAreAviationStandard) {
+  const AccidentConfig config;
+  EXPECT_NEAR(config.nmac_horizontal_m, 152.4, 0.01);  // 500 ft
+  EXPECT_NEAR(config.nmac_vertical_m, 30.48, 0.01);    // 100 ft
+}
+
+}  // namespace
+}  // namespace cav::sim

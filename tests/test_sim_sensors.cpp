@@ -1,0 +1,89 @@
+#include "sim/sensors.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace cav::sim {
+namespace {
+
+UavState level_state() {
+  UavState s;
+  s.position_m = {100.0, 200.0, 1000.0};
+  s.ground_speed_mps = 30.0;
+  s.bearing_rad = 0.0;
+  s.vertical_speed_mps = 1.0;
+  return s;
+}
+
+TEST(AdsbSensor, PerfectConfigIsExact) {
+  const AdsbSensor sensor(AdsbConfig::perfect());
+  RngStream rng(1);
+  const auto track = sensor.observe(level_state(), rng);
+  ASSERT_TRUE(track.has_value());
+  EXPECT_EQ(track->position_m, (Vec3{100.0, 200.0, 1000.0}));
+  EXPECT_EQ(track->velocity_mps, (Vec3{30.0, 0.0, 1.0}));
+}
+
+TEST(AdsbSensor, NoiseIsUnbiasedWithConfiguredSpread) {
+  AdsbConfig config;
+  config.horizontal_pos_sigma_m = 15.0;
+  config.vertical_pos_sigma_m = 7.5;
+  config.horizontal_vel_sigma_mps = 1.0;
+  config.vertical_vel_sigma_mps = 0.5;
+  const AdsbSensor sensor(config);
+  RngStream rng(2);
+
+  RunningStats x;
+  RunningStats z;
+  RunningStats vz;
+  const UavState truth = level_state();
+  for (int i = 0; i < 20000; ++i) {
+    const auto track = sensor.observe(truth, rng);
+    ASSERT_TRUE(track.has_value());
+    x.add(track->position_m.x);
+    z.add(track->position_m.z);
+    vz.add(track->velocity_mps.z);
+  }
+  EXPECT_NEAR(x.mean(), 100.0, 0.5);
+  EXPECT_NEAR(x.stddev(), 15.0, 0.5);
+  EXPECT_NEAR(z.mean(), 1000.0, 0.25);
+  EXPECT_NEAR(z.stddev(), 7.5, 0.25);
+  EXPECT_NEAR(vz.mean(), 1.0, 0.02);
+  EXPECT_NEAR(vz.stddev(), 0.5, 0.02);
+}
+
+TEST(AdsbSensor, DropoutFrequencyMatchesConfig) {
+  AdsbConfig config;
+  config.dropout_prob = 0.25;
+  const AdsbSensor sensor(config);
+  RngStream rng(3);
+  int lost = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (!sensor.observe(level_state(), rng).has_value()) ++lost;
+  }
+  EXPECT_NEAR(lost / static_cast<double>(n), 0.25, 0.02);
+}
+
+TEST(AdsbSensor, ZeroDropoutNeverLoses) {
+  const AdsbSensor sensor(AdsbConfig{});
+  RngStream rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(sensor.observe(level_state(), rng).has_value());
+  }
+}
+
+TEST(AdsbSensor, DeterministicPerStream) {
+  const AdsbSensor sensor(AdsbConfig{});
+  RngStream a(9);
+  RngStream b(9);
+  const auto ta = sensor.observe(level_state(), a);
+  const auto tb = sensor.observe(level_state(), b);
+  ASSERT_TRUE(ta.has_value() && tb.has_value());
+  EXPECT_EQ(ta->position_m, tb->position_m);
+  EXPECT_EQ(ta->velocity_mps, tb->velocity_mps);
+}
+
+}  // namespace
+}  // namespace cav::sim

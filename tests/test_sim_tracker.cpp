@@ -1,0 +1,103 @@
+#include "sim/tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace cav::sim {
+namespace {
+
+acasx::AircraftTrack track_at(double t, double noise_pos = 0.0, double noise_vel = 0.0) {
+  // Truth: straight line from (0, 0, 1000) at (40, 0, -2) m/s.
+  acasx::AircraftTrack tr;
+  tr.position_m = {40.0 * t + noise_pos, 0.0, 1000.0 - 2.0 * t + noise_pos};
+  tr.velocity_mps = {40.0 + noise_vel, 0.0, -2.0 + noise_vel};
+  return tr;
+}
+
+TEST(TrackSmoother, FirstMeasurementPassesThrough) {
+  TrackSmoother smoother;
+  const auto m = track_at(0.0);
+  const auto out = smoother.update(m);
+  EXPECT_EQ(out.position_m, m.position_m);
+  EXPECT_EQ(out.velocity_mps, m.velocity_mps);
+  EXPECT_TRUE(smoother.initialized());
+}
+
+TEST(TrackSmoother, DisabledIsPassThrough) {
+  TrackSmoother smoother(TrackerConfig::off());
+  RngStream rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const auto m = track_at(i, rng.gaussian(0, 10), rng.gaussian(0, 2));
+    const auto out = smoother.update(m);
+    EXPECT_EQ(out.position_m, m.position_m);
+    EXPECT_EQ(out.velocity_mps, m.velocity_mps);
+  }
+}
+
+TEST(TrackSmoother, TracksNoiseFreeTargetExactly) {
+  TrackSmoother smoother;
+  for (int i = 0; i <= 30; ++i) {
+    const auto out = smoother.update(track_at(i));
+    // With perfect measurements the filter must stay on the trajectory.
+    EXPECT_NEAR(out.position_m.x, 40.0 * i, 1e-6);
+    EXPECT_NEAR(out.velocity_mps.x, 40.0, 1e-6);
+  }
+}
+
+TEST(TrackSmoother, ReducesVelocityNoiseVariance) {
+  RngStream rng(2);
+  const double sigma = 1.0;
+  TrackSmoother smoother;
+  RunningStats raw_err;
+  RunningStats smooth_err;
+  for (int i = 0; i <= 500; ++i) {
+    const double nv = rng.gaussian(0.0, sigma);
+    const auto m = track_at(i, rng.gaussian(0.0, 15.0), nv);
+    const auto out = smoother.update(m);
+    if (i < 10) continue;  // let the filter settle
+    raw_err.add(m.velocity_mps.x - 40.0);
+    smooth_err.add(out.velocity_mps.x - 40.0);
+  }
+  EXPECT_LT(smooth_err.stddev(), 0.65 * raw_err.stddev())
+      << "beta = 0.4 should cut velocity noise roughly in half";
+}
+
+TEST(TrackSmoother, FollowsManeuveringTargetWithBoundedLag) {
+  TrackSmoother smoother;
+  // Target flies level for 10 s, then climbs at 5 m/s.
+  for (int i = 0; i <= 10; ++i) {
+    acasx::AircraftTrack m;
+    m.position_m = {40.0 * i, 0.0, 1000.0};
+    m.velocity_mps = {40.0, 0.0, 0.0};
+    smoother.update(m);
+  }
+  acasx::AircraftTrack last{};
+  for (int i = 1; i <= 10; ++i) {
+    acasx::AircraftTrack m;
+    m.position_m = {40.0 * (10 + i), 0.0, 1000.0 + 5.0 * i};
+    m.velocity_mps = {40.0, 0.0, 5.0};
+    last = smoother.update(m);
+  }
+  // After 10 cycles at beta=0.4 the velocity estimate has converged to
+  // within (1-0.4)^10 ~ 0.6% of the step.
+  EXPECT_NEAR(last.velocity_mps.z, 5.0, 0.05);
+  EXPECT_NEAR(last.position_m.z, 1050.0, 5.0);
+}
+
+TEST(TrackSmoother, ResetForgetsHistory) {
+  TrackSmoother smoother;
+  smoother.update(track_at(0.0));
+  smoother.update(track_at(1.0));
+  smoother.reset();
+  EXPECT_FALSE(smoother.initialized());
+  // Next measurement re-initializes verbatim even if far away.
+  acasx::AircraftTrack far{};
+  far.position_m = {99999.0, 0.0, 0.0};
+  const auto out = smoother.update(far);
+  EXPECT_EQ(out.position_m, far.position_m);
+}
+
+}  // namespace
+}  // namespace cav::sim

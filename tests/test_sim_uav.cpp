@@ -1,0 +1,155 @@
+#include "sim/uav.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/angles.h"
+
+namespace cav::sim {
+namespace {
+
+TEST(UavState, VelocityFromPolarComponents) {
+  UavState s;
+  s.ground_speed_mps = 10.0;
+  s.bearing_rad = 0.0;
+  s.vertical_speed_mps = 2.0;
+  EXPECT_NEAR(s.velocity_mps().x, 10.0, 1e-12);
+  EXPECT_NEAR(s.velocity_mps().y, 0.0, 1e-12);
+  EXPECT_NEAR(s.velocity_mps().z, 2.0, 1e-12);
+
+  s.bearing_rad = kPi / 2.0;
+  EXPECT_NEAR(s.velocity_mps().x, 0.0, 1e-12);
+  EXPECT_NEAR(s.velocity_mps().y, 10.0, 1e-12);
+}
+
+TEST(UavAgent, StraightFlightWithoutDisturbance) {
+  UavState init;
+  init.position_m = {0.0, 0.0, 1000.0};
+  init.ground_speed_mps = 20.0;
+  init.bearing_rad = 0.0;
+  UavAgent agent(0, init);
+  RngStream rng(1);
+  for (int i = 0; i < 100; ++i) agent.step(0.1, DisturbanceConfig::none(), rng);
+  EXPECT_NEAR(agent.state().position_m.x, 200.0, 1e-6);
+  EXPECT_NEAR(agent.state().position_m.y, 0.0, 1e-9);
+  EXPECT_NEAR(agent.state().position_m.z, 1000.0, 1e-9);
+}
+
+TEST(UavAgent, CommandTracksTargetRate) {
+  UavState init;
+  init.position_m = {0.0, 0.0, 1000.0};
+  init.ground_speed_mps = 20.0;
+  UavAgent agent(0, init);
+  VerticalCommand cmd;
+  cmd.active = true;
+  cmd.target_vs_mps = 7.62;  // 1500 fpm
+  cmd.accel_mps2 = 2.45;     // g/4
+  agent.set_command(cmd);
+  RngStream rng(2);
+  // Rate capture takes ~7.62/2.45 ~ 3.1 s.
+  for (int i = 0; i < 50; ++i) agent.step(0.1, DisturbanceConfig::none(), rng);
+  EXPECT_NEAR(agent.state().vertical_speed_mps, 7.62, 1e-9);
+  EXPECT_GT(agent.state().position_m.z, 1000.0);
+}
+
+TEST(UavAgent, CommandCaptureHasNoOvershoot) {
+  UavState init;
+  UavAgent agent(0, init);
+  VerticalCommand cmd;
+  cmd.active = true;
+  cmd.target_vs_mps = 5.0;
+  cmd.accel_mps2 = 3.0;
+  agent.set_command(cmd);
+  RngStream rng(3);
+  double max_vs = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    agent.step(0.1, DisturbanceConfig::none(), rng);
+    max_vs = std::max(max_vs, agent.state().vertical_speed_mps);
+  }
+  EXPECT_LE(max_vs, 5.0 + 1e-9);
+}
+
+TEST(UavAgent, VerticalSpeedClampedToPerformance) {
+  UavState init;
+  UavPerformance perf;
+  perf.max_vertical_speed_mps = 3.0;
+  UavAgent agent(0, init, perf);
+  VerticalCommand cmd;
+  cmd.active = true;
+  cmd.target_vs_mps = 50.0;  // beyond performance
+  cmd.accel_mps2 = 10.0;
+  agent.set_command(cmd);
+  RngStream rng(4);
+  for (int i = 0; i < 100; ++i) agent.step(0.1, DisturbanceConfig::none(), rng);
+  EXPECT_NEAR(agent.state().vertical_speed_mps, 3.0, 1e-9);
+}
+
+TEST(UavAgent, MeanReversionPullsTowardNominal) {
+  UavState init;
+  init.vertical_speed_mps = -2.0;  // flight plan: descend at 2 m/s
+  UavAgent agent(0, init);
+  // Kick the rate away from nominal via a command, then release it.
+  VerticalCommand cmd;
+  cmd.active = true;
+  cmd.target_vs_mps = 5.0;
+  cmd.accel_mps2 = 5.0;
+  agent.set_command(cmd);
+  RngStream rng(5);
+  DisturbanceConfig quiet;
+  quiet.vertical_sigma = 0.0;
+  quiet.horizontal_sigma = 0.0;
+  quiet.vertical_reversion = 0.3;
+  quiet.horizontal_reversion = 0.3;
+  for (int i = 0; i < 30; ++i) agent.step(0.1, quiet, rng);
+  ASSERT_NEAR(agent.state().vertical_speed_mps, 5.0, 1e-6);
+  agent.set_command({});  // release
+  for (int i = 0; i < 400; ++i) agent.step(0.1, quiet, rng);
+  EXPECT_NEAR(agent.state().vertical_speed_mps, -2.0, 0.01)
+      << "free flight must revert to the flight-plan rate";
+}
+
+TEST(UavAgent, DisturbanceIsBoundedByMeanReversion) {
+  UavState init;
+  init.ground_speed_mps = 30.0;
+  UavAgent agent(0, init);
+  RngStream rng(6);
+  DisturbanceConfig disturbance;  // defaults: sigma 0.5, reversion 0.3
+  double max_abs_vs = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    agent.step(0.1, disturbance, rng);
+    max_abs_vs = std::max(max_abs_vs, std::abs(agent.state().vertical_speed_mps));
+  }
+  // Stationary sigma = 0.5 / sqrt(2 * 0.3) ~ 0.65 m/s; 6-sigma bound.
+  EXPECT_LT(max_abs_vs, 4.0);
+}
+
+TEST(UavAgent, GroundSpeedNeverNegative) {
+  UavState init;
+  init.ground_speed_mps = 0.5;
+  UavAgent agent(0, init);
+  RngStream rng(7);
+  DisturbanceConfig violent;
+  violent.horizontal_sigma = 5.0;
+  violent.horizontal_reversion = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    agent.step(0.1, violent, rng);
+    ASSERT_GE(agent.state().ground_speed_mps, 0.0);
+  }
+}
+
+TEST(UavAgent, DeterministicGivenSeed) {
+  const auto fly = [](std::uint64_t seed) {
+    UavState init;
+    init.ground_speed_mps = 25.0;
+    UavAgent agent(0, init);
+    RngStream rng(seed);
+    for (int i = 0; i < 200; ++i) agent.step(0.1, DisturbanceConfig{}, rng);
+    return agent.state().position_m;
+  };
+  EXPECT_EQ(fly(42), fly(42));
+  EXPECT_NE(fly(42), fly(43));
+}
+
+}  // namespace
+}  // namespace cav::sim

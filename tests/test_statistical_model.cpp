@@ -1,0 +1,95 @@
+#include "encounter/statistical_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cav::encounter {
+namespace {
+
+TEST(StatisticalModel, SamplesStayWithinRanges) {
+  const StatisticalEncounterModel model;
+  RngStream rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(model.config().ranges.contains(model.sample(rng).to_array()));
+  }
+}
+
+TEST(StatisticalModel, LevelFlightFractionMatchesConfig) {
+  StatisticalModelConfig config;
+  config.p_level = 0.6;
+  const StatisticalEncounterModel model(config);
+  RngStream rng(2);
+  int level = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const auto p = model.sample(rng);
+    if (std::abs(p.vs_own_mps) < 3.0 * config.level_jitter_mps) ++level;
+  }
+  // "Level" detection threshold catches the jitter population and a tiny
+  // slice of the maneuvering one.
+  EXPECT_NEAR(level / static_cast<double>(n), 0.6, 0.05);
+}
+
+TEST(StatisticalModel, MissDistancesMixConflictAndSafePasses) {
+  const StatisticalEncounterModel model;
+  RngStream rng(3);
+  double r_sum = 0.0;
+  int conflicts = 0;
+  int safe = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double r = model.sample(rng).r_cpa_m;
+    r_sum += r;
+    if (r < 152.4) ++conflicts;  // inside the NMAC cylinder radius
+    if (r > 450.0) ++safe;
+  }
+  // |N(0, 300)| has mean 300 * sqrt(2/pi) ~ 239 m (clamping shifts slightly).
+  EXPECT_NEAR(r_sum / n, 239.0, 20.0);
+  // Both sub-populations must be materially represented (the alert-rate
+  // metric needs safe passes; the NMAC metric needs conflicts).
+  EXPECT_GT(conflicts, n / 10);
+  EXPECT_GT(safe, n / 10);
+}
+
+TEST(StatisticalModel, GroundSpeedsFollowTruncatedNormal) {
+  const StatisticalEncounterModel model;
+  RngStream rng(4);
+  double sum = 0.0;
+  double lo = 1e30;
+  double hi = -1e30;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double g = model.sample(rng).gs_own_mps;
+    sum += g;
+    lo = std::min(lo, g);
+    hi = std::max(hi, g);
+  }
+  EXPECT_NEAR(sum / n, 35.0, 1.5);
+  EXPECT_GE(lo, model.config().ranges.lo[0]);
+  EXPECT_LE(hi, model.config().ranges.hi[0]);
+}
+
+TEST(StatisticalModel, DeterministicPerStream) {
+  const StatisticalEncounterModel model;
+  RngStream a(9);
+  RngStream b(9);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(model.sample(a).to_array(), model.sample(b).to_array());
+  }
+}
+
+TEST(StatisticalModel, CoursesCoverTheCircle) {
+  const StatisticalEncounterModel model;
+  RngStream rng(5);
+  int quadrants[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 2000; ++i) {
+    const double theta = model.sample(rng).theta_int_rad;
+    const int q = theta < -1.5708 ? 0 : theta < 0.0 ? 1 : theta < 1.5708 ? 2 : 3;
+    ++quadrants[q];
+  }
+  for (const int q : quadrants) EXPECT_GT(q, 300);
+}
+
+}  // namespace
+}  // namespace cav::encounter

@@ -1,0 +1,61 @@
+#include "util/angles.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cav {
+namespace {
+
+TEST(Angles, DegRadRoundTrip) {
+  EXPECT_DOUBLE_EQ(deg_to_rad(180.0), kPi);
+  EXPECT_DOUBLE_EQ(rad_to_deg(kPi), 180.0);
+  for (double d = -720.0; d <= 720.0; d += 37.5) {
+    EXPECT_NEAR(rad_to_deg(deg_to_rad(d)), d, 1e-9);
+  }
+}
+
+TEST(Angles, WrapPiRange) {
+  for (double a = -20.0; a <= 20.0; a += 0.137) {
+    const double w = wrap_pi(a);
+    EXPECT_GT(w, -kPi - 1e-12);
+    EXPECT_LE(w, kPi + 1e-12);
+    // Same direction: sin/cos must match.
+    EXPECT_NEAR(std::sin(w), std::sin(a), 1e-9);
+    EXPECT_NEAR(std::cos(w), std::cos(a), 1e-9);
+  }
+}
+
+TEST(Angles, WrapPiFixedPoints) {
+  EXPECT_DOUBLE_EQ(wrap_pi(0.0), 0.0);
+  EXPECT_NEAR(wrap_pi(kPi), kPi, 1e-12);       // pi maps to +pi (half-open at -pi)
+  EXPECT_NEAR(wrap_pi(-kPi), kPi, 1e-12);
+  EXPECT_NEAR(wrap_pi(3.0 * kPi), kPi, 1e-9);
+}
+
+TEST(Angles, WrapTwoPiRange) {
+  for (double a = -20.0; a <= 20.0; a += 0.119) {
+    const double w = wrap_two_pi(a);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, kTwoPi + 1e-12);
+    EXPECT_NEAR(std::sin(w), std::sin(a), 1e-9);
+  }
+}
+
+TEST(Angles, AngleDiffShortestPath) {
+  EXPECT_NEAR(angle_diff(0.1, -0.1), 0.2, 1e-12);
+  EXPECT_NEAR(angle_diff(-0.1, 0.1), -0.2, 1e-12);
+  // Across the wrap: 179deg vs -179deg differ by 2deg, not 358deg.
+  EXPECT_NEAR(angle_diff(deg_to_rad(179.0), deg_to_rad(-179.0)), deg_to_rad(-2.0), 1e-9);
+}
+
+TEST(Angles, AngleDiffAntisymmetric) {
+  for (double a = -3.0; a <= 3.0; a += 0.7) {
+    for (double b = -3.0; b <= 3.0; b += 0.9) {
+      EXPECT_NEAR(angle_diff(a, b), -angle_diff(b, a), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cav

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/ascii_plot.h"
+#include "util/csv.h"
+
+namespace cav {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/cav_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, HeaderAndRows) {
+  {
+    CsvWriter csv(path_);
+    csv.header({"a", "b", "c"});
+    csv.cell(1.5).cell(std::size_t{7}).cell("x");
+    csv.end_row();
+  }
+  EXPECT_EQ(read_file(path_), "a,b,c\n1.5,7,x\n");
+}
+
+TEST_F(CsvTest, QuotesSpecialCharacters) {
+  {
+    CsvWriter csv(path_);
+    csv.cell("has,comma").cell("has\"quote").cell("plain");
+    csv.end_row();
+  }
+  EXPECT_EQ(read_file(path_), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST_F(CsvTest, IntCells) {
+  {
+    CsvWriter csv(path_);
+    csv.cell(-3).cell(0).cell(42);
+    csv.end_row();
+  }
+  EXPECT_EQ(read_file(path_), "-3,0,42\n");
+}
+
+TEST(CsvWriterErrors, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"), std::runtime_error);
+}
+
+TEST(AsciiPlot, ContainsMarksAndRange) {
+  const std::vector<double> y{0.0, 1.0, 2.0, 3.0, 4.0};
+  AsciiPlotOptions opts;
+  opts.title = "ramp";
+  const std::string plot = ascii_plot(y, opts);
+  EXPECT_NE(plot.find("ramp"), std::string::npos);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find('4'), std::string::npos);  // max label
+}
+
+TEST(AsciiPlot, HandlesEmptySeries) {
+  const std::string plot = ascii_plot({});
+  EXPECT_FALSE(plot.empty());
+}
+
+TEST(AsciiPlot, HandlesConstantSeries) {
+  const std::string plot = ascii_plot({2.0, 2.0, 2.0});
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, IgnoresNonFinite) {
+  const std::vector<double> y{1.0, std::numeric_limits<double>::infinity(), 2.0,
+                              std::numeric_limits<double>::quiet_NaN(), 3.0};
+  const std::string plot = ascii_plot(y);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_EQ(plot.find("inf"), std::string::npos);
+}
+
+TEST(AsciiPlot, MultiSeriesUsesDistinctMarks) {
+  const std::string plot =
+      ascii_plot_multi({{0.0, 1.0, 2.0}, {2.0, 1.0, 0.0}}, "ab");
+  EXPECT_NE(plot.find('a'), std::string::npos);
+  EXPECT_NE(plot.find('b'), std::string::npos);
+}
+
+TEST(AsciiPlot, XyPlotRespectsCoordinates) {
+  AsciiPlotOptions opts;
+  opts.width = 20;
+  opts.height = 5;
+  const std::string plot = ascii_plot_xy({0.0, 10.0}, {0.0, 1.0}, opts);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(AsciiHeatmap, RendersRamp) {
+  std::vector<double> values(20);
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = static_cast<double>(i);
+  const std::string map = ascii_heatmap(values, 4, 5, "heat");
+  EXPECT_NE(map.find("heat"), std::string::npos);
+  EXPECT_NE(map.find('@'), std::string::npos);  // hottest cell
+  EXPECT_NE(map.find("scale"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cav

@@ -1,0 +1,164 @@
+#include "util/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cav {
+namespace {
+
+TEST(UniformAxis, BasicProperties) {
+  const UniformAxis axis(-10.0, 10.0, 21);
+  EXPECT_DOUBLE_EQ(axis.lo(), -10.0);
+  EXPECT_DOUBLE_EQ(axis.hi(), 10.0);
+  EXPECT_DOUBLE_EQ(axis.step(), 1.0);
+  EXPECT_EQ(axis.count(), 21U);
+  EXPECT_DOUBLE_EQ(axis.value(0), -10.0);
+  EXPECT_DOUBLE_EQ(axis.value(10), 0.0);
+  EXPECT_DOUBLE_EQ(axis.value(20), 10.0);
+}
+
+TEST(UniformAxis, RejectsDegenerate) {
+  EXPECT_THROW(UniformAxis(0.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(UniformAxis(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(UniformAxis(2.0, 1.0, 5), std::invalid_argument);
+}
+
+TEST(UniformAxis, NearestClamping) {
+  const UniformAxis axis(0.0, 10.0, 11);
+  EXPECT_EQ(axis.nearest(-100.0), 0U);
+  EXPECT_EQ(axis.nearest(100.0), 10U);
+  EXPECT_EQ(axis.nearest(4.4), 4U);
+  EXPECT_EQ(axis.nearest(4.6), 5U);
+}
+
+TEST(UniformAxis, BracketInterior) {
+  const UniformAxis axis(0.0, 10.0, 11);
+  const auto b = axis.bracket(3.25);
+  EXPECT_EQ(b.index, 3U);
+  EXPECT_NEAR(b.frac, 0.25, 1e-12);
+}
+
+TEST(UniformAxis, BracketClampsOutside) {
+  const UniformAxis axis(0.0, 10.0, 11);
+  const auto lo = axis.bracket(-5.0);
+  EXPECT_EQ(lo.index, 0U);
+  EXPECT_DOUBLE_EQ(lo.frac, 0.0);
+  const auto hi = axis.bracket(25.0);
+  EXPECT_EQ(hi.index, 9U);
+  EXPECT_DOUBLE_EQ(hi.frac, 1.0);
+}
+
+class Grid3Test : public ::testing::Test {
+ protected:
+  GridN<3> grid_{std::array<UniformAxis, 3>{UniformAxis(0.0, 4.0, 5), UniformAxis(-2.0, 2.0, 5),
+                                            UniformAxis(0.0, 1.0, 3)}};
+};
+
+TEST_F(Grid3Test, SizeAndIndexRoundTrip) {
+  EXPECT_EQ(grid_.size(), 5U * 5U * 3U);
+  for (std::size_t flat = 0; flat < grid_.size(); ++flat) {
+    EXPECT_EQ(grid_.flat_index(grid_.unflatten(flat)), flat);
+  }
+}
+
+TEST_F(Grid3Test, ScatterWeightsSumToOne) {
+  RngStream rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const std::array<double, 3> p{rng.uniform(-1.0, 5.0), rng.uniform(-3.0, 3.0),
+                                  rng.uniform(-0.5, 1.5)};
+    const auto verts = grid_.scatter(p);
+    double sum = 0.0;
+    for (const auto& v : verts) {
+      EXPECT_GT(v.weight, 0.0);
+      EXPECT_LT(v.flat, grid_.size());
+      sum += v.weight;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST_F(Grid3Test, ScatterOnVertexIsSinglePoint) {
+  const std::array<std::size_t, 3> idx{2, 3, 1};
+  const auto verts = grid_.scatter(grid_.point(idx));
+  ASSERT_EQ(verts.size(), 1U);
+  EXPECT_EQ(verts[0].flat, grid_.flat_index(idx));
+  EXPECT_DOUBLE_EQ(verts[0].weight, 1.0);
+}
+
+TEST_F(Grid3Test, InterpolationExactOnVertices) {
+  std::vector<double> values(grid_.size());
+  RngStream rng(10);
+  for (auto& v : values) v = rng.uniform(-5.0, 5.0);
+  for (std::size_t flat = 0; flat < grid_.size(); ++flat) {
+    const auto p = grid_.point(grid_.unflatten(flat));
+    EXPECT_NEAR(grid_.interpolate(values, p), values[flat], 1e-12);
+  }
+}
+
+TEST_F(Grid3Test, InterpolationReproducesLinearFunctions) {
+  // Multilinear interpolation is exact for f = a + b*x + c*y + d*z.
+  const auto f = [](const std::array<double, 3>& p) {
+    return 1.5 + 2.0 * p[0] - 3.0 * p[1] + 0.5 * p[2];
+  };
+  std::vector<double> values(grid_.size());
+  for (std::size_t flat = 0; flat < grid_.size(); ++flat) {
+    values[flat] = f(grid_.point(grid_.unflatten(flat)));
+  }
+  RngStream rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const std::array<double, 3> p{rng.uniform(0.0, 4.0), rng.uniform(-2.0, 2.0),
+                                  rng.uniform(0.0, 1.0)};
+    EXPECT_NEAR(grid_.interpolate(values, p), f(p), 1e-9);
+  }
+}
+
+TEST_F(Grid3Test, InterpolationClampsOutside) {
+  std::vector<double> values(grid_.size(), 0.0);
+  // Mark the (0, *, *) face.
+  for (std::size_t flat = 0; flat < grid_.size(); ++flat) {
+    if (grid_.unflatten(flat)[0] == 0) values[flat] = 7.0;
+  }
+  // Far left of the axis: should read the clamped face value.
+  EXPECT_NEAR(grid_.interpolate(values, {-100.0, 0.0, 0.5}), 7.0, 1e-12);
+}
+
+TEST(Grid1, OneDimensionalInterpolation) {
+  GridN<1> grid{std::array<UniformAxis, 1>{UniformAxis(0.0, 10.0, 11)}};
+  std::vector<double> values(grid.size());
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = static_cast<double>(i * i);
+  EXPECT_NEAR(grid.interpolate(values, {3.5}), (9.0 + 16.0) / 2.0, 1e-12);
+}
+
+/// Property sweep: interpolation stays within [min, max] of vertex values
+/// (convex combination) across random value sets and query points.
+class GridConvexityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridConvexityTest, InterpolationIsConvexCombination) {
+  RngStream rng(static_cast<std::uint64_t>(GetParam()));
+  GridN<2> grid{std::array<UniformAxis, 2>{UniformAxis(0.0, 1.0, 4), UniformAxis(0.0, 1.0, 6)}};
+  std::vector<double> values(grid.size());
+  double lo = 1e30;
+  double hi = -1e30;
+  for (auto& v : values) {
+    v = rng.uniform(-10.0, 10.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const double q =
+        grid.interpolate(values, {rng.uniform(-0.5, 1.5), rng.uniform(-0.5, 1.5)});
+    EXPECT_GE(q, lo - 1e-9);
+    EXPECT_LE(q, hi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridConvexityTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace cav

@@ -1,0 +1,133 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace cav {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  RngStream a(42);
+  RngStream b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedDifferentSequence) {
+  RngStream a(42);
+  RngStream b(43);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DeriveIsDeterministic) {
+  RngStream a = RngStream::derive(7, "purpose", 1, 2);
+  RngStream b = RngStream::derive(7, "purpose", 1, 2);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DeriveSeparatesPurposes) {
+  RngStream a = RngStream::derive(7, "adsb", 0);
+  RngStream b = RngStream::derive(7, "disturbance", 0);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DeriveSeparatesIndices) {
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    firsts.insert(RngStream::derive(7, "x", i).next_u64());
+  }
+  EXPECT_EQ(firsts.size(), 64U);  // no collisions across 64 derived streams
+}
+
+TEST(Rng, UniformWithinBounds) {
+  RngStream rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  RngStream rng(2);
+  std::array<int, 5> counts{};
+  for (int i = 0; i < 5000; ++i) {
+    const int v = rng.uniform_int(0, 4);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 4);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (const int c : counts) EXPECT_GT(c, 800);  // roughly uniform
+}
+
+TEST(Rng, GaussianMoments) {
+  RngStream rng(3);
+  const int n = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian(5.0, 2.0);
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, ChanceExtremes) {
+  RngStream rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  RngStream rng(5);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Rng, DiscreteFollowsWeights) {
+  RngStream rng(6);
+  const std::array<double, 3> weights{0.5, 0.15, 0.35};
+  std::array<int, 3> counts{};
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(rng.discrete(weights))];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.15, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.35, 0.02);
+}
+
+TEST(Rng, Mix64AvalanchesSingleBit) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const std::uint64_t a = mix64(0x1234'5678'9abc'def0ULL);
+  const std::uint64_t b = mix64(0x1234'5678'9abc'def1ULL);
+  const int flipped = __builtin_popcountll(a ^ b);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+TEST(Rng, HashStringDistinguishes) {
+  EXPECT_NE(hash_string("adsb"), hash_string("adsc"));
+  EXPECT_NE(hash_string(""), hash_string(" "));
+  EXPECT_EQ(hash_string("same"), hash_string("same"));
+}
+
+}  // namespace
+}  // namespace cav

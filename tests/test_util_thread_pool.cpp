@@ -1,0 +1,92 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace cav {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(8);
+  const std::size_t n = 10007;  // prime, not divisible by chunking
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForSmallerThanPool) {
+  ThreadPool pool(16);
+  std::atomic<int> counter{0};
+  pool.parallel_for(3, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, SequentialParallelForCalls) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(100, [&sum](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  }
+  EXPECT_EQ(sum.load(), 10L * (99L * 100L / 2L));
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasks) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ThreadCountDefaultsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1U);
+}
+
+TEST(ThreadPool, ResultsIndependentOfThreadCount) {
+  // The same computation on 1 and 8 threads must agree (determinism of the
+  // work itself; scheduling must not matter).
+  const std::size_t n = 1000;
+  std::vector<double> out1(n);
+  std::vector<double> out8(n);
+  {
+    ThreadPool pool(1);
+    pool.parallel_for(n, [&out1](std::size_t i) { out1[i] = static_cast<double>(i) * 1.5; });
+  }
+  {
+    ThreadPool pool(8);
+    pool.parallel_for(n, [&out8](std::size_t i) { out8[i] = static_cast<double>(i) * 1.5; });
+  }
+  EXPECT_EQ(out1, out8);
+}
+
+TEST(ThreadPool, DestructionWithPendingWorkCompletes) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait_idle();
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace cav

@@ -1,0 +1,48 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace cav::units {
+namespace {
+
+TEST(Units, FeetMetersRoundTrip) {
+  EXPECT_NEAR(ft_to_m(1.0), 0.3048, 1e-12);
+  EXPECT_NEAR(m_to_ft(0.3048), 1.0, 1e-12);
+  for (double x = -10000.0; x <= 10000.0; x += 777.7) {
+    EXPECT_NEAR(m_to_ft(ft_to_m(x)), x, 1e-9);
+  }
+}
+
+TEST(Units, KnownAviationValues) {
+  // NMAC thresholds: 500 ft / 100 ft.
+  EXPECT_NEAR(ft_to_m(500.0), 152.4, 1e-9);
+  EXPECT_NEAR(ft_to_m(100.0), 30.48, 1e-9);
+  // A 1500 ft/min climb is 25 ft/s = 7.62 m/s.
+  EXPECT_NEAR(fpm_to_mps(1500.0), 7.62, 1e-9);
+  EXPECT_NEAR(mps_to_fpm(7.62), 1500.0, 1e-9);
+}
+
+TEST(Units, KnotsRoundTrip) {
+  EXPECT_NEAR(kt_to_mps(1.0), 0.5144444444, 1e-9);
+  for (double x = 0.0; x <= 600.0; x += 73.0) {
+    EXPECT_NEAR(mps_to_kt(kt_to_mps(x)), x, 1e-9);
+  }
+}
+
+TEST(Units, Gravity) {
+  EXPECT_NEAR(kGravity, 9.80665, 1e-12);
+  EXPECT_NEAR(kGravityFtS2, 32.17404855643044, 1e-9);
+  // The classic pilot-response accelerations.
+  EXPECT_NEAR(kGravityFtS2 / 4.0, 8.04, 0.01);
+  EXPECT_NEAR(kGravityFtS2 / 3.0, 10.72, 0.01);
+}
+
+TEST(Units, ConversionsAreConstexpr) {
+  static_assert(ft_to_m(0.0) == 0.0);
+  static_assert(m_to_ft(0.0) == 0.0);
+  static_assert(fpm_to_mps(0.0) == 0.0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cav::units

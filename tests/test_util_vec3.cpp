@@ -1,0 +1,89 @@
+#include "util/vec3.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace cav {
+namespace {
+
+TEST(Vec3, DefaultIsZero) {
+  const Vec3 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, -5.0, 6.0};
+  EXPECT_EQ(a + b, (Vec3{5.0, -3.0, 9.0}));
+  EXPECT_EQ(a - b, (Vec3{-3.0, 7.0, -3.0}));
+  EXPECT_EQ(a * 2.0, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1.0, 1.5}));
+  EXPECT_EQ(-a, (Vec3{-1.0, -2.0, -3.0}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1.0, 1.0, 1.0};
+  v += {1.0, 2.0, 3.0};
+  EXPECT_EQ(v, (Vec3{2.0, 3.0, 4.0}));
+  v -= {1.0, 1.0, 1.0};
+  EXPECT_EQ(v, (Vec3{1.0, 2.0, 3.0}));
+  v *= 3.0;
+  EXPECT_EQ(v, (Vec3{3.0, 6.0, 9.0}));
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  const Vec3 z{0.0, 0.0, 1.0};
+  EXPECT_EQ(x.dot(y), 0.0);
+  EXPECT_EQ(x.cross(y), z);
+  EXPECT_EQ(y.cross(z), x);
+  EXPECT_EQ(z.cross(x), y);
+  EXPECT_EQ((Vec3{2.0, 3.0, 4.0}).dot({5.0, 6.0, 7.0}), 10.0 + 18.0 + 28.0);
+}
+
+TEST(Vec3, Norms) {
+  const Vec3 v{3.0, 4.0, 12.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 13.0);
+  EXPECT_DOUBLE_EQ(v.norm_sq(), 169.0);
+  EXPECT_DOUBLE_EQ(v.horizontal_norm(), 5.0);
+}
+
+TEST(Vec3, NormalizedUnitLength) {
+  const Vec3 v{3.0, 4.0, 0.0};
+  const Vec3 n = v.normalized();
+  EXPECT_DOUBLE_EQ(n.norm(), 1.0);
+  EXPECT_DOUBLE_EQ(n.x, 0.6);
+  EXPECT_DOUBLE_EQ(n.y, 0.8);
+}
+
+TEST(Vec3, NormalizedZeroStaysZero) {
+  EXPECT_EQ(Vec3{}.normalized(), Vec3{});
+}
+
+TEST(Vec3, Distances) {
+  const Vec3 a{0.0, 0.0, 0.0};
+  const Vec3 b{3.0, 4.0, 10.0};
+  EXPECT_DOUBLE_EQ(horizontal_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(vertical_distance(a, b), 10.0);
+  EXPECT_DOUBLE_EQ(distance(a, b), std::sqrt(125.0));
+}
+
+TEST(Vec3, VerticalDistanceIsAbsolute) {
+  EXPECT_DOUBLE_EQ(vertical_distance({0, 0, 5}, {0, 0, -3}), 8.0);
+  EXPECT_DOUBLE_EQ(vertical_distance({0, 0, -3}, {0, 0, 5}), 8.0);
+}
+
+TEST(Vec3, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3{1.5, -2.0, 3.0};
+  EXPECT_EQ(os.str(), "(1.5, -2, 3)");
+}
+
+}  // namespace
+}  // namespace cav
