@@ -30,7 +30,7 @@ core::EncounterEvaluation evaluate_with(const core::FitnessConfig& config,
 
 core::FitnessConfig base_config() {
   core::FitnessConfig config;
-  config.runs_per_encounter = 100;
+  config.runs_per_encounter = bench::smoke() ? 5 : 100;
   return config;
 }
 
@@ -57,10 +57,13 @@ int main() {
   // ---------------------------------------------------------------- (a)
   bench::banner("(a) state-space discretization (SIV: interpolation inaccuracy)");
   {
-    for (const auto& [name, space] :
-         {std::pair{"coarse grid", acasx::StateSpaceConfig::coarse()},
-          std::pair{"standard grid", acasx::StateSpaceConfig::standard()},
-          std::pair{"fine grid", acasx::StateSpaceConfig::fine()}}) {
+    std::vector<std::pair<const char*, acasx::StateSpaceConfig>> spaces{
+        {"coarse grid", acasx::StateSpaceConfig::coarse()}};
+    if (!bench::smoke()) {
+      spaces.emplace_back("standard grid", acasx::StateSpaceConfig::standard());
+      spaces.emplace_back("fine grid", acasx::StateSpaceConfig::fine());
+    }
+    for (const auto& [name, space] : spaces) {
       acasx::AcasXuConfig config;
       config.space = space;
       const auto table = std::make_shared<const acasx::LogicTable>(
@@ -192,10 +195,10 @@ int main() {
     // Fitness sharing spreads the population across distinct challenging
     // regions instead of collapsing onto the single worst encounter.
     core::ScenarioSearchConfig search;
-    search.ga.population_size = 60;
-    search.ga.generations = 5;
+    search.ga.population_size = bench::smoke() ? 12 : 60;
+    search.ga.generations = bench::smoke() ? 2 : 5;
     search.ga.seed = 77;
-    search.fitness.runs_per_encounter = 20;
+    search.fitness.runs_per_encounter = bench::smoke() ? 4 : 20;
     search.keep_top = 10;
     const auto acas_factory = sim::AcasXuCas::factory(standard);
 

@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <filesystem>
 
@@ -31,8 +33,27 @@ bool compatible(const acasx::AcasXuConfig& cached, const acasx::AcasXuConfig& wa
 
 }  // namespace
 
+bool smoke() {
+  static const bool value = [] {
+    const char* env = std::getenv("CAV_BENCH_SMOKE");
+    return env != nullptr && std::strcmp(env, "0") != 0 && std::strcmp(env, "") != 0;
+  }();
+  return value;
+}
+
 std::shared_ptr<const acasx::LogicTable> standard_table() {
   static std::shared_ptr<const acasx::LogicTable> table = [] {
+    // Smoke runs solve the coarse space instead (same code paths) and skip
+    // the cache so they never clobber a real standard table on disk.
+    if (smoke()) {
+      acasx::SolveStats stats;
+      auto solved = std::make_shared<const acasx::LogicTable>(
+          acasx::solve_logic_table(acasx::AcasXuConfig::coarse(), &pool(), &stats));
+      std::printf("[setup] smoke mode: solved coarse logic table in %.2f s\n",
+                  stats.wall_seconds);
+      return solved;
+    }
+
     const acasx::AcasXuConfig wanted = acasx::AcasXuConfig::standard();
     const std::string cache_path = output_dir() + "/standard_table.bin";
 

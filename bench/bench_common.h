@@ -33,4 +33,18 @@ inline void banner(const char* title) {
   std::printf("==============================================================\n");
 }
 
+/// True when CAV_BENCH_SMOKE=1: the `bench-smoke` CMake target sets it so
+/// every perf binary runs its code paths on shrunken workloads (coarse
+/// grids, few encounters) purely to prove it still builds and executes —
+/// timings in smoke mode are meaningless.
+bool smoke();
+
+/// The solver config a bench should use for "the standard table": the real
+/// standard space normally, the coarse space under smoke mode.  Every bench
+/// that solves its own table goes through this so none can accidentally run
+/// a full standard solve inside the bench-smoke bit-rot check.
+inline acasx::AcasXuConfig standard_or_smoke_config() {
+  return smoke() ? acasx::AcasXuConfig::coarse() : acasx::AcasXuConfig::standard();
+}
+
 }  // namespace cav::bench

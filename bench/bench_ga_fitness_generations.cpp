@@ -26,7 +26,7 @@
 int main() {
   using namespace cav;
 
-  double scale = 1.0;
+  double scale = bench::smoke() ? 0.05 : 1.0;
   if (const char* env = std::getenv("CAV_E3_SCALE")) scale = std::atof(env);
 
   bench::banner("E3: GA fitness over generations (paper Fig. 6)");

@@ -30,7 +30,7 @@ int evals_to_threshold(const std::vector<double>& series, double threshold) {
 int main() {
   using namespace cav;
 
-  double scale = 1.0;
+  double scale = bench::smoke() ? 0.05 : 1.0;
   if (const char* env = std::getenv("CAV_E5_SCALE")) scale = std::atof(env);
 
   bench::banner("E5: GA vs random search at equal budget (paper SV / ref [7])");

@@ -27,7 +27,7 @@
 int main() {
   using namespace cav;
 
-  double scale = 1.0;
+  double scale = bench::smoke() ? 0.1 : 1.0;
   if (const char* env = std::getenv("CAV_E10_SCALE")) scale = std::atof(env);
 
   bench::banner("E10: model revision after the GA findings (Fig. 1 loop)");
@@ -44,7 +44,7 @@ int main() {
   const auto combined = sim::CombinedCas::factory(vertical, horizontal);
 
   core::FitnessConfig config;
-  config.runs_per_encounter = 100;
+  config.runs_per_encounter = bench::smoke() ? 5 : 100;
   const core::EncounterEvaluator before(config, vertical_only, vertical_only);
   const core::EncounterEvaluator after(config, combined, combined);
 

@@ -18,7 +18,7 @@
 int main() {
   using namespace cav;
 
-  std::size_t encounters = 4000;
+  std::size_t encounters = bench::smoke() ? 60 : 4000;
   if (const char* env = std::getenv("CAV_E7_ENCOUNTERS")) {
     encounters = static_cast<std::size_t>(std::atol(env));
   }

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "acasx/offline_solver.h"
+#include "bench_common.h"
 #include "core/fitness.h"
 #include "encounter/encounter.h"
 #include "sim/acasx_cas.h"
@@ -16,13 +17,9 @@ namespace {
 
 using namespace cav;
 
-std::shared_ptr<const acasx::LogicTable>& table() {
-  static auto t = [] {
-    ThreadPool pool;
-    return std::make_shared<const acasx::LogicTable>(
-        acasx::solve_logic_table(acasx::AcasXuConfig::standard(), &pool));
-  }();
-  return t;
+std::shared_ptr<const acasx::LogicTable> table() {
+  // Shared helper: disk-cached standard table (coarse under smoke mode).
+  return bench::standard_table();
 }
 
 void BM_TauEstimate(benchmark::State& state) {

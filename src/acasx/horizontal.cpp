@@ -189,7 +189,10 @@ HorizontalTable solve_horizontal_table(const HorizontalConfig& config, ThreadPoo
   double residual = 0.0;
   for (std::size_t it = 0; it < config.max_iterations; ++it) {
     if (pool != nullptr) {
-      pool->parallel_for(n, update_state);
+      // Range-based dispatch: one closure call per chunk, not per state.
+      pool->parallel_for_ranges(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t flat = begin; flat < end; ++flat) update_state(flat);
+      });
     } else {
       for (std::size_t flat = 0; flat < n; ++flat) update_state(flat);
     }

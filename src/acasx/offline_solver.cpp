@@ -4,6 +4,7 @@
 #include <array>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -18,6 +19,7 @@ using ValueLayer = std::vector<float>;
 
 /// Expected next-layer value for one (state, action): average over the
 /// applicable acceleration-noise hypotheses, each scattered onto the grid.
+/// Reference kernel — the stencil path must agree with this to rounding.
 double expected_next_value(const GridN<3>& grid, const ValueLayer& v_next, double h,
                            double dh_own, double dh_int, Advisory action,
                            const DynamicsConfig& dyn,
@@ -52,9 +54,127 @@ double expected_next_value(const GridN<3>& grid, const ValueLayer& v_next, doubl
   return acc;
 }
 
+/// Precompiled successor stencils.  For every (grid point, action) row we
+/// record the next-layer grid vertices that receive probability mass,
+/// grouped by noise-pair exactly as expected_next_value visits them:
+///
+///   row (g, a) -> groups [group_offsets[r], group_offsets[r+1])
+///   group j    -> pair weight group_weight[j] and interpolation entries
+///                 [entry_offsets[j], entry_offsets[j+1])  (vertex, weight)
+///
+/// Keeping the two-level accumulation (inner interpolation sum, then the
+/// pair-weighted outer sum) preserves the reference kernel's floating-
+/// point evaluation order, so the stencil sweep is BIT-IDENTICAL to the
+/// per-layer recomputation — only ~100x cheaper, because the dynamics,
+/// clamping, and scatter (with its per-call heap allocation) run once per
+/// row instead of once per row per tau layer.
+struct StencilSet {
+  std::vector<std::size_t> group_offsets;  ///< row r -> group range
+  std::vector<double> group_weight;        ///< per-group noise-pair probability
+  std::vector<std::size_t> entry_offsets;  ///< group -> entry range
+  std::vector<std::uint32_t> vertex;       ///< flat grid index of successor vertex
+  std::vector<double> weight;              ///< multilinear interpolation weight
+
+  std::size_t num_entries() const { return vertex.size(); }
+};
+
+/// One row's groups, built independently per grid point for parallelism.
+struct StencilRow {
+  struct Group {
+    double pair_weight;
+    std::vector<GridVertexWeight> entries;
+  };
+  std::vector<Group> groups;
+};
+
+/// Record the stencil row for one (grid point, action): the same noise /
+/// dynamics / scatter walk as expected_next_value, stored instead of
+/// evaluated.
+StencilRow build_stencil_row(const GridN<3>& grid, double h, double dh_own, double dh_int,
+                             Advisory action, const DynamicsConfig& dyn,
+                             const std::array<NoiseSample, 3>& noise) {
+  const double dt = dyn.dt_s;
+  const bool own_noisy = (action == Advisory::kCoc);
+  const double dh_own_cmd = advisory_rate_response(dh_own, action, dyn);
+
+  StencilRow row;
+  row.groups.reserve(noise.size() * noise.size());
+  for (const NoiseSample& own_n : noise) {
+    const double w_own = own_noisy ? own_n.weight : (own_n.accel_fps2 == 0.0 ? 1.0 : 0.0);
+    if (w_own == 0.0) continue;
+    const double dh_own_new =
+        std::clamp(dh_own_cmd + (own_noisy ? own_n.accel_fps2 * dt : 0.0),
+                   grid.axis(1).lo(), grid.axis(1).hi());
+    for (const NoiseSample& int_n : noise) {
+      const double dh_int_new =
+          std::clamp(dh_int + int_n.accel_fps2 * dt, grid.axis(2).lo(), grid.axis(2).hi());
+      const double h_new =
+          integrate_relative_altitude(h, dh_own, dh_own_new, dh_int, dh_int_new, dt);
+      row.groups.push_back(
+          {w_own * int_n.weight, grid.scatter({h_new, dh_own_new, dh_int_new})});
+    }
+  }
+  return row;
+}
+
+StencilSet build_stencils(const GridN<3>& grid, const DynamicsConfig& dyn,
+                          const std::array<NoiseSample, 3>& noise, ThreadPool* pool) {
+  const std::size_t num_points = grid.size();
+  const std::size_t num_rows = num_points * kNumAdvisories;
+
+  // Row sizes are data-dependent, so build per-point rows independently
+  // (parallel) and concatenate with a serial prefix pass afterwards.
+  std::vector<StencilRow> rows(num_rows);
+  const auto build_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t g = begin; g < end; ++g) {
+      const auto idx = grid.unflatten(g);
+      const double h = grid.axis(0).value(idx[0]);
+      const double dh_own = grid.axis(1).value(idx[1]);
+      const double dh_int = grid.axis(2).value(idx[2]);
+      for (std::size_t a = 0; a < kNumAdvisories; ++a) {
+        rows[g * kNumAdvisories + a] = build_stencil_row(
+            grid, h, dh_own, dh_int, static_cast<Advisory>(a), dyn, noise);
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for_ranges(num_points, build_range);
+  } else {
+    build_range(0, num_points);
+  }
+
+  StencilSet set;
+  set.group_offsets.assign(num_rows + 1, 0);
+  std::size_t num_groups = 0;
+  std::size_t num_entries = 0;
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    num_groups += rows[r].groups.size();
+    set.group_offsets[r + 1] = num_groups;
+    for (const auto& group : rows[r].groups) num_entries += group.entries.size();
+  }
+  set.group_weight.reserve(num_groups);
+  set.entry_offsets.reserve(num_groups + 1);
+  set.entry_offsets.push_back(0);
+  set.vertex.reserve(num_entries);
+  set.weight.reserve(num_entries);
+  for (auto& row : rows) {
+    for (const auto& group : row.groups) {
+      set.group_weight.push_back(group.pair_weight);
+      for (const auto& e : group.entries) {
+        set.vertex.push_back(static_cast<std::uint32_t>(e.flat));
+        set.weight.push_back(e.weight);
+      }
+      set.entry_offsets.push_back(set.vertex.size());
+    }
+    row = StencilRow{};  // release per-row heap early; caps peak memory at ~1x
+  }
+  return set;
+}
+
 }  // namespace
 
-LogicTable solve_logic_table(const AcasXuConfig& config, ThreadPool* pool, SolveStats* stats) {
+LogicTable solve_logic_table(const AcasXuConfig& config, ThreadPool* pool, SolveStats* stats,
+                             SolverMode mode) {
   const auto start_time = std::chrono::steady_clock::now();
 
   LogicTable table(config);
@@ -85,22 +205,24 @@ LogicTable solve_logic_table(const AcasXuConfig& config, ThreadPool* pool, Solve
     }
   }
 
+  StencilSet stencils;
+  if (mode == SolverMode::kPrecompiledStencils) {
+    const auto build_start = std::chrono::steady_clock::now();
+    stencils = build_stencils(grid, config.dynamics, noise, pool);
+    if (stats != nullptr) {
+      stats->stencil_entries = stencils.num_entries();
+      stats->stencil_build_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - build_start).count();
+    }
+  }
+
   ValueLayer v_cur(num_points * kNumAdvisories, 0.0F);
 
-  const auto solve_point = [&](std::size_t tau, std::size_t g) {
-    const auto idx = grid.unflatten(g);
-    const double h = grid.axis(0).value(idx[0]);
-    const double dh_own = grid.axis(1).value(idx[1]);
-    const double dh_int = grid.axis(2).value(idx[2]);
-
-    // The expected successor value depends on (state, action) but not on
-    // the advisory memory, so hoist it out of the ra loop.
-    std::array<double, kNumAdvisories> next_value{};
-    for (std::size_t a = 0; a < kNumAdvisories; ++a) {
-      next_value[a] = expected_next_value(grid, v_prev, h, dh_own, dh_int,
-                                          static_cast<Advisory>(a), config.dynamics, noise);
-    }
-
+  // Per-point layer update: expected successor values per action (hoisted
+  // out of the ra loop — they depend on the advisory memory only through
+  // the successor's ra' = a), then the costed Bellman minimum.
+  const auto finish_point = [&](std::size_t tau, std::size_t g,
+                                const std::array<double, kNumAdvisories>& next_value) {
     for (std::size_t ra = 0; ra < kNumAdvisories; ++ra) {
       double best = std::numeric_limits<double>::infinity();
       for (std::size_t a = 0; a < kNumAdvisories; ++a) {
@@ -115,11 +237,49 @@ LogicTable solve_logic_table(const AcasXuConfig& config, ThreadPool* pool, Solve
     }
   };
 
+  const auto solve_point_stencil = [&](std::size_t tau, std::size_t g) {
+    std::array<double, kNumAdvisories> next_value{};
+    for (std::size_t a = 0; a < kNumAdvisories; ++a) {
+      const std::size_t r = g * kNumAdvisories + a;
+      double acc = 0.0;
+      for (std::size_t j = stencils.group_offsets[r]; j < stencils.group_offsets[r + 1]; ++j) {
+        double value = 0.0;
+        for (std::size_t k = stencils.entry_offsets[j]; k < stencils.entry_offsets[j + 1]; ++k) {
+          value += stencils.weight[k] *
+                   static_cast<double>(v_prev[stencils.vertex[k] * kNumAdvisories + a]);
+        }
+        acc += stencils.group_weight[j] * value;
+      }
+      next_value[a] = acc;
+    }
+    finish_point(tau, g, next_value);
+  };
+
+  const auto solve_point_reference = [&](std::size_t tau, std::size_t g) {
+    const auto idx = grid.unflatten(g);
+    const double h = grid.axis(0).value(idx[0]);
+    const double dh_own = grid.axis(1).value(idx[1]);
+    const double dh_int = grid.axis(2).value(idx[2]);
+    std::array<double, kNumAdvisories> next_value{};
+    for (std::size_t a = 0; a < kNumAdvisories; ++a) {
+      next_value[a] = expected_next_value(grid, v_prev, h, dh_own, dh_int,
+                                          static_cast<Advisory>(a), config.dynamics, noise);
+    }
+    finish_point(tau, g, next_value);
+  };
+
   for (std::size_t tau = 1; tau <= tau_max; ++tau) {
+    const auto sweep_range = [&](std::size_t begin, std::size_t end) {
+      if (mode == SolverMode::kPrecompiledStencils) {
+        for (std::size_t g = begin; g < end; ++g) solve_point_stencil(tau, g);
+      } else {
+        for (std::size_t g = begin; g < end; ++g) solve_point_reference(tau, g);
+      }
+    };
     if (pool != nullptr) {
-      pool->parallel_for(num_points, [&](std::size_t g) { solve_point(tau, g); });
+      pool->parallel_for_ranges(num_points, sweep_range);
     } else {
-      for (std::size_t g = 0; g < num_points; ++g) solve_point(tau, g);
+      sweep_range(0, num_points);
     }
     v_prev.swap(v_cur);
   }

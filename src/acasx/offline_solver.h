@@ -13,6 +13,14 @@
 // multilinear weights — the interpolation step whose fidelity §IV calls
 // out as a validation concern (ablated in bench_ablations).
 //
+// The successor stencil of each (grid point, action) — which vertices of
+// the next layer receive probability mass, and with what weight — does not
+// depend on tau, so the default solver PRECOMPILES all stencils once
+// (noise pairs and interpolation weights folded together) and reduces each
+// layer's expected-value computation to a sparse dot product over the
+// previous layer, parallelized across grid points.  SolverMode::kReference
+// keeps the original per-layer recomputation as a cross-check.
+//
 // This is the paper's "Optimization" box in Fig. 1 (MDP model -> logic
 // table); footnote 2 reports <5 min on a laptop for the real model — the
 // bench_value_iteration binary reports our timing.
@@ -29,11 +37,22 @@ struct SolveStats {
   std::size_t states_per_layer = 0;
   std::size_t layers = 0;
   double wall_seconds = 0.0;
+  std::size_t stencil_entries = 0;     ///< total (vertex, weight) pairs precompiled
+  double stencil_build_seconds = 0.0;  ///< time spent precompiling stencils
 };
 
-/// Solve the MDP defined by `config`; parallelizes within each tau layer
-/// over `pool` when provided.
+enum class SolverMode {
+  kPrecompiledStencils,  ///< default: stencils built once, sparse-dot sweeps
+  kReference,            ///< original path: scatter recomputed every layer
+};
+
+/// Solve the MDP defined by `config`; parallelizes the stencil build and
+/// each tau layer over `pool` when provided.  Both modes, with or without
+/// a pool, produce bit-identical tables: the stencils preserve the
+/// reference kernel's two-level accumulation order, and each grid point's
+/// writes are independent of sweep scheduling.
 LogicTable solve_logic_table(const AcasXuConfig& config, ThreadPool* pool = nullptr,
-                             SolveStats* stats = nullptr);
+                             SolveStats* stats = nullptr,
+                             SolverMode mode = SolverMode::kPrecompiledStencils);
 
 }  // namespace cav::acasx

@@ -1,8 +1,8 @@
 #include "core/monte_carlo.h"
 
-#include <atomic>
+#include <algorithm>
 #include <limits>
-#include <mutex>
+#include <vector>
 
 #include "encounter/encounter.h"
 #include "sim/simulation.h"
@@ -18,12 +18,21 @@ SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
   rates.system = system_name;
   rates.encounters = config.encounters;
 
-  std::atomic<std::size_t> nmacs{0};
-  std::atomic<std::size_t> alerts{0};
-  std::mutex sep_mutex;
-  double sep_sum = 0.0;
+  // Striped accumulators: each stripe owns a contiguous slice of the
+  // encounter indices and accumulates into its own slot, so the hot loop
+  // carries no lock or atomic and validation scales with cores.  Stripes
+  // are combined in index order afterwards, which makes the totals —
+  // including the floating-point separation sum — bit-identical for any
+  // thread count (and for the serial path, which walks the same stripes).
+  struct Partial {
+    std::size_t nmacs = 0;
+    std::size_t alerts = 0;
+    double sep_sum = 0.0;
+  };
+  const std::size_t num_stripes = std::min<std::size_t>(config.encounters, 64);
+  std::vector<Partial> partials(num_stripes);
 
-  const auto run_one = [&](std::size_t i) {
+  const auto run_one = [&](std::size_t i, Partial& local) {
     // The geometry stream depends only on (seed, i): every system sees the
     // same traffic sample.
     RngStream geometry_rng = RngStream::derive(config.seed, "mc-geometry", i);
@@ -45,24 +54,31 @@ SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
     const sim::SimResult result =
         sim::run_encounter(sim_config, std::move(own), std::move(intruder), sim_seed);
 
-    if (result.nmac) nmacs.fetch_add(1, std::memory_order_relaxed);
-    if (result.own.ever_alerted || result.intruder.ever_alerted) {
-      alerts.fetch_add(1, std::memory_order_relaxed);
-    }
-    {
-      const std::lock_guard<std::mutex> lock(sep_mutex);
-      sep_sum += result.proximity.min_distance_m;
-    }
+    if (result.nmac) ++local.nmacs;
+    if (result.own.ever_alerted || result.intruder.ever_alerted) ++local.alerts;
+    local.sep_sum += result.proximity.min_distance_m;
+  };
+
+  const auto run_stripe = [&](std::size_t stripe) {
+    const std::size_t begin = stripe * config.encounters / num_stripes;
+    const std::size_t end = (stripe + 1) * config.encounters / num_stripes;
+    Partial local;  // accumulate on the stack; one write-back per stripe
+    for (std::size_t i = begin; i < end; ++i) run_one(i, local);
+    partials[stripe] = local;
   };
 
   if (pool != nullptr) {
-    pool->parallel_for(config.encounters, run_one);
+    pool->parallel_for(num_stripes, run_stripe);
   } else {
-    for (std::size_t i = 0; i < config.encounters; ++i) run_one(i);
+    for (std::size_t stripe = 0; stripe < num_stripes; ++stripe) run_stripe(stripe);
   }
 
-  rates.nmacs = nmacs.load();
-  rates.alerts = alerts.load();
+  double sep_sum = 0.0;
+  for (const Partial& p : partials) {
+    rates.nmacs += p.nmacs;
+    rates.alerts += p.alerts;
+    sep_sum += p.sep_sum;
+  }
   rates.mean_min_separation_m =
       config.encounters ? sep_sum / static_cast<double>(config.encounters) : 0.0;
   return rates;

@@ -11,6 +11,7 @@ Policy greedy_policy(const QTable& table, std::size_t num_states) {
     Action best_a = 0;
     for (std::size_t a = 0; a < table.num_actions; ++a) {
       const double q = table.q[s * table.num_actions + a];
+      // Strict < keeps the lowest action index on ties (documented contract).
       if (q < best) {
         best = q;
         best_a = static_cast<Action>(a);

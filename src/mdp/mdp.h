@@ -68,6 +68,11 @@ struct QTable {
 };
 
 /// Extract the greedy (cost-minimizing) policy from a Q table.
+///
+/// Tie-breaking is deterministic: among equal-cost actions the LOWEST
+/// action index wins.  Every solver (virtual or compiled, serial or
+/// parallel) funnels through this rule, so logic tables are reproducible
+/// bit-for-bit across runs and thread counts.
 Policy greedy_policy(const QTable& table, std::size_t num_states);
 
 /// Expected cost of (s, a): cost(s,a) + discount * sum_s' p * V(s').

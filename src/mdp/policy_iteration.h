@@ -3,11 +3,19 @@
 // best strategy" (§III).  Policy evaluation is iterative (successive
 // approximation) rather than a linear solve, which is appropriate for the
 // sparse episodic models in this library.
+//
+// Like value iteration, the solver compiles the model once into flat CSR
+// arrays (CompiledMdp) and sweeps those.  Policy evaluation updates in
+// place (Gauss-Seidel style) and stays serial; the improvement step only
+// reads the value vector and parallelizes across states when a ThreadPool
+// is supplied.
 #pragma once
 
 #include <cstddef>
 
+#include "mdp/compiled_mdp.h"
 #include "mdp/mdp.h"
+#include "util/thread_pool.h"
 
 namespace cav::mdp {
 
@@ -16,6 +24,11 @@ struct PolicyIterationConfig {
   double eval_tolerance = 1e-9;       ///< policy-evaluation residual
   std::size_t max_eval_sweeps = 10000;
   std::size_t max_policy_updates = 1000;
+  bool use_compiled = true;           ///< false = legacy virtual-dispatch sweeps
+  /// Parallel improvement step when non-null.  Compiled path only: the
+  /// legacy virtual path (use_compiled = false) is a serial reference and
+  /// ignores the pool.
+  ThreadPool* pool = nullptr;
 };
 
 struct PolicyIterationResult {
@@ -26,6 +39,10 @@ struct PolicyIterationResult {
 };
 
 PolicyIterationResult solve_policy_iteration(const FiniteMdp& mdp,
+                                             const PolicyIterationConfig& config = {});
+
+/// Solve an already-compiled model (`use_compiled` is ignored).
+PolicyIterationResult solve_policy_iteration(const CompiledMdp& mdp,
                                              const PolicyIterationConfig& config = {});
 
 }  // namespace cav::mdp

@@ -3,11 +3,21 @@
 // Supports Jacobi sweeps (classic VI) and in-place Gauss-Seidel sweeps,
 // which converge in fewer iterations on layered problems like the paper's
 // 2-D example where the intruder's x coordinate only decreases.
+//
+// By default the model is compiled once into flat CSR arrays (CompiledMdp)
+// and all sweeps run on the compiled kernel; Jacobi sweeps additionally
+// parallelize across states when a ThreadPool is supplied (Gauss-Seidel is
+// inherently sequential and stays serial, but still uses the kernel).
+// Both paths produce bit-identical results — the virtual-dispatch path is
+// kept as a cross-check reference and for one-shot solves of models too
+// large to flatten.
 #pragma once
 
 #include <cstddef>
 
+#include "mdp/compiled_mdp.h"
 #include "mdp/mdp.h"
+#include "util/thread_pool.h"
 
 namespace cav::mdp {
 
@@ -16,6 +26,11 @@ struct ValueIterationConfig {
   double tolerance = 1e-9;        ///< max-norm residual for convergence
   std::size_t max_iterations = 10000;
   bool gauss_seidel = false;      ///< update values in place during a sweep
+  bool use_compiled = true;       ///< false = legacy virtual-dispatch sweeps
+  /// Parallel Jacobi sweeps when non-null.  Compiled path only: the legacy
+  /// virtual path (use_compiled = false) is a serial reference and ignores
+  /// the pool.  Gauss-Seidel also stays serial by construction.
+  ThreadPool* pool = nullptr;
 };
 
 struct ValueIterationResult {
@@ -31,11 +46,24 @@ struct ValueIterationResult {
 ValueIterationResult solve_value_iteration(const FiniteMdp& mdp,
                                            const ValueIterationConfig& config = {});
 
+/// Solve an already-compiled model (lets callers amortize compilation
+/// across repeated solves, e.g. model-revision sweeps).  `use_compiled`
+/// is ignored — this entry point is always compiled.
+ValueIterationResult solve_value_iteration(const CompiledMdp& mdp,
+                                           const ValueIterationConfig& config = {});
+
 /// Finite-horizon backward induction: returns values for each
 /// stage t = 0..horizon, where values[t] is the optimal expected cost with
 /// t decision steps remaining.  values[0][s] = terminal_cost for terminal
-/// states and 0 otherwise.
+/// states and 0 otherwise.  Parallelizes each stage over `pool` when given
+/// (compiled path only); use_compiled = false runs the legacy serial
+/// virtual-dispatch reference, as in the other solvers.
 std::vector<Values> solve_finite_horizon(const FiniteMdp& mdp, std::size_t horizon,
-                                         double discount = 1.0);
+                                         double discount = 1.0, ThreadPool* pool = nullptr,
+                                         bool use_compiled = true);
+
+/// Finite-horizon backward induction on a pre-compiled model.
+std::vector<Values> solve_finite_horizon(const CompiledMdp& mdp, std::size_t horizon,
+                                         double discount = 1.0, ThreadPool* pool = nullptr);
 
 }  // namespace cav::mdp

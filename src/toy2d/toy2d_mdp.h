@@ -32,6 +32,10 @@
 
 #include "mdp/mdp.h"
 
+namespace cav {
+class ThreadPool;
+}
+
 namespace cav::toy2d {
 
 enum class Action : int { kLevel = 0, kUp = 1, kDown = 2 };
@@ -122,7 +126,9 @@ class PolicyTable {
   mdp::Values values_;
 };
 
-/// Solve the model with value iteration and wrap the result.
-PolicyTable solve(const Toy2dMdp& model);
+/// Solve the model with value iteration (compiled CSR kernel) and wrap the
+/// result.  A ThreadPool parallelizes the Jacobi sweeps; results are
+/// identical with or without one.
+PolicyTable solve(const Toy2dMdp& model, ThreadPool* pool = nullptr);
 
 }  // namespace cav::toy2d

@@ -39,6 +39,13 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  parallel_for_ranges(n, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::parallel_for_ranges(std::size_t n,
+                                     const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   // Chunk the index space so that small items do not drown in queue
   // overhead; an atomic cursor keeps the chunks balanced.
@@ -50,8 +57,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
       for (;;) {
         const std::size_t begin = cursor->fetch_add(chunk);
         if (begin >= n) return;
-        const std::size_t end = std::min(n, begin + chunk);
-        for (std::size_t i = begin; i < end; ++i) fn(i);
+        fn(begin, std::min(n, begin + chunk));
       }
     });
   }

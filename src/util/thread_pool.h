@@ -37,6 +37,13 @@ class ThreadPool {
   /// fn is invoked concurrently; it must synchronize its own shared state.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Range-based variant: fn(begin, end) is called once per contiguous
+  /// chunk of [0, n), so hot loops pay one std::function dispatch per chunk
+  /// instead of per index, and callers can keep per-chunk partial results
+  /// (combined after the call) instead of synchronizing per item.
+  void parallel_for_ranges(std::size_t n,
+                           const std::function<void(std::size_t, std::size_t)>& fn);
+
  private:
   void worker_loop();
 

@@ -172,6 +172,29 @@ TEST(TableSolver, ParallelMatchesSerial) {
   }
 }
 
+TEST(TableSolver, StencilsMatchReferenceSolverExactly) {
+  // The precompiled stencils preserve the reference kernel's two-level
+  // accumulation order (inner interpolation sum, pair-weighted outer sum),
+  // so the fast path must reproduce the legacy table bit for bit.
+  const AcasXuConfig config = AcasXuConfig::coarse();
+  const LogicTable stencil = solve_logic_table(config);
+  const LogicTable reference =
+      solve_logic_table(config, nullptr, nullptr, SolverMode::kReference);
+  ASSERT_EQ(stencil.raw().size(), reference.raw().size());
+  for (std::size_t i = 0; i < stencil.raw().size(); ++i) {
+    ASSERT_EQ(stencil.raw()[i], reference.raw()[i]) << "entry " << i;
+  }
+}
+
+TEST(TableSolver, StencilStatsReported) {
+  SolveStats stats;
+  const LogicTable table = solve_logic_table(AcasXuConfig::coarse(), nullptr, &stats);
+  // Every non-degenerate (grid point, action) row scatters somewhere.
+  EXPECT_GE(stats.stencil_entries, table.num_grid_points() * kNumAdvisories);
+  EXPECT_GT(stats.stencil_build_seconds, 0.0);
+  EXPECT_LE(stats.stencil_build_seconds, stats.wall_seconds);
+}
+
 TEST(TableSolver, StatsReported) {
   SolveStats stats;
   const LogicTable table = solve_logic_table(AcasXuConfig::coarse(), nullptr, &stats);

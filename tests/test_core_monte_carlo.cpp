@@ -84,6 +84,24 @@ TEST_F(MonteCarloTest, SerialMatchesParallel) {
   EXPECT_DOUBLE_EQ(serial.mean_min_separation_m, parallel.mean_min_separation_m);
 }
 
+TEST_F(MonteCarloTest, ResultsInvariantAcrossThreadCounts) {
+  // The striped accumulators are combined in stripe order, so estimates are
+  // bit-identical no matter how the work is scheduled — the lock-free
+  // rewrite must not have changed results.
+  const encounter::StatisticalEncounterModel model;
+  MonteCarloConfig config = small_config();
+  config.encounters = 90;
+  const auto serial = estimate_rates(model, config, "serial", {}, {});
+  for (const std::size_t threads : {1U, 2U, 5U}) {
+    ThreadPool pool(threads);
+    const auto parallel = estimate_rates(model, config, "parallel", {}, {}, &pool);
+    EXPECT_EQ(parallel.nmacs, serial.nmacs) << threads << " threads";
+    EXPECT_EQ(parallel.alerts, serial.alerts) << threads << " threads";
+    EXPECT_DOUBLE_EQ(parallel.mean_min_separation_m, serial.mean_min_separation_m)
+        << threads << " threads";
+  }
+}
+
 TEST_F(MonteCarloTest, ConfidenceIntervalsBracketRates) {
   const encounter::StatisticalEncounterModel model;
   const auto rates = estimate_rates(model, small_config(), "none", {}, {}, pool_);

@@ -193,6 +193,20 @@ TEST(GreedyPolicy, PicksArgmin) {
   EXPECT_EQ(p[1], 2);
 }
 
+TEST(GreedyPolicy, TiesBreakTowardLowestActionIndex) {
+  // Documented contract: among equal-cost actions the lowest index wins,
+  // so compiled/virtual and serial/parallel sweeps emit identical tables.
+  QTable q;
+  q.num_actions = 3;
+  q.q = {2.0, 2.0, 2.0,   // full three-way tie -> action 0
+         4.0, 1.0, 1.0,   // tie between 1 and 2 -> action 1
+         0.5, 0.5, 0.0};  // unique minimum last -> action 2
+  const Policy p = greedy_policy(q, 3);
+  EXPECT_EQ(p[0], 0);
+  EXPECT_EQ(p[1], 1);
+  EXPECT_EQ(p[2], 2);
+}
+
 TEST(Backup, ComputesExpectedCost) {
   const ChoiceMdp mdp;
   Values values{0.0, 0.0, 10.0};

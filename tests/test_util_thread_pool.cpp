@@ -78,6 +78,37 @@ TEST(ThreadPool, ResultsIndependentOfThreadCount) {
   EXPECT_EQ(out1, out8);
 }
 
+TEST(ThreadPool, ParallelForRangesCoversEveryIndexOnce) {
+  // Ranges must tile [0, n) exactly: every index visited once, no overlap,
+  // for sizes around the chunking boundaries.
+  for (const std::size_t n : {0UL, 1UL, 7UL, 64UL, 1000UL}) {
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> visits(n);
+    for (auto& v : visits) v.store(0);
+    pool.parallel_for_ranges(n, [&visits](std::size_t begin, std::size_t end) {
+      ASSERT_LE(begin, end);
+      for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "index " << i << " of n=" << n;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForRangesSupportsPerRangePartials) {
+  // The pattern the solvers rely on: chunk-local accumulation with one
+  // shared combine per range.
+  const std::size_t n = 500;
+  ThreadPool pool(4);
+  std::atomic<long long> total{0};
+  pool.parallel_for_ranges(n, [&total](std::size_t begin, std::size_t end) {
+    long long local = 0;
+    for (std::size_t i = begin; i < end; ++i) local += static_cast<long long>(i);
+    total.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), static_cast<long long>(n) * (n - 1) / 2);
+}
+
 TEST(ThreadPool, DestructionWithPendingWorkCompletes) {
   std::atomic<int> counter{0};
   {
