@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_logbook.dir/examples/analyze_logbook.cpp.o"
+  "CMakeFiles/analyze_logbook.dir/examples/analyze_logbook.cpp.o.d"
+  "analyze_logbook"
+  "analyze_logbook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_logbook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

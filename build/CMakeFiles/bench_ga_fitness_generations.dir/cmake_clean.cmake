@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ga_fitness_generations.dir/bench/bench_ga_fitness_generations.cpp.o"
+  "CMakeFiles/bench_ga_fitness_generations.dir/bench/bench_ga_fitness_generations.cpp.o.d"
+  "bench_ga_fitness_generations"
+  "bench_ga_fitness_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ga_fitness_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ga_vs_random.dir/bench/bench_ga_vs_random.cpp.o"
+  "CMakeFiles/bench_ga_vs_random.dir/bench/bench_ga_vs_random.cpp.o.d"
+  "bench_ga_vs_random"
+  "bench_ga_vs_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ga_vs_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

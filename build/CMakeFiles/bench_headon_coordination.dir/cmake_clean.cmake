@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headon_coordination.dir/bench/bench_headon_coordination.cpp.o"
+  "CMakeFiles/bench_headon_coordination.dir/bench/bench_headon_coordination.cpp.o.d"
+  "bench_headon_coordination"
+  "bench_headon_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headon_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

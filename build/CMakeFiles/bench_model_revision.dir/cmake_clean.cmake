@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_revision.dir/bench/bench_model_revision.cpp.o"
+  "CMakeFiles/bench_model_revision.dir/bench/bench_model_revision.cpp.o.d"
+  "bench_model_revision"
+  "bench_model_revision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_revision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

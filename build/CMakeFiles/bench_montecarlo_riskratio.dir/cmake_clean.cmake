@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_montecarlo_riskratio.dir/bench/bench_montecarlo_riskratio.cpp.o"
+  "CMakeFiles/bench_montecarlo_riskratio.dir/bench/bench_montecarlo_riskratio.cpp.o.d"
+  "bench_montecarlo_riskratio"
+  "bench_montecarlo_riskratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_montecarlo_riskratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_search_cost.dir/bench/bench_search_cost.cpp.o"
+  "CMakeFiles/bench_search_cost.dir/bench/bench_search_cost.cpp.o.d"
+  "bench_search_cost"
+  "bench_search_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tail_approach.dir/bench/bench_tail_approach.cpp.o"
+  "CMakeFiles/bench_tail_approach.dir/bench/bench_tail_approach.cpp.o.d"
+  "bench_tail_approach"
+  "bench_tail_approach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tail_approach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

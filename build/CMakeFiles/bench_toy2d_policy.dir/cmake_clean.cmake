@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_toy2d_policy.dir/bench/bench_toy2d_policy.cpp.o"
+  "CMakeFiles/bench_toy2d_policy.dir/bench/bench_toy2d_policy.cpp.o.d"
+  "bench_toy2d_policy"
+  "bench_toy2d_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_toy2d_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

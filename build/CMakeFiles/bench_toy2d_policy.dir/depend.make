@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_toy2d_policy.
+# This may be replaced when dependencies are built.

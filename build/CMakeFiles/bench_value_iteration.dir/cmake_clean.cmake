@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_value_iteration.dir/bench/bench_value_iteration.cpp.o"
+  "CMakeFiles/bench_value_iteration.dir/bench/bench_value_iteration.cpp.o.d"
+  "bench_value_iteration"
+  "bench_value_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_value_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acasx/belief_logic.cpp" "CMakeFiles/cav.dir/src/acasx/belief_logic.cpp.o" "gcc" "CMakeFiles/cav.dir/src/acasx/belief_logic.cpp.o.d"
+  "/root/repo/src/acasx/dynamics.cpp" "CMakeFiles/cav.dir/src/acasx/dynamics.cpp.o" "gcc" "CMakeFiles/cav.dir/src/acasx/dynamics.cpp.o.d"
+  "/root/repo/src/acasx/horizontal.cpp" "CMakeFiles/cav.dir/src/acasx/horizontal.cpp.o" "gcc" "CMakeFiles/cav.dir/src/acasx/horizontal.cpp.o.d"
+  "/root/repo/src/acasx/logic_table.cpp" "CMakeFiles/cav.dir/src/acasx/logic_table.cpp.o" "gcc" "CMakeFiles/cav.dir/src/acasx/logic_table.cpp.o.d"
+  "/root/repo/src/acasx/offline_solver.cpp" "CMakeFiles/cav.dir/src/acasx/offline_solver.cpp.o" "gcc" "CMakeFiles/cav.dir/src/acasx/offline_solver.cpp.o.d"
+  "/root/repo/src/acasx/online_logic.cpp" "CMakeFiles/cav.dir/src/acasx/online_logic.cpp.o" "gcc" "CMakeFiles/cav.dir/src/acasx/online_logic.cpp.o.d"
+  "/root/repo/src/baselines/svo.cpp" "CMakeFiles/cav.dir/src/baselines/svo.cpp.o" "gcc" "CMakeFiles/cav.dir/src/baselines/svo.cpp.o.d"
+  "/root/repo/src/baselines/tcas_like.cpp" "CMakeFiles/cav.dir/src/baselines/tcas_like.cpp.o" "gcc" "CMakeFiles/cav.dir/src/baselines/tcas_like.cpp.o.d"
+  "/root/repo/src/core/analysis.cpp" "CMakeFiles/cav.dir/src/core/analysis.cpp.o" "gcc" "CMakeFiles/cav.dir/src/core/analysis.cpp.o.d"
+  "/root/repo/src/core/fitness.cpp" "CMakeFiles/cav.dir/src/core/fitness.cpp.o" "gcc" "CMakeFiles/cav.dir/src/core/fitness.cpp.o.d"
+  "/root/repo/src/core/logbook.cpp" "CMakeFiles/cav.dir/src/core/logbook.cpp.o" "gcc" "CMakeFiles/cav.dir/src/core/logbook.cpp.o.d"
+  "/root/repo/src/core/monte_carlo.cpp" "CMakeFiles/cav.dir/src/core/monte_carlo.cpp.o" "gcc" "CMakeFiles/cav.dir/src/core/monte_carlo.cpp.o.d"
+  "/root/repo/src/core/scenario_search.cpp" "CMakeFiles/cav.dir/src/core/scenario_search.cpp.o" "gcc" "CMakeFiles/cav.dir/src/core/scenario_search.cpp.o.d"
+  "/root/repo/src/encounter/encounter.cpp" "CMakeFiles/cav.dir/src/encounter/encounter.cpp.o" "gcc" "CMakeFiles/cav.dir/src/encounter/encounter.cpp.o.d"
+  "/root/repo/src/encounter/statistical_model.cpp" "CMakeFiles/cav.dir/src/encounter/statistical_model.cpp.o" "gcc" "CMakeFiles/cav.dir/src/encounter/statistical_model.cpp.o.d"
+  "/root/repo/src/ga/ga.cpp" "CMakeFiles/cav.dir/src/ga/ga.cpp.o" "gcc" "CMakeFiles/cav.dir/src/ga/ga.cpp.o.d"
+  "/root/repo/src/ga/operators.cpp" "CMakeFiles/cav.dir/src/ga/operators.cpp.o" "gcc" "CMakeFiles/cav.dir/src/ga/operators.cpp.o.d"
+  "/root/repo/src/mdp/compiled_mdp.cpp" "CMakeFiles/cav.dir/src/mdp/compiled_mdp.cpp.o" "gcc" "CMakeFiles/cav.dir/src/mdp/compiled_mdp.cpp.o.d"
+  "/root/repo/src/mdp/mdp.cpp" "CMakeFiles/cav.dir/src/mdp/mdp.cpp.o" "gcc" "CMakeFiles/cav.dir/src/mdp/mdp.cpp.o.d"
+  "/root/repo/src/mdp/policy_iteration.cpp" "CMakeFiles/cav.dir/src/mdp/policy_iteration.cpp.o" "gcc" "CMakeFiles/cav.dir/src/mdp/policy_iteration.cpp.o.d"
+  "/root/repo/src/mdp/value_iteration.cpp" "CMakeFiles/cav.dir/src/mdp/value_iteration.cpp.o" "gcc" "CMakeFiles/cav.dir/src/mdp/value_iteration.cpp.o.d"
+  "/root/repo/src/sim/acasx_cas.cpp" "CMakeFiles/cav.dir/src/sim/acasx_cas.cpp.o" "gcc" "CMakeFiles/cav.dir/src/sim/acasx_cas.cpp.o.d"
+  "/root/repo/src/sim/belief_cas.cpp" "CMakeFiles/cav.dir/src/sim/belief_cas.cpp.o" "gcc" "CMakeFiles/cav.dir/src/sim/belief_cas.cpp.o.d"
+  "/root/repo/src/sim/combined_cas.cpp" "CMakeFiles/cav.dir/src/sim/combined_cas.cpp.o" "gcc" "CMakeFiles/cav.dir/src/sim/combined_cas.cpp.o.d"
+  "/root/repo/src/sim/monitors.cpp" "CMakeFiles/cav.dir/src/sim/monitors.cpp.o" "gcc" "CMakeFiles/cav.dir/src/sim/monitors.cpp.o.d"
+  "/root/repo/src/sim/sensors.cpp" "CMakeFiles/cav.dir/src/sim/sensors.cpp.o" "gcc" "CMakeFiles/cav.dir/src/sim/sensors.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "CMakeFiles/cav.dir/src/sim/simulation.cpp.o" "gcc" "CMakeFiles/cav.dir/src/sim/simulation.cpp.o.d"
+  "/root/repo/src/sim/tracker.cpp" "CMakeFiles/cav.dir/src/sim/tracker.cpp.o" "gcc" "CMakeFiles/cav.dir/src/sim/tracker.cpp.o.d"
+  "/root/repo/src/sim/trajectory.cpp" "CMakeFiles/cav.dir/src/sim/trajectory.cpp.o" "gcc" "CMakeFiles/cav.dir/src/sim/trajectory.cpp.o.d"
+  "/root/repo/src/sim/uav.cpp" "CMakeFiles/cav.dir/src/sim/uav.cpp.o" "gcc" "CMakeFiles/cav.dir/src/sim/uav.cpp.o.d"
+  "/root/repo/src/toy2d/toy2d_mdp.cpp" "CMakeFiles/cav.dir/src/toy2d/toy2d_mdp.cpp.o" "gcc" "CMakeFiles/cav.dir/src/toy2d/toy2d_mdp.cpp.o.d"
+  "/root/repo/src/toy2d/toy2d_sim.cpp" "CMakeFiles/cav.dir/src/toy2d/toy2d_sim.cpp.o" "gcc" "CMakeFiles/cav.dir/src/toy2d/toy2d_sim.cpp.o.d"
+  "/root/repo/src/util/ascii_plot.cpp" "CMakeFiles/cav.dir/src/util/ascii_plot.cpp.o" "gcc" "CMakeFiles/cav.dir/src/util/ascii_plot.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/cav.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/cav.dir/src/util/thread_pool.cpp.o.d"
+  "/root/repo/src/util/vec3.cpp" "CMakeFiles/cav.dir/src/util/vec3.cpp.o" "gcc" "CMakeFiles/cav.dir/src/util/vec3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for cav.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cav_bench_common.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/cav_bench_common.dir/bench/bench_common.cpp.o.d"
+  "libcav_bench_common.a"
+  "libcav_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cav_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcav_bench_common.a"
+)

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_acasx_advisory.cpp" "CMakeFiles/cav_tests.dir/tests/test_acasx_advisory.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_acasx_advisory.cpp.o.d"
+  "/root/repo/tests/test_acasx_belief.cpp" "CMakeFiles/cav_tests.dir/tests/test_acasx_belief.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_acasx_belief.cpp.o.d"
+  "/root/repo/tests/test_acasx_dynamics.cpp" "CMakeFiles/cav_tests.dir/tests/test_acasx_dynamics.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_acasx_dynamics.cpp.o.d"
+  "/root/repo/tests/test_acasx_horizontal.cpp" "CMakeFiles/cav_tests.dir/tests/test_acasx_horizontal.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_acasx_horizontal.cpp.o.d"
+  "/root/repo/tests/test_acasx_online.cpp" "CMakeFiles/cav_tests.dir/tests/test_acasx_online.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_acasx_online.cpp.o.d"
+  "/root/repo/tests/test_acasx_table.cpp" "CMakeFiles/cav_tests.dir/tests/test_acasx_table.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_acasx_table.cpp.o.d"
+  "/root/repo/tests/test_baselines_svo.cpp" "CMakeFiles/cav_tests.dir/tests/test_baselines_svo.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_baselines_svo.cpp.o.d"
+  "/root/repo/tests/test_baselines_tcas.cpp" "CMakeFiles/cav_tests.dir/tests/test_baselines_tcas.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_baselines_tcas.cpp.o.d"
+  "/root/repo/tests/test_core_analysis.cpp" "CMakeFiles/cav_tests.dir/tests/test_core_analysis.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_core_analysis.cpp.o.d"
+  "/root/repo/tests/test_core_fitness.cpp" "CMakeFiles/cav_tests.dir/tests/test_core_fitness.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_core_fitness.cpp.o.d"
+  "/root/repo/tests/test_core_logbook.cpp" "CMakeFiles/cav_tests.dir/tests/test_core_logbook.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_core_logbook.cpp.o.d"
+  "/root/repo/tests/test_core_monte_carlo.cpp" "CMakeFiles/cav_tests.dir/tests/test_core_monte_carlo.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_core_monte_carlo.cpp.o.d"
+  "/root/repo/tests/test_core_search.cpp" "CMakeFiles/cav_tests.dir/tests/test_core_search.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_core_search.cpp.o.d"
+  "/root/repo/tests/test_encounter.cpp" "CMakeFiles/cav_tests.dir/tests/test_encounter.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_encounter.cpp.o.d"
+  "/root/repo/tests/test_ga.cpp" "CMakeFiles/cav_tests.dir/tests/test_ga.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_ga.cpp.o.d"
+  "/root/repo/tests/test_ga_niching.cpp" "CMakeFiles/cav_tests.dir/tests/test_ga_niching.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_ga_niching.cpp.o.d"
+  "/root/repo/tests/test_ga_operators.cpp" "CMakeFiles/cav_tests.dir/tests/test_ga_operators.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_ga_operators.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "CMakeFiles/cav_tests.dir/tests/test_integration.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_integration.cpp.o.d"
+  "/root/repo/tests/test_mdp_compiled.cpp" "CMakeFiles/cav_tests.dir/tests/test_mdp_compiled.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_mdp_compiled.cpp.o.d"
+  "/root/repo/tests/test_mdp_random.cpp" "CMakeFiles/cav_tests.dir/tests/test_mdp_random.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_mdp_random.cpp.o.d"
+  "/root/repo/tests/test_mdp_solvers.cpp" "CMakeFiles/cav_tests.dir/tests/test_mdp_solvers.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_mdp_solvers.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "CMakeFiles/cav_tests.dir/tests/test_property_sweeps.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_sim_coordination.cpp" "CMakeFiles/cav_tests.dir/tests/test_sim_coordination.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_sim_coordination.cpp.o.d"
+  "/root/repo/tests/test_sim_monitors.cpp" "CMakeFiles/cav_tests.dir/tests/test_sim_monitors.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_sim_monitors.cpp.o.d"
+  "/root/repo/tests/test_sim_sensors.cpp" "CMakeFiles/cav_tests.dir/tests/test_sim_sensors.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_sim_sensors.cpp.o.d"
+  "/root/repo/tests/test_sim_simulation.cpp" "CMakeFiles/cav_tests.dir/tests/test_sim_simulation.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_sim_simulation.cpp.o.d"
+  "/root/repo/tests/test_sim_tracker.cpp" "CMakeFiles/cav_tests.dir/tests/test_sim_tracker.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_sim_tracker.cpp.o.d"
+  "/root/repo/tests/test_sim_trajectory.cpp" "CMakeFiles/cav_tests.dir/tests/test_sim_trajectory.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_sim_trajectory.cpp.o.d"
+  "/root/repo/tests/test_sim_uav.cpp" "CMakeFiles/cav_tests.dir/tests/test_sim_uav.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_sim_uav.cpp.o.d"
+  "/root/repo/tests/test_statistical_model.cpp" "CMakeFiles/cav_tests.dir/tests/test_statistical_model.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_statistical_model.cpp.o.d"
+  "/root/repo/tests/test_toy2d.cpp" "CMakeFiles/cav_tests.dir/tests/test_toy2d.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_toy2d.cpp.o.d"
+  "/root/repo/tests/test_util_angles.cpp" "CMakeFiles/cav_tests.dir/tests/test_util_angles.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_util_angles.cpp.o.d"
+  "/root/repo/tests/test_util_csv_ascii.cpp" "CMakeFiles/cav_tests.dir/tests/test_util_csv_ascii.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_util_csv_ascii.cpp.o.d"
+  "/root/repo/tests/test_util_grid.cpp" "CMakeFiles/cav_tests.dir/tests/test_util_grid.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_util_grid.cpp.o.d"
+  "/root/repo/tests/test_util_misc.cpp" "CMakeFiles/cav_tests.dir/tests/test_util_misc.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_util_misc.cpp.o.d"
+  "/root/repo/tests/test_util_rng.cpp" "CMakeFiles/cav_tests.dir/tests/test_util_rng.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_util_rng.cpp.o.d"
+  "/root/repo/tests/test_util_stats.cpp" "CMakeFiles/cav_tests.dir/tests/test_util_stats.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_util_stats.cpp.o.d"
+  "/root/repo/tests/test_util_thread_pool.cpp" "CMakeFiles/cav_tests.dir/tests/test_util_thread_pool.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_util_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_util_units.cpp" "CMakeFiles/cav_tests.dir/tests/test_util_units.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_util_units.cpp.o.d"
+  "/root/repo/tests/test_util_vec3.cpp" "CMakeFiles/cav_tests.dir/tests/test_util_vec3.cpp.o" "gcc" "CMakeFiles/cav_tests.dir/tests/test_util_vec3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/cav.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headon_coordination.dir/examples/headon_coordination.cpp.o"
+  "CMakeFiles/headon_coordination.dir/examples/headon_coordination.cpp.o.d"
+  "headon_coordination"
+  "headon_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headon_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

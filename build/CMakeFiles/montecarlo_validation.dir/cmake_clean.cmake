@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montecarlo_validation.dir/examples/montecarlo_validation.cpp.o"
+  "CMakeFiles/montecarlo_validation.dir/examples/montecarlo_validation.cpp.o.d"
+  "montecarlo_validation"
+  "montecarlo_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montecarlo_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_online_split.dir/examples/offline_online_split.cpp.o"
+  "CMakeFiles/offline_online_split.dir/examples/offline_online_split.cpp.o.d"
+  "offline_online_split"
+  "offline_online_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_online_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

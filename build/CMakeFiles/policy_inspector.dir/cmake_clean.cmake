@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_inspector.dir/examples/policy_inspector.cpp.o"
+  "CMakeFiles/policy_inspector.dir/examples/policy_inspector.cpp.o.d"
+  "policy_inspector"
+  "policy_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_challenging.dir/examples/search_challenging.cpp.o"
+  "CMakeFiles/search_challenging.dir/examples/search_challenging.cpp.o.d"
+  "search_challenging"
+  "search_challenging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_challenging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
