@@ -11,24 +11,167 @@
 //      framework still find challenging situations, and of what kind?
 //      (The paper's §VIII: the search is a development tool, re-run after
 //      every revision.)
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <vector>
 
 #include "acasx/horizontal.h"
 #include "bench_common.h"
 #include "core/analysis.h"
+#include "core/model_revision.h"
 #include "core/scenario_search.h"
 #include "encounter/encounter.h"
+#include "mdp/compiled_mdp.h"
+#include "mdp/value_iteration.h"
 #include "sim/acasx_cas.h"
 #include "sim/combined_cas.h"
+#include "toy2d/toy2d_mdp.h"
 #include "util/csv.h"
+#include "util/expect.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// The *parameter* half of the Fig. 1 revision loop: re-tune the SIII
+/// punishment weights and re-solve.  Costs change, transitions don't — so
+/// the refresh_costs path compiles the transition structure ONCE and each
+/// revision pays only for Bellman sweeps, while the naive path re-flattens
+/// the model every time.
+void bench_cost_revision_loop() {
+  using namespace cav;
+
+  bench::banner("E10a: cost-only revision loop — refresh_costs vs re-flatten");
+  toy2d::Config base;
+  base.x_max = bench::smoke() ? 19 : 60;
+  base.y_max = bench::smoke() ? 5 : 15;
+  const std::size_t revisions = bench::smoke() ? 4 : 16;
+  const auto revised_config = [&](std::size_t i) {
+    toy2d::Config c = base;
+    c.maneuver_cost = 25.0 * static_cast<double>(i + 1);
+    c.level_reward = 50.0 - 2.0 * static_cast<double>(i);
+    return c;
+  };
+
+  // Naive loop: flatten + solve per revision.
+  std::size_t flatten_count = 0;
+  mdp::Values last_naive;
+  const auto t_naive = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < revisions; ++i) {
+    const toy2d::Toy2dMdp model(revised_config(i));
+    const mdp::CompiledMdp compiled(model);
+    ++flatten_count;
+    last_naive = mdp::solve_value_iteration(compiled).values;
+  }
+  const double naive_s = seconds_since(t_naive);
+
+  // Revision loop: flatten once, refresh costs per revision.
+  const auto t_compile = std::chrono::steady_clock::now();
+  mdp::CompiledMdp compiled{toy2d::Toy2dMdp(base)};
+  const double compile_s = seconds_since(t_compile);
+  mdp::Values last_refreshed;
+  const auto t_refresh = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < revisions; ++i) {
+    compiled.refresh_costs(toy2d::Toy2dMdp(revised_config(i)));
+    last_refreshed = mdp::solve_value_iteration(compiled).values;
+  }
+  const double refresh_s = seconds_since(t_refresh);
+
+  ensure(last_naive == last_refreshed, "refreshed revisions bit-identical to re-flattened");
+  std::printf("SIII model scaled to %zu states, %zu cost revisions\n",
+              compiled.num_states(), revisions);
+  std::printf("%-34s %8.2f ms total  (%5.2f ms/revision, %zu flattens)\n",
+              "re-flatten every revision:", 1e3 * naive_s,
+              1e3 * naive_s / static_cast<double>(revisions), flatten_count);
+  std::printf("%-34s %8.2f ms total  (%5.2f ms/revision, 1 flatten: %.2f ms)\n",
+              "compile once + refresh_costs:", 1e3 * refresh_s,
+              1e3 * refresh_s / static_cast<double>(revisions), 1e3 * compile_s);
+  std::printf("revision-loop speedup: %.2fx (results bit-identical)\n",
+              naive_s / (refresh_s > 0.0 ? refresh_s : 1e-12));
+
+  // The same loop driven through core::Toy2dRevisionLoop, closing Fig. 1:
+  // revise weights -> re-solve (one compiled structure) -> simulate.
+  bench::banner("E10b: weight sweep through the revision loop (solve + rollouts)");
+  core::Toy2dRevisionLoop loop(toy2d::Config{}, bench::smoke() ? 20 : 200);
+  std::printf("%-18s %-10s %-12s %-16s %-12s\n", "maneuver cost", "sweeps", "collisions",
+              "mean maneuvers", "base cost");
+  for (const double maneuver_cost : {0.0, 50.0, 100.0, 400.0, 1600.0}) {
+    core::Toy2dCostRevision revision;
+    revision.maneuver_cost = maneuver_cost;
+    const auto report = loop.evaluate(revision, &bench::pool());
+    std::printf("%-18.0f %-10zu %zu/%-10zu %-16.2f %-12.1f\n", maneuver_cost,
+                report.solver_iterations, report.collisions, report.episodes,
+                report.mean_maneuver_steps, report.mean_base_cost);
+  }
+  std::printf("(%zu revisions evaluated on one compiled transition structure)\n",
+              loop.revisions_evaluated());
+}
+
+/// Same idea at ACAS scale: the successor stencils are the transition
+/// structure; CompiledAcasModel builds them once and re-solves the tau
+/// recursion per cost revision.
+void bench_acas_cost_revision() {
+  using namespace cav;
+
+  bench::banner("E10c: ACAS X cost revisions on precompiled stencils");
+  const acasx::AcasXuConfig config = bench::standard_or_smoke_config();
+  const std::size_t revisions = bench::smoke() ? 2 : 4;
+  const auto revised_costs = [&](std::size_t i) {
+    acasx::CostModel costs = config.costs;
+    costs.maneuver_cost = 100.0 + 50.0 * static_cast<double>(i);
+    costs.reversal_cost = 300.0 + 100.0 * static_cast<double>(i);
+    return costs;
+  };
+
+  double fresh_s = 0.0;
+  double fresh_build_s = 0.0;
+  std::vector<float> last_fresh;
+  for (std::size_t i = 0; i < revisions; ++i) {
+    acasx::AcasXuConfig revised = config;
+    revised.costs = revised_costs(i);
+    acasx::SolveStats stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    last_fresh = acasx::solve_logic_table(revised, &bench::pool(), &stats).raw();
+    fresh_s += seconds_since(t0);
+    fresh_build_s += stats.stencil_build_seconds;
+  }
+
+  const auto t_build = std::chrono::steady_clock::now();
+  const acasx::CompiledAcasModel model(config, &bench::pool());
+  const double build_s = seconds_since(t_build);
+  double reused_s = 0.0;
+  std::vector<float> last_reused;
+  for (std::size_t i = 0; i < revisions; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    last_reused = model.solve(revised_costs(i), &bench::pool()).raw();
+    reused_s += seconds_since(t0);
+  }
+
+  ensure(last_fresh == last_reused, "stencil-reuse revisions bit-identical to fresh solves");
+  std::printf("%zu cost revisions on the %s grid\n", revisions,
+              bench::smoke() ? "coarse (smoke)" : "standard");
+  std::printf("%-34s %8.0f ms  (%.0f ms spent rebuilding stencils)\n",
+              "fresh solve per revision:", 1e3 * fresh_s, 1e3 * fresh_build_s);
+  std::printf("%-34s %8.0f ms  (stencils built once: %.0f ms)\n",
+              "CompiledAcasModel::solve:", 1e3 * reused_s, 1e3 * build_s);
+  std::printf("revision-loop speedup: %.2fx (tables bit-identical)\n",
+              fresh_s / (reused_s > 0.0 ? reused_s : 1e-12));
+}
+
+}  // namespace
 
 int main() {
   using namespace cav;
 
   double scale = bench::smoke() ? 0.1 : 1.0;
   if (const char* env = std::getenv("CAV_E10_SCALE")) scale = std::atof(env);
+
+  bench_cost_revision_loop();
+  bench_acas_cost_revision();
 
   bench::banner("E10: model revision after the GA findings (Fig. 1 loop)");
   const auto vertical = bench::standard_table();

@@ -28,6 +28,10 @@ struct StateSpaceConfig {
   UniformAxis dh_int_fps{-2500.0 / 60.0, 2500.0 / 60.0, 21};
   std::size_t tau_max = 40;  ///< layers tau = 0..tau_max (ACAS XU horizon, "20-40 s ahead")
 
+  /// THE solver grid over (h, dh_own, dh_int).  Every consumer (LogicTable,
+  /// stencil builds) goes through here so their geometries cannot diverge.
+  GridN<3> grid() const { return GridN<3>({h_ft, dh_own_fps, dh_int_fps}); }
+
   /// The laptop-scale default used across benches (matches the reports'
   /// order of state count after our deliberate coarsening; see DESIGN.md).
   static StateSpaceConfig standard() { return {}; }

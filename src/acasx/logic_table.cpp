@@ -36,7 +36,7 @@ UniformAxis read_axis(std::ifstream& in) {
 
 LogicTable::LogicTable(const AcasXuConfig& config)
     : config_(config),
-      grid_({config.space.h_ft, config.space.dh_own_fps, config.space.dh_int_fps}) {
+      grid_(config.space.grid()) {
   const std::size_t n =
       num_tau_layers() * grid_.size() * kNumAdvisories * kNumAdvisories;
   q_.assign(n, 0.0F);

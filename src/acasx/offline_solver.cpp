@@ -12,6 +12,31 @@
 #include "util/expect.h"
 
 namespace cav::acasx {
+
+/// Precompiled successor stencils.  For every (grid point, action) row we
+/// record the next-layer grid vertices that receive probability mass,
+/// grouped by noise-pair exactly as expected_next_value visits them:
+///
+///   row (g, a) -> groups [group_offsets[r], group_offsets[r+1])
+///   group j    -> pair weight group_weight[j] and interpolation entries
+///                 [entry_offsets[j], entry_offsets[j+1])  (vertex, weight)
+///
+/// Keeping the two-level accumulation (inner interpolation sum, then the
+/// pair-weighted outer sum) preserves the reference kernel's floating-
+/// point evaluation order, so the stencil sweep is BIT-IDENTICAL to the
+/// per-layer recomputation — only ~100x cheaper, because the dynamics,
+/// clamping, and scatter (with its per-call heap allocation) run once per
+/// row instead of once per row per tau layer.
+struct StencilSet {
+  std::vector<std::size_t> group_offsets;  ///< row r -> group range
+  std::vector<double> group_weight;        ///< per-group noise-pair probability
+  std::vector<std::size_t> entry_offsets;  ///< group -> entry range
+  std::vector<std::uint32_t> vertex;       ///< flat grid index of successor vertex
+  std::vector<double> weight;              ///< multilinear interpolation weight
+
+  std::size_t num_entries() const { return vertex.size(); }
+};
+
 namespace {
 
 /// Value function for one tau layer: v[grid_flat * kNumAdvisories + ra].
@@ -53,30 +78,6 @@ double expected_next_value(const GridN<3>& grid, const ValueLayer& v_next, doubl
   }
   return acc;
 }
-
-/// Precompiled successor stencils.  For every (grid point, action) row we
-/// record the next-layer grid vertices that receive probability mass,
-/// grouped by noise-pair exactly as expected_next_value visits them:
-///
-///   row (g, a) -> groups [group_offsets[r], group_offsets[r+1])
-///   group j    -> pair weight group_weight[j] and interpolation entries
-///                 [entry_offsets[j], entry_offsets[j+1])  (vertex, weight)
-///
-/// Keeping the two-level accumulation (inner interpolation sum, then the
-/// pair-weighted outer sum) preserves the reference kernel's floating-
-/// point evaluation order, so the stencil sweep is BIT-IDENTICAL to the
-/// per-layer recomputation — only ~100x cheaper, because the dynamics,
-/// clamping, and scatter (with its per-call heap allocation) run once per
-/// row instead of once per row per tau layer.
-struct StencilSet {
-  std::vector<std::size_t> group_offsets;  ///< row r -> group range
-  std::vector<double> group_weight;        ///< per-group noise-pair probability
-  std::vector<std::size_t> entry_offsets;  ///< group -> entry range
-  std::vector<std::uint32_t> vertex;       ///< flat grid index of successor vertex
-  std::vector<double> weight;              ///< multilinear interpolation weight
-
-  std::size_t num_entries() const { return vertex.size(); }
-};
 
 /// One row's groups, built independently per grid point for parallelism.
 struct StencilRow {
@@ -171,12 +172,15 @@ StencilSet build_stencils(const GridN<3>& grid, const DynamicsConfig& dyn,
   return set;
 }
 
-}  // namespace
-
-LogicTable solve_logic_table(const AcasXuConfig& config, ThreadPool* pool, SolveStats* stats,
-                             SolverMode mode) {
-  const auto start_time = std::chrono::steady_clock::now();
-
+/// The tau backward induction shared by solve_logic_table and
+/// CompiledAcasModel::solve.  `stencils` must be non-null in
+/// kPrecompiledStencils mode and is ignored in kReference mode; `config`
+/// carries the cost model actually applied (possibly a revision of the one
+/// the stencils were built under — the stencils only depend on space and
+/// dynamics).
+LogicTable run_backward_induction(const AcasXuConfig& config, const StencilSet* stencil_set,
+                                  SolverMode mode, ThreadPool* pool, SolveStats* stats,
+                                  std::chrono::steady_clock::time_point start_time) {
   LogicTable table(config);
   const GridN<3>& grid = table.grid();
   const std::size_t num_points = grid.size();
@@ -205,16 +209,14 @@ LogicTable solve_logic_table(const AcasXuConfig& config, ThreadPool* pool, Solve
     }
   }
 
-  StencilSet stencils;
-  if (mode == SolverMode::kPrecompiledStencils) {
-    const auto build_start = std::chrono::steady_clock::now();
-    stencils = build_stencils(grid, config.dynamics, noise, pool);
-    if (stats != nullptr) {
-      stats->stencil_entries = stencils.num_entries();
-      stats->stencil_build_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - build_start).count();
-    }
-  }
+  expect(mode == SolverMode::kReference || stencil_set != nullptr,
+         "stencil mode requires precompiled stencils");
+  // Guard against grid/stencil divergence: a stencil set built for a
+  // different discretization would silently scatter onto wrong (or
+  // out-of-range) vertices.
+  expect(stencil_set == nullptr ||
+             stencil_set->group_offsets.size() == num_points * kNumAdvisories + 1,
+         "stencils were built for this grid");
 
   ValueLayer v_cur(num_points * kNumAdvisories, 0.0F);
 
@@ -238,6 +240,7 @@ LogicTable solve_logic_table(const AcasXuConfig& config, ThreadPool* pool, Solve
   };
 
   const auto solve_point_stencil = [&](std::size_t tau, std::size_t g) {
+    const StencilSet& stencils = *stencil_set;
     std::array<double, kNumAdvisories> next_value{};
     for (std::size_t a = 0; a < kNumAdvisories; ++a) {
       const std::size_t r = g * kNumAdvisories + a;
@@ -291,6 +294,67 @@ LogicTable solve_logic_table(const AcasXuConfig& config, ThreadPool* pool, Solve
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
   }
   return table;
+}
+
+/// The one stencil-build entry point (grid + noise + timing), shared by
+/// solve_logic_table's stencil mode and CompiledAcasModel so the two build
+/// paths cannot diverge.
+StencilSet build_stencils_for(const AcasXuConfig& config, ThreadPool* pool,
+                              double& build_seconds) {
+  const auto build_start = std::chrono::steady_clock::now();
+  StencilSet stencils =
+      build_stencils(config.space.grid(), config.dynamics,
+                     sigma_samples(config.dynamics.accel_noise_sigma_fps2), pool);
+  build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - build_start).count();
+  return stencils;
+}
+
+}  // namespace
+
+LogicTable solve_logic_table(const AcasXuConfig& config, ThreadPool* pool, SolveStats* stats,
+                             SolverMode mode) {
+  const auto start_time = std::chrono::steady_clock::now();
+
+  StencilSet stencils;
+  if (mode == SolverMode::kPrecompiledStencils) {
+    double build_seconds = 0.0;
+    stencils = build_stencils_for(config, pool, build_seconds);
+    if (stats != nullptr) {
+      stats->stencil_entries = stencils.num_entries();
+      stats->stencil_build_seconds = build_seconds;
+    }
+  }
+  return run_backward_induction(config, mode == SolverMode::kPrecompiledStencils ? &stencils : nullptr,
+                                mode, pool, stats, start_time);
+}
+
+CompiledAcasModel::CompiledAcasModel(const AcasXuConfig& config, ThreadPool* pool)
+    : config_(config) {
+  stencils_ = std::make_unique<const StencilSet>(build_stencils_for(config, pool, build_seconds_));
+}
+
+CompiledAcasModel::~CompiledAcasModel() = default;
+CompiledAcasModel::CompiledAcasModel(CompiledAcasModel&&) noexcept = default;
+CompiledAcasModel& CompiledAcasModel::operator=(CompiledAcasModel&&) noexcept = default;
+
+std::size_t CompiledAcasModel::stencil_entries() const { return stencils_->num_entries(); }
+
+LogicTable CompiledAcasModel::solve(const CostModel& costs, ThreadPool* pool,
+                                    SolveStats* stats) const {
+  AcasXuConfig revised = config_;
+  revised.costs = costs;
+  const auto start_time = std::chrono::steady_clock::now();
+  if (stats != nullptr) {
+    stats->stencil_entries = stencils_->num_entries();
+    stats->stencil_build_seconds = 0.0;  // amortized at construction
+  }
+  return run_backward_induction(revised, stencils_.get(), SolverMode::kPrecompiledStencils,
+                                pool, stats, start_time);
+}
+
+LogicTable CompiledAcasModel::solve(ThreadPool* pool, SolveStats* stats) const {
+  return solve(config_.costs, pool, stats);
 }
 
 }  // namespace cav::acasx

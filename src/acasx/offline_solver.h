@@ -27,11 +27,14 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "acasx/logic_table.h"
 #include "util/thread_pool.h"
 
 namespace cav::acasx {
+
+struct StencilSet;  // precompiled successor stencils (internal layout)
 
 struct SolveStats {
   std::size_t states_per_layer = 0;
@@ -54,5 +57,45 @@ enum class SolverMode {
 LogicTable solve_logic_table(const AcasXuConfig& config, ThreadPool* pool = nullptr,
                              SolveStats* stats = nullptr,
                              SolverMode mode = SolverMode::kPrecompiledStencils);
+
+/// The compiled transition structure of the ACAS XU MDP: the successor
+/// stencils depend only on the state-space discretization and the dynamics
+/// model, NOT on the cost ("preference") model.  Model-revision loops that
+/// re-tune punishments and re-solve (the paper's Fig. 1 revision edge, and
+/// any GA over cost weights) therefore compile once and call solve() per
+/// revision, skipping the stencil build — the ACAS analogue of
+/// mdp::CompiledMdp::refresh_costs.
+///
+/// Every solve() is bit-identical to solve_logic_table() of the matching
+/// config in kPrecompiledStencils mode (same kernels, same accumulation
+/// order).
+class CompiledAcasModel {
+ public:
+  /// Build the stencils for config.space + config.dynamics; `pool`
+  /// parallelizes the build.  config.costs is kept as the default cost
+  /// model for the zero-argument solve().
+  explicit CompiledAcasModel(const AcasXuConfig& config, ThreadPool* pool = nullptr);
+  ~CompiledAcasModel();
+  CompiledAcasModel(CompiledAcasModel&&) noexcept;
+  CompiledAcasModel& operator=(CompiledAcasModel&&) noexcept;
+
+  /// Solve the tau recursion with a revised cost model (cost-only revision:
+  /// space and dynamics stay as compiled).  The returned table's config()
+  /// carries the revised costs.
+  LogicTable solve(const CostModel& costs, ThreadPool* pool = nullptr,
+                   SolveStats* stats = nullptr) const;
+
+  /// Solve with the cost model the structure was compiled with.
+  LogicTable solve(ThreadPool* pool = nullptr, SolveStats* stats = nullptr) const;
+
+  const AcasXuConfig& config() const { return config_; }
+  std::size_t stencil_entries() const;
+  double stencil_build_seconds() const { return build_seconds_; }
+
+ private:
+  AcasXuConfig config_;
+  std::unique_ptr<const StencilSet> stencils_;
+  double build_seconds_ = 0.0;
+};
 
 }  // namespace cav::acasx

@@ -1,0 +1,80 @@
+// Cost-weight revision loop for the §III grid model — the *parameter* half
+// of the paper's Fig. 1 "manual model revision" edge.  The structural
+// revision (the horizontal MDP) is exercised in bench_model_revision; this
+// module covers the complementary loop the paper describes first: re-tune
+// the punishment/reward weights of the MDP preference model, re-run the
+// optimization, and re-evaluate the resulting logic in simulation.
+//
+// Cost revisions leave the transition structure (grid geometry and the
+// §III stochastics) untouched, so the loop compiles the model into flat
+// CSR arrays ONCE and refreshes only the cost tables between revisions
+// (mdp::CompiledMdp::refresh_costs) — each re-solve pays for Bellman
+// sweeps, not for re-flattening.  A GA over cost weights plugs in directly:
+// evaluate() is deterministic for a given (revision, seed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mdp/compiled_mdp.h"
+#include "toy2d/toy2d_mdp.h"
+
+namespace cav {
+class ThreadPool;
+}
+
+namespace cav::core {
+
+/// A cost-only revision of the §III preference model.  Defaults are the
+/// paper's numbers (collision 10000, maneuver 100, level reward 50).
+struct Toy2dCostRevision {
+  double collision_cost = 10000.0;
+  double maneuver_cost = 100.0;
+  double level_reward = 50.0;
+};
+
+/// What one revision's re-solve + closed-loop evaluation learned.
+struct Toy2dRevisionReport {
+  mdp::Policy policy;                 ///< revised logic table
+  mdp::Values values;                 ///< optimal expected costs under the revision
+  std::size_t solver_iterations = 0;  ///< value-iteration sweeps for this revision
+  std::size_t episodes = 0;           ///< rollouts evaluated (all start altitudes)
+  std::size_t collisions = 0;
+  double collision_rate = 0.0;
+  double mean_maneuver_steps = 0.0;
+  /// Mean accumulated MDP cost per rollout under the BASE weights — the
+  /// fixed yardstick that makes revisions comparable (scoring each revision
+  /// by its own revised weights would make "cheaper" trivially achievable
+  /// by zeroing the weights).
+  double mean_base_cost = 0.0;
+};
+
+/// Re-solves the §III model across cost revisions, reusing one compiled
+/// transition structure, and evaluates each revised logic table by
+/// closed-loop rollouts from every encounter-start altitude.
+class Toy2dRevisionLoop {
+ public:
+  /// `base` fixes the transition structure (grid sizes and stochastics);
+  /// its cost weights are the yardstick for mean_base_cost.  The model is
+  /// compiled once, here.
+  explicit Toy2dRevisionLoop(const toy2d::Config& base, std::size_t episodes_per_start = 50,
+                             std::uint64_t seed = 2016);
+
+  /// Apply `revision`, re-solve (refresh_costs + compiled sweeps; `pool`
+  /// parallelizes the Jacobi sweeps), and roll out the revised policy.
+  Toy2dRevisionReport evaluate(const Toy2dCostRevision& revision, ThreadPool* pool = nullptr);
+
+  std::size_t revisions_evaluated() const { return revisions_evaluated_; }
+  const toy2d::Config& base_config() const { return base_; }
+  const mdp::CompiledMdp& compiled() const { return compiled_; }
+
+ private:
+  toy2d::Config base_;
+  toy2d::Toy2dMdp base_model_;   ///< base-weight model: the evaluation yardstick
+  mdp::CompiledMdp compiled_;    ///< compiled once; costs refreshed per revision
+  std::size_t episodes_per_start_;
+  std::uint64_t seed_;
+  std::size_t revisions_evaluated_ = 0;
+};
+
+}  // namespace cav::core

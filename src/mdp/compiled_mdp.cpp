@@ -55,4 +55,65 @@ CompiledMdp::CompiledMdp(const FiniteMdp& mdp)
   }
 }
 
+void CompiledMdp::build_reverse_graph() const {
+  // State-granularity transpose with per-source dedup: for each successor
+  // state, the set of source states reaching it under any action.  Two
+  // counting-sort passes over the entry array; a stamp vector collapses the
+  // (source, successor) duplicates that multiple actions / noise branches
+  // of one source produce, which keeps the prioritized queue from pushing
+  // the same predecessor several times per update.
+  constexpr State kNoStamp = std::numeric_limits<State>::max();
+  std::vector<State> stamp(num_states_, kNoStamp);
+
+  pred_offsets_.assign(num_states_ + 1, 0);
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    const std::size_t begin = row_offsets_[s * num_actions_];
+    const std::size_t end = row_offsets_[(s + 1) * num_actions_];
+    for (std::size_t k = begin; k < end; ++k) {
+      const State succ = next_state_[k];
+      if (stamp[succ] == static_cast<State>(s)) continue;
+      stamp[succ] = static_cast<State>(s);
+      ++pred_offsets_[succ + 1];
+    }
+  }
+  for (std::size_t s = 0; s < num_states_; ++s) pred_offsets_[s + 1] += pred_offsets_[s];
+
+  pred_state_.resize(pred_offsets_[num_states_]);
+  std::vector<std::size_t> fill(pred_offsets_.begin(), pred_offsets_.end() - 1);
+  stamp.assign(num_states_, kNoStamp);
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    const std::size_t begin = row_offsets_[s * num_actions_];
+    const std::size_t end = row_offsets_[(s + 1) * num_actions_];
+    for (std::size_t k = begin; k < end; ++k) {
+      const State succ = next_state_[k];
+      if (stamp[succ] == static_cast<State>(s)) continue;
+      stamp[succ] = static_cast<State>(s);
+      pred_state_[fill[succ]++] = static_cast<State>(s);
+    }
+  }
+}
+
+void CompiledMdp::refresh_costs(const FiniteMdp& mdp) {
+  // Validate BEFORE writing anything: a rejected revision (e.g. an invalid
+  // GA candidate the caller catches and skips) must leave the compiled
+  // model exactly as it was, not half-refreshed.
+  expect(mdp.num_states() == num_states_, "revised model keeps the state count");
+  expect(mdp.num_actions() == num_actions_, "revised model keeps the action count");
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    ensure(mdp.is_terminal(static_cast<State>(s)) == (terminal_[s] != 0),
+           "revised model keeps the terminal set (cost-only revision)");
+  }
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    const auto state = static_cast<State>(s);
+    if (terminal_[s] != 0) {
+      terminal_cost_[s] = mdp.terminal_cost(state);
+      continue;
+    }
+    for (std::size_t a = 0; a < num_actions_; ++a) {
+      const auto action = static_cast<Action>(a);
+      cost_[row(state, action)] = mdp.cost(state, action);
+    }
+  }
+}
+
 }  // namespace cav::mdp

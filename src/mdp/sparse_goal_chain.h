@@ -1,0 +1,46 @@
+// A synthetic sparse-goal workload: a long leftward-drifting chain whose
+// cost mass sits entirely in a short band at the far end — the shape
+// (collision punishment concentrated in a small region of a large state
+// space) that prioritized sweeping targets.  Action 0 steps toward the
+// terminal deterministically; action 1 steps with a small chance of
+// holding position, which gives the model a self-loop contraction.
+//
+// Shared by the solver tests and bench_value_iteration so the bench
+// measures exactly the model the tests certify.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mdp/mdp.h"
+
+namespace cav::mdp {
+
+class SparseGoalChain final : public FiniteMdp {
+ public:
+  SparseGoalChain(std::size_t length, std::size_t costly_band)
+      : length_(length), costly_band_(costly_band) {}
+
+  std::size_t num_states() const override { return length_; }
+  std::size_t num_actions() const override { return 2; }
+  double cost(State s, Action a) const override {
+    if (static_cast<std::size_t>(s) + costly_band_ < length_) return 0.0;
+    return a == 0 ? 10.0 : 7.0;  // only the far band is costed
+  }
+  void transitions(State s, Action a, std::vector<Transition>& out) const override {
+    if (a == 0) {
+      out.push_back({static_cast<State>(s - 1), 1.0});
+    } else {
+      out.push_back({static_cast<State>(s - 1), 0.9});
+      out.push_back({s, 0.1});
+    }
+  }
+  bool is_terminal(State s) const override { return s == 0; }
+  double terminal_cost(State) const override { return 0.0; }
+
+ private:
+  std::size_t length_;
+  std::size_t costly_band_;
+};
+
+}  // namespace cav::mdp

@@ -186,6 +186,50 @@ TEST(TableSolver, StencilsMatchReferenceSolverExactly) {
   }
 }
 
+TEST(TableSolver, CompiledModelReproducesSolveExactly) {
+  // CompiledAcasModel factors the stencil build out of the solve; with the
+  // costs it was compiled under it must reproduce solve_logic_table bit
+  // for bit (same kernels, same accumulation order).
+  const AcasXuConfig config = AcasXuConfig::coarse();
+  const CompiledAcasModel model(config);
+  const LogicTable fresh = solve_logic_table(config);
+  const LogicTable reused = model.solve();
+  ASSERT_EQ(fresh.raw().size(), reused.raw().size());
+  for (std::size_t i = 0; i < fresh.raw().size(); ++i) {
+    ASSERT_EQ(fresh.raw()[i], reused.raw()[i]) << "entry " << i;
+  }
+  EXPECT_GT(model.stencil_entries(), 0U);
+  EXPECT_GT(model.stencil_build_seconds(), 0.0);
+}
+
+TEST(TableSolver, CompiledModelCostRevisionMatchesFreshSolve) {
+  // A cost-only revision re-solved on the precompiled stencils must equal
+  // a from-scratch solve of the revised config, bit for bit — the ACAS
+  // analogue of CompiledMdp::refresh_costs.
+  const AcasXuConfig config = AcasXuConfig::coarse();
+  const CompiledAcasModel model(config);
+
+  CostModel revised = config.costs;
+  revised.nmac_cost = 20000.0;
+  revised.maneuver_cost = 400.0;
+  revised.level_reward = 10.0;
+  AcasXuConfig revised_config = config;
+  revised_config.costs = revised;
+
+  const LogicTable fresh = solve_logic_table(revised_config);
+  SolveStats stats;
+  const LogicTable reused = model.solve(revised, nullptr, &stats);
+  ASSERT_EQ(fresh.raw().size(), reused.raw().size());
+  for (std::size_t i = 0; i < fresh.raw().size(); ++i) {
+    ASSERT_EQ(fresh.raw()[i], reused.raw()[i]) << "entry " << i;
+  }
+  // The revised costs ride along on the returned table's config, and no
+  // stencil build happened during the revision solve.
+  EXPECT_DOUBLE_EQ(reused.config().costs.maneuver_cost, 400.0);
+  EXPECT_EQ(stats.stencil_build_seconds, 0.0);
+  EXPECT_EQ(stats.stencil_entries, model.stencil_entries());
+}
+
 TEST(TableSolver, StencilStatsReported) {
   SolveStats stats;
   const LogicTable table = solve_logic_table(AcasXuConfig::coarse(), nullptr, &stats);

@@ -1,0 +1,84 @@
+// The cost-weight revision loop: one compiled transition structure,
+// refreshed costs per revision, and closed-loop evaluation on a fixed
+// yardstick.  The identity revision must reproduce the base solve exactly,
+// and the loop must respond to weight changes the way the paper's Fig. 1
+// iteration expects (pricier maneuvers -> less maneuvering).
+#include "core/model_revision.h"
+
+#include <gtest/gtest.h>
+
+#include "mdp/value_iteration.h"
+#include "toy2d/toy2d_mdp.h"
+#include "util/thread_pool.h"
+
+namespace cav::core {
+namespace {
+
+TEST(Toy2dRevisionLoop, IdentityRevisionReproducesBaseSolve) {
+  const toy2d::Config base;
+  Toy2dRevisionLoop loop(base);
+  const auto report = loop.evaluate(Toy2dCostRevision{});  // defaults == paper weights
+
+  const auto reference = mdp::solve_value_iteration(toy2d::Toy2dMdp(base));
+  ASSERT_EQ(report.values.size(), reference.values.size());
+  for (std::size_t s = 0; s < reference.values.size(); ++s) {
+    EXPECT_EQ(report.values[s], reference.values[s]) << "state " << s;
+  }
+  EXPECT_EQ(report.policy, reference.policy);
+  EXPECT_EQ(loop.revisions_evaluated(), 1U);
+}
+
+TEST(Toy2dRevisionLoop, RepeatedRevisionsAreDeterministicAndIndependent) {
+  // Evaluating A, then B, then A again must give A's exact result twice:
+  // refresh_costs leaves no residue in the compiled structure.
+  Toy2dRevisionLoop loop(toy2d::Config{});
+  Toy2dCostRevision a;
+  a.maneuver_cost = 20.0;
+  Toy2dCostRevision b;
+  b.maneuver_cost = 700.0;
+
+  const auto first = loop.evaluate(a);
+  loop.evaluate(b);
+  const auto second = loop.evaluate(a);
+  EXPECT_EQ(first.policy, second.policy);
+  EXPECT_EQ(first.collisions, second.collisions);
+  EXPECT_EQ(first.mean_base_cost, second.mean_base_cost);
+  for (std::size_t s = 0; s < first.values.size(); ++s) {
+    EXPECT_EQ(first.values[s], second.values[s]) << "state " << s;
+  }
+  EXPECT_EQ(loop.revisions_evaluated(), 3U);
+}
+
+TEST(Toy2dRevisionLoop, PricierManeuversMeanLessManeuvering) {
+  Toy2dRevisionLoop loop(toy2d::Config{}, /*episodes_per_start=*/100);
+  Toy2dCostRevision cheap;
+  cheap.maneuver_cost = 0.0;
+  cheap.level_reward = 0.0;
+  Toy2dCostRevision pricey;
+  pricey.maneuver_cost = 5000.0;
+
+  const auto lenient = loop.evaluate(cheap);
+  const auto strict = loop.evaluate(pricey);
+  EXPECT_GT(lenient.mean_maneuver_steps, strict.mean_maneuver_steps);
+  // Maneuvering less cannot reduce collisions.
+  EXPECT_LE(lenient.collisions, strict.collisions);
+}
+
+TEST(Toy2dRevisionLoop, PooledSolveMatchesSerial) {
+  Toy2dRevisionLoop serial_loop(toy2d::Config{});
+  Toy2dRevisionLoop pooled_loop(toy2d::Config{});
+  Toy2dCostRevision revision;
+  revision.collision_cost = 50000.0;
+
+  ThreadPool pool(3);
+  const auto serial = serial_loop.evaluate(revision);
+  const auto pooled = pooled_loop.evaluate(revision, &pool);
+  EXPECT_EQ(serial.policy, pooled.policy);
+  for (std::size_t s = 0; s < serial.values.size(); ++s) {
+    EXPECT_EQ(serial.values[s], pooled.values[s]) << "state " << s;
+  }
+  EXPECT_EQ(serial.mean_base_cost, pooled.mean_base_cost);
+}
+
+}  // namespace
+}  // namespace cav::core

@@ -224,6 +224,96 @@ TEST(CompiledPolicyIteration, MatchesVirtualAndParallelImprovement) {
   EXPECT_EQ(parallel.policy, reference.policy);
 }
 
+TEST(CompiledMdp, RefreshCostsMatchesFreshCompileBitwise) {
+  // A cost-only revision of the SIII preference weights: the refreshed
+  // kernel must be indistinguishable from flattening the revised model
+  // from scratch — same costs, and bit-identical solver output.
+  toy2d::Config revised_config;
+  revised_config.collision_cost = 25000.0;
+  revised_config.maneuver_cost = 40.0;
+  revised_config.level_reward = 10.0;
+  const toy2d::Toy2dMdp revised(revised_config);
+
+  CompiledMdp refreshed(toy_model());
+  refreshed.refresh_costs(revised);
+  const CompiledMdp fresh(revised);
+
+  for (std::size_t s = 0; s < fresh.num_states(); ++s) {
+    const auto state = static_cast<State>(s);
+    if (fresh.is_terminal(state)) {
+      EXPECT_EQ(refreshed.terminal_cost(state), fresh.terminal_cost(state)) << "state " << s;
+      continue;
+    }
+    for (std::size_t a = 0; a < fresh.num_actions(); ++a) {
+      EXPECT_EQ(refreshed.cost(state, static_cast<Action>(a)),
+                fresh.cost(state, static_cast<Action>(a)))
+          << "state " << s << " action " << a;
+    }
+  }
+
+  const auto from_refreshed = solve_value_iteration(refreshed);
+  const auto from_fresh = solve_value_iteration(fresh);
+  ASSERT_TRUE(from_refreshed.converged);
+  EXPECT_EQ(from_refreshed.iterations, from_fresh.iterations);
+  for (std::size_t s = 0; s < from_fresh.values.size(); ++s) {
+    EXPECT_EQ(from_refreshed.values[s], from_fresh.values[s]) << "state " << s;
+  }
+  for (std::size_t i = 0; i < from_fresh.q.q.size(); ++i) {
+    EXPECT_EQ(from_refreshed.q.q[i], from_fresh.q.q[i]) << "q entry " << i;
+  }
+  EXPECT_EQ(from_refreshed.policy, from_fresh.policy);
+}
+
+TEST(CompiledMdp, RefreshCostsIsUndoneByRefreshingBack) {
+  const auto base = toy_model();
+  CompiledMdp compiled(base);
+  const auto before = solve_value_iteration(compiled);
+
+  toy2d::Config revised_config;
+  revised_config.maneuver_cost = 900.0;
+  compiled.refresh_costs(toy2d::Toy2dMdp(revised_config));
+  compiled.refresh_costs(base);
+
+  const auto after = solve_value_iteration(compiled);
+  for (std::size_t s = 0; s < before.values.size(); ++s) {
+    EXPECT_EQ(after.values[s], before.values[s]) << "state " << s;
+  }
+}
+
+TEST(CompiledMdp, RefreshCostsRejectsStructuralChanges) {
+  CompiledMdp compiled(toy_model());
+  // A different grid is a structural revision, not a cost revision.
+  toy2d::Config bigger;
+  bigger.x_max = 12;
+  EXPECT_THROW(compiled.refresh_costs(toy2d::Toy2dMdp(bigger)), ContractViolation);
+
+  // Same shape but a different terminal set must also be rejected.
+  class ShiftedTerminals final : public FiniteMdp {
+   public:
+    explicit ShiftedTerminals(const toy2d::Toy2dMdp& base) : base_(base) {}
+    std::size_t num_states() const override { return base_.num_states(); }
+    std::size_t num_actions() const override { return base_.num_actions(); }
+    double cost(State s, Action a) const override { return base_.cost(s, a); }
+    void transitions(State s, Action a, std::vector<Transition>& out) const override {
+      base_.transitions(s, a, out);
+    }
+    bool is_terminal(State s) const override { return !base_.is_terminal(s); }
+
+   private:
+    const toy2d::Toy2dMdp& base_;
+  };
+  const auto base = toy_model();
+  const auto before = solve_value_iteration(compiled);
+  EXPECT_THROW(compiled.refresh_costs(ShiftedTerminals(base)), ContractViolation);
+
+  // Strong guarantee: the rejected revision left no partial writes — a
+  // caller that catches the throw and keeps the model sees it unchanged.
+  const auto after = solve_value_iteration(compiled);
+  for (std::size_t s = 0; s < before.values.size(); ++s) {
+    ASSERT_EQ(after.values[s], before.values[s]) << "state " << s;
+  }
+}
+
 TEST(CompiledValueIteration, AgreesWithToy2dSolveThroughPool) {
   // toy2d::solve is the user-facing wiring; pooled and unpooled tables
   // must encode the same logic.

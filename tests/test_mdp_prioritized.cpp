@@ -1,0 +1,183 @@
+// CompiledMdp v2 solver tests: the reverse graph must be the exact CSR
+// transpose, prioritized sweeping must reach plain value iteration's fixed
+// point (in far fewer state updates on sparse-goal models), and the float32
+// value-layer path must track the double path within float rounding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "mdp/compiled_mdp.h"
+#include "mdp/sparse_goal_chain.h"
+#include "mdp/value_iteration.h"
+#include "toy2d/toy2d_mdp.h"
+#include "util/expect.h"
+#include "util/thread_pool.h"
+
+namespace cav::mdp {
+namespace {
+
+toy2d::Toy2dMdp toy_model() { return toy2d::Toy2dMdp{toy2d::Config{}}; }
+
+TEST(CompiledMdpReverseGraph, IsExactTransposeOfCsr) {
+  const auto model = toy_model();
+  const CompiledMdp compiled(model);
+
+  // Brute-force the predecessor sets from the forward CSR arrays.
+  std::vector<std::set<State>> expected(compiled.num_states());
+  for (std::size_t s = 0; s < compiled.num_states(); ++s) {
+    for (std::size_t a = 0; a < compiled.num_actions(); ++a) {
+      const std::size_t r = compiled.row(static_cast<State>(s), static_cast<Action>(a));
+      for (std::size_t k = compiled.row_offsets()[r]; k < compiled.row_offsets()[r + 1]; ++k) {
+        expected[compiled.next_state()[k]].insert(static_cast<State>(s));
+      }
+    }
+  }
+
+  const auto& offsets = compiled.pred_offsets();
+  const auto& pred = compiled.pred_state();
+  ASSERT_EQ(offsets.size(), compiled.num_states() + 1);
+  for (std::size_t s = 0; s < compiled.num_states(); ++s) {
+    const std::set<State> actual(pred.begin() + static_cast<std::ptrdiff_t>(offsets[s]),
+                                 pred.begin() + static_cast<std::ptrdiff_t>(offsets[s + 1]));
+    ASSERT_EQ(actual.size(), offsets[s + 1] - offsets[s]) << "duplicate predecessors of " << s;
+    EXPECT_EQ(actual, expected[s]) << "predecessor set of state " << s;
+  }
+}
+
+TEST(PrioritizedSweeping, MatchesJacobiFixedPointOnToy2d) {
+  const auto model = toy_model();
+  const CompiledMdp compiled(model);
+  const auto jacobi = solve_value_iteration(compiled);
+  const auto prioritized = solve_prioritized(compiled);
+
+  ASSERT_TRUE(jacobi.converged);
+  ASSERT_TRUE(prioritized.converged);
+  ASSERT_EQ(prioritized.values.size(), jacobi.values.size());
+  for (std::size_t s = 0; s < jacobi.values.size(); ++s) {
+    EXPECT_NEAR(prioritized.values[s], jacobi.values[s], 1e-9) << "state " << s;
+  }
+  EXPECT_EQ(prioritized.policy, jacobi.policy);
+  EXPECT_LE(prioritized.residual, 1e-9);
+  EXPECT_GE(prioritized.verification_sweeps, 1U);
+}
+
+TEST(PrioritizedSweeping, DiscountedModelMatchesJacobi) {
+  const auto model = toy_model();
+  const CompiledMdp compiled(model);
+  ValueIterationConfig vi;
+  vi.discount = 0.9;
+  PrioritizedSweepConfig ps;
+  ps.discount = 0.9;
+  const auto jacobi = solve_value_iteration(compiled, vi);
+  const auto prioritized = solve_prioritized(compiled, ps);
+  ASSERT_TRUE(jacobi.converged);
+  ASSERT_TRUE(prioritized.converged);
+  for (std::size_t s = 0; s < jacobi.values.size(); ++s) {
+    // Both solvers stop within `tolerance` of the same fixed point, so they
+    // agree within tolerance / (1 - discount) of each other.
+    EXPECT_NEAR(prioritized.values[s], jacobi.values[s], 1e-7) << "state " << s;
+  }
+}
+
+TEST(PrioritizedSweeping, FewerStateUpdatesOnSparseGoalModel) {
+  const SparseGoalChain model(/*length=*/2000, /*costly_band=*/10);
+  const CompiledMdp compiled(model);
+
+  // The chain's hold-position loop makes each solver's error up to
+  // residual / (1 - 0.1); solve a decade below the comparison tolerance.
+  ValueIterationConfig vi;
+  vi.tolerance = 1e-10;
+  PrioritizedSweepConfig ps;
+  ps.tolerance = 1e-10;
+  const auto jacobi = solve_value_iteration(compiled, vi);
+  const auto prioritized = solve_prioritized(compiled, ps);
+  ASSERT_TRUE(jacobi.converged);
+  ASSERT_TRUE(prioritized.converged);
+  for (std::size_t s = 0; s < jacobi.values.size(); ++s) {
+    ASSERT_NEAR(prioritized.values[s], jacobi.values[s], 1e-9) << "state " << s;
+  }
+
+  const std::size_t non_terminal = compiled.num_states() - 1;
+  const std::size_t jacobi_updates = jacobi.iterations * non_terminal;
+  // The queue only ever touches the costly band and its fringe; everything
+  // else is paid once in seeding and once in the verification sweep.
+  EXPECT_LT(prioritized.state_updates, jacobi_updates / 2)
+      << "prioritized: " << prioritized.state_updates << " vs jacobi: " << jacobi_updates;
+}
+
+TEST(PrioritizedSweeping, BudgetCutStillReportsHonestResidualAndPolicy) {
+  const auto model = toy_model();
+  const CompiledMdp compiled(model);
+  PrioritizedSweepConfig config;
+  config.max_state_updates = 100;  // far below what convergence needs
+  const auto result = solve_prioritized(compiled, config);
+  EXPECT_FALSE(result.converged);
+  // Soft budget: the seeding pass and the final Q-fill sweep always run.
+  EXPECT_LE(result.state_updates, 100U + 2 * compiled.num_states());
+  // The cut result is still self-consistent: a measured (non-zero, we are
+  // far from the fixed point) residual and a policy greedy w.r.t. the
+  // returned Q table.
+  EXPECT_GT(result.residual, 0.0);
+  EXPECT_GE(result.verification_sweeps, 1U);
+  for (std::size_t s = 0; s < compiled.num_states(); ++s) {
+    const auto state = static_cast<State>(s);
+    if (compiled.is_terminal(state)) continue;
+    for (std::size_t a = 0; a < compiled.num_actions(); ++a) {
+      EXPECT_LE(result.q.at(state, result.policy[s]),
+                result.q.at(state, static_cast<Action>(a)))
+          << "state " << s;
+    }
+  }
+}
+
+TEST(Float32ValueIteration, TracksDoublePathWithinFloatRounding) {
+  const auto model = toy_model();
+  const CompiledMdp compiled(model);
+  const auto ref = solve_value_iteration(compiled);
+  const auto f32 = solve_value_iteration_f32(compiled);
+  ASSERT_TRUE(ref.converged);
+  ASSERT_TRUE(f32.converged);
+
+  double scale = 1.0;
+  for (const double v : ref.values) scale = std::max(scale, std::abs(v));
+  ASSERT_EQ(f32.values.size(), ref.values.size());
+  for (std::size_t s = 0; s < ref.values.size(); ++s) {
+    // Documented tolerance: 1e-4 of the value scale (observed ~1e-6).
+    EXPECT_NEAR(static_cast<double>(f32.values[s]), ref.values[s], 1e-4 * scale)
+        << "state " << s;
+  }
+  EXPECT_GT(f32.float_floor, 0.0);
+}
+
+TEST(Float32ValueIteration, ParallelMatchesSerialBitwise) {
+  const auto model = toy_model();
+  const CompiledMdp compiled(model);
+  const auto serial = solve_value_iteration_f32(compiled);
+  for (const std::size_t threads : {2U, 5U}) {
+    ThreadPool pool(threads);
+    ValueIterationConfig config;
+    config.pool = &pool;
+    const auto parallel = solve_value_iteration_f32(compiled, config);
+    EXPECT_EQ(parallel.iterations, serial.iterations) << threads << " threads";
+    ASSERT_EQ(parallel.values.size(), serial.values.size());
+    for (std::size_t s = 0; s < serial.values.size(); ++s) {
+      // Jacobi writes are disjoint, so thread count cannot change a bit.
+      EXPECT_EQ(parallel.values[s], serial.values[s])
+          << "state " << s << " with " << threads << " threads";
+    }
+    EXPECT_EQ(parallel.policy, serial.policy) << threads << " threads";
+  }
+}
+
+TEST(Float32ValueIteration, RejectsGaussSeidel) {
+  const auto model = toy_model();
+  const CompiledMdp compiled(model);
+  ValueIterationConfig config;
+  config.gauss_seidel = true;
+  EXPECT_THROW(solve_value_iteration_f32(compiled, config), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cav::mdp
