@@ -64,4 +64,60 @@ EncounterEvaluation EncounterEvaluator::evaluate(const encounter::EncounterParam
   return eval;
 }
 
+MultiEncounterEvaluator::MultiEncounterEvaluator(FitnessConfig config, sim::CasFactory own_cas,
+                                                 sim::CasFactory intruder_cas)
+    : config_(std::move(config)), own_cas_(std::move(own_cas)),
+      intruder_cas_(std::move(intruder_cas)) {
+  expect(config_.runs_per_encounter >= 1, "runs_per_encounter >= 1");
+  expect(config_.gain_max > 0.0, "gain_max > 0");
+}
+
+sim::SimResult MultiEncounterEvaluator::run_once(const encounter::MultiEncounterParams& params,
+                                                 std::uint64_t stream_id, std::size_t run_index,
+                                                 bool record_trajectory) const {
+  const std::vector<sim::UavState> states = encounter::generate_multi_initial_states(params);
+
+  sim::SimConfig sim_config = config_.sim;
+  sim_config.max_time_s = params.max_t_cpa_s() + config_.sim_time_margin_s;
+  sim_config.record_trajectory = record_trajectory;
+
+  std::vector<sim::AgentSetup> agents(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    agents[i].initial_state = states[i];
+    const sim::CasFactory& factory = (i == 0) ? own_cas_ : intruder_cas_;
+    if (factory) agents[i].cas = factory();
+  }
+
+  const std::uint64_t run_seed =
+      mix64(config_.seed ^ mix64(stream_id * 0x9e3779b97f4a7c15ULL + run_index));
+  return sim::run_multi_encounter(sim_config, std::move(agents), run_seed);
+}
+
+MultiEncounterEvaluation MultiEncounterEvaluator::evaluate(
+    const encounter::MultiEncounterParams& params, std::uint64_t stream_id) const {
+  MultiEncounterEvaluation eval;
+  eval.runs = config_.runs_per_encounter;
+  eval.min_miss_m = std::numeric_limits<double>::infinity();
+
+  double gain_sum = 0.0;
+  double miss_sum = 0.0;
+  std::size_t own_alerts = 0;
+
+  for (std::size_t k = 0; k < config_.runs_per_encounter; ++k) {
+    const sim::SimResult result = run_once(params, stream_id, k, /*record_trajectory=*/false);
+    const double d_k = result.own_miss_distance_m();
+    gain_sum += config_.gain_max / (1.0 + d_k);
+    miss_sum += d_k;
+    eval.min_miss_m = std::min(eval.min_miss_m, d_k);
+    if (result.own_nmac()) ++eval.own_nmac_count;
+    if (result.own.ever_alerted) ++own_alerts;
+  }
+
+  const auto n = static_cast<double>(config_.runs_per_encounter);
+  eval.fitness = gain_sum / n;
+  eval.mean_miss_m = miss_sum / n;
+  eval.alert_fraction_own = static_cast<double>(own_alerts) / n;
+  return eval;
+}
+
 }  // namespace cav::core

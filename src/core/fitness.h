@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "encounter/encounter.h"
+#include "encounter/multi_encounter.h"
 #include "sim/cas.h"
 #include "sim/simulation.h"
 
@@ -55,6 +56,46 @@ class EncounterEvaluator {
   /// One fully instrumented run (trajectory recorded) for inspection.
   sim::SimResult run_once(const encounter::EncounterParams& params, std::uint64_t stream_id,
                           std::size_t run_index, bool record_trajectory) const;
+
+  const FitnessConfig& config() const { return config_; }
+
+ private:
+  FitnessConfig config_;
+  sim::CasFactory own_cas_;
+  sim::CasFactory intruder_cas_;
+};
+
+/// Multi-intruder fitness evaluation: the same paper fitness, with d_k the
+/// own-ship-centric miss distance (0 when any pair involving the own-ship
+/// reaches an NMAC, otherwise the minimum own-ship separation).
+struct MultiEncounterEvaluation {
+  double fitness = 0.0;
+  std::size_t runs = 0;
+  std::size_t own_nmac_count = 0;    ///< runs with an own-ship NMAC
+  double mean_miss_m = 0.0;          ///< mean of d_k
+  double min_miss_m = 0.0;           ///< best (smallest) d_k seen
+  double alert_fraction_own = 0.0;   ///< runs where the own-ship ever alerted
+
+  double nmac_rate() const {
+    return runs ? static_cast<double>(own_nmac_count) / static_cast<double>(runs) : 0.0;
+  }
+};
+
+/// Evaluates K-intruder encounters by repeated stochastic simulation of the
+/// N-aircraft engine.  Thread-safe exactly like EncounterEvaluator: every
+/// run derives its own RNG streams from (seed, stream_id, run_index).
+class MultiEncounterEvaluator {
+ public:
+  MultiEncounterEvaluator(FitnessConfig config, sim::CasFactory own_cas,
+                          sim::CasFactory intruder_cas);
+
+  MultiEncounterEvaluation evaluate(const encounter::MultiEncounterParams& params,
+                                    std::uint64_t stream_id) const;
+
+  /// One fully instrumented run (trajectory recorded) for inspection.
+  sim::SimResult run_once(const encounter::MultiEncounterParams& params,
+                          std::uint64_t stream_id, std::size_t run_index,
+                          bool record_trajectory) const;
 
   const FitnessConfig& config() const { return config_; }
 

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "encounter/encounter.h"
+#include "encounter/multi_encounter.h"
 #include "sim/simulation.h"
+#include "util/expect.h"
 #include "util/rng.h"
 
 namespace cav::core {
@@ -14,9 +16,14 @@ SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
                            const MonteCarloConfig& config, const std::string& system_name,
                            const sim::CasFactory& own_cas, const sim::CasFactory& intruder_cas,
                            ThreadPool* pool) {
+  expect(config.encounters >= 1, "encounters >= 1");
+  expect(config.intruders >= 1, "intruders >= 1");
+
   SystemRates rates;
   rates.system = system_name;
   rates.encounters = config.encounters;
+
+  const encounter::MultiEncounterModel multi_model(config.intruders, model.config());
 
   // Striped accumulators: each stripe owns a contiguous slice of the
   // encounter indices and accumulates into its own slot, so the hot loop
@@ -32,7 +39,9 @@ SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
   const std::size_t num_stripes = std::min<std::size_t>(config.encounters, 64);
   std::vector<Partial> partials(num_stripes);
 
-  const auto run_one = [&](std::size_t i, Partial& local) {
+  constexpr std::uint64_t kMcTag = 0x4D43'4D43ULL;  // "MCMC"
+
+  const auto run_pairwise = [&](std::size_t i, Partial& local) {
     // The geometry stream depends only on (seed, i): every system sees the
     // same traffic sample.
     RngStream geometry_rng = RngStream::derive(config.seed, "mc-geometry", i);
@@ -49,7 +58,6 @@ SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
     intruder.initial_state = init.intruder;
     if (intruder_cas) intruder.cas = intruder_cas();
 
-    constexpr std::uint64_t kMcTag = 0x4D43'4D43ULL;  // "MCMC"
     const std::uint64_t sim_seed = mix64(config.seed ^ mix64(kMcTag ^ i));
     const sim::SimResult result =
         sim::run_encounter(sim_config, std::move(own), std::move(intruder), sim_seed);
@@ -57,6 +65,42 @@ SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
     if (result.nmac) ++local.nmacs;
     if (result.own.ever_alerted || result.intruder.ever_alerted) ++local.alerts;
     local.sep_sum += result.proximity.min_distance_m;
+  };
+
+  const auto run_multi = [&](std::size_t i, Partial& local) {
+    // Per-intruder geometry streams depend only on (seed, i, k): the
+    // traffic sample is paired across systems and across thread counts,
+    // and intruder k's geometry does not change when K grows.
+    const encounter::MultiEncounterParams params = multi_model.sample(config.seed, i);
+    const std::vector<sim::UavState> states = encounter::generate_multi_initial_states(params);
+
+    sim::SimConfig sim_config = config.sim;
+    sim_config.max_time_s = params.max_t_cpa_s() + config.sim_time_margin_s;
+
+    std::vector<sim::AgentSetup> agents(states.size());
+    for (std::size_t a = 0; a < states.size(); ++a) {
+      agents[a].initial_state = states[a];
+      const sim::CasFactory& factory = (a == 0) ? own_cas : intruder_cas;
+      if (factory) agents[a].cas = factory();
+    }
+
+    const std::uint64_t sim_seed = mix64(config.seed ^ mix64(kMcTag ^ i));
+    const sim::SimResult result =
+        sim::run_multi_encounter(sim_config, std::move(agents), sim_seed);
+
+    if (result.own_nmac()) ++local.nmacs;
+    bool any_alert = false;
+    for (const sim::AgentReport& r : result.agents) any_alert = any_alert || r.ever_alerted;
+    if (any_alert) ++local.alerts;
+    local.sep_sum += result.own_min_separation_m();
+  };
+
+  const auto run_one = [&](std::size_t i, Partial& local) {
+    if (config.intruders == 1) {
+      run_pairwise(i, local);
+    } else {
+      run_multi(i, local);
+    }
   };
 
   const auto run_stripe = [&](std::size_t stripe) {

@@ -18,7 +18,13 @@
 namespace cav::core {
 
 struct MonteCarloConfig {
-  std::size_t encounters = 2000;   ///< sampled encounter geometries
+  std::size_t encounters = 2000;   ///< sampled encounter geometries (>= 1)
+  /// Intruders per encounter.  1 runs the paper's pairwise path (legacy
+  /// geometry streams, results unchanged); K > 1 samples K intruders via
+  /// encounter::MultiEncounterModel with per-intruder streams and runs the
+  /// N-aircraft engine.  NMACs/separations then count own-ship pairs and
+  /// alerts count any aircraft.
+  std::size_t intruders = 1;
   sim::SimConfig sim;              ///< max_time_s overridden per encounter
   double sim_time_margin_s = 45.0;
   std::uint64_t seed = 99;

@@ -9,50 +9,72 @@
 namespace cav::core {
 namespace {
 
-/// Two scenarios are "the same finding" when every parameter is within 5%
-/// of its range of the other; keeps the reported top list diverse.
-bool similar(const encounter::EncounterParams& a, const encounter::EncounterParams& b,
-             const encounter::ParamRanges& ranges) {
-  const auto xa = a.to_array();
-  const auto xb = b.to_array();
-  for (std::size_t i = 0; i < encounter::kNumParams; ++i) {
-    const double scale = ranges.hi[i] - ranges.lo[i];
-    if (std::abs(xa[i] - xb[i]) > 0.05 * scale) return false;
+/// Fixed stream id used to re-evaluate reported top scenarios, so entries
+/// from different searches are comparable.
+constexpr std::uint64_t kReportStreamId = 0xF00D;
+
+/// Two genomes are "the same finding" when every gene is within 5% of its
+/// bound width of the other; keeps the reported top lists diverse.
+bool similar_genome(const ga::Genome& a, const ga::Genome& b, const ga::GenomeSpec& spec) {
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const double scale = spec.bound(i).width();
+    if (scale > 0.0 && std::abs(a[i] - b[i]) > 0.05 * scale) return false;
   }
   return true;
 }
 
-std::vector<FoundScenario> collect_top(const ga::SearchResult& ga_result,
-                                       const ScenarioSearchConfig& config,
-                                       const EncounterEvaluator& evaluator) {
-  // Rank the final population plus the all-time best, deduplicate, and
-  // re-evaluate the survivors on a fixed stream for comparable reporting.
+/// Rank the final population plus the all-time best, deduplicate in the
+/// normalized genome space, and build one Found entry per survivor (the
+/// caller decodes the genome and re-evaluates on kReportStreamId).  Shared
+/// by the pairwise and multi-intruder searches so the ranking, similarity
+/// threshold, and reporting stream cannot drift apart.
+template <typename Found, typename MakeFound>
+std::vector<Found> collect_top_genomes(const ga::SearchResult& ga_result,
+                                       const ga::GenomeSpec& spec, std::size_t keep_top,
+                                       const MakeFound& make_found) {
   std::vector<ga::Individual> candidates = ga_result.final_population;
   candidates.push_back(ga_result.best);
   std::sort(candidates.begin(), candidates.end(),
             [](const ga::Individual& a, const ga::Individual& b) { return a.fitness > b.fitness; });
 
-  std::vector<FoundScenario> top;
+  std::vector<Found> top;
+  std::vector<ga::Genome> kept;
   for (const auto& ind : candidates) {
-    if (top.size() >= config.keep_top) break;
-    const auto params = encounter::EncounterParams::from_array(
-        [&] {
-          std::array<double, encounter::kNumParams> a{};
-          std::copy_n(ind.genome.begin(), encounter::kNumParams, a.begin());
-          return a;
-        }());
-    const bool duplicate = std::any_of(top.begin(), top.end(), [&](const FoundScenario& f) {
-      return similar(f.params, params, config.ranges);
+    if (top.size() >= keep_top) break;
+    const bool duplicate = std::any_of(kept.begin(), kept.end(), [&](const ga::Genome& g) {
+      return similar_genome(g, ind.genome, spec);
     });
     if (duplicate) continue;
-
-    FoundScenario found;
-    found.params = params;
-    found.fitness = ind.fitness;
-    found.detail = evaluator.evaluate(params, /*stream_id=*/0xF00D);
-    top.push_back(std::move(found));
+    kept.push_back(ind.genome);
+    top.push_back(make_found(ind));
   }
   return top;
+}
+
+std::vector<FoundScenario> collect_top(const ga::SearchResult& ga_result,
+                                       const ScenarioSearchConfig& config,
+                                       const EncounterEvaluator& evaluator) {
+  const ga::GenomeSpec spec = make_genome_spec(config.ranges);
+  return collect_top_genomes<FoundScenario>(
+      ga_result, spec, config.keep_top, [&](const ga::Individual& ind) {
+        std::array<double, encounter::kNumParams> a{};
+        std::copy_n(ind.genome.begin(), encounter::kNumParams, a.begin());
+        FoundScenario found;
+        found.params = encounter::EncounterParams::from_array(a);
+        found.fitness = ind.fitness;
+        found.detail = evaluator.evaluate(found.params, kReportStreamId);
+        return found;
+      });
+}
+
+/// Search-level preconditions, checked before any budget arithmetic: an
+/// all-elite population makes the per-generation evaluation count zero,
+/// which would turn ga_budget into a lie and generation_of into a
+/// divide-by-zero.
+void expect_valid_ga(const ga::GaConfig& config) {
+  expect(config.population_size >= 2, "population_size >= 2");
+  expect(config.generations >= 1, "generations >= 1");
+  expect(config.elites < config.population_size, "elites < population_size");
 }
 
 /// Evaluation budget of the configured GA (gen 0 evaluates the full
@@ -66,6 +88,7 @@ std::size_t ga_budget(const ga::GaConfig& config) {
 std::size_t generation_of(std::size_t eval_index, const ga::GaConfig& config) {
   if (eval_index < config.population_size) return 0;
   const std::size_t per_gen = config.population_size - config.elites;
+  if (per_gen == 0) return 0;  // degenerate config; see expect_valid_ga
   return 1 + (eval_index - config.population_size) / per_gen;
 }
 
@@ -102,11 +125,22 @@ ga::GenomeSpec make_genome_spec(const encounter::ParamRanges& ranges) {
   return ga::GenomeSpec(std::move(bounds));
 }
 
+ga::GenomeSpec make_multi_genome_spec(const encounter::ParamRanges& ranges,
+                                      std::size_t intruders) {
+  std::vector<double> lo;
+  std::vector<double> hi;
+  encounter::multi_param_bounds(ranges, intruders, &lo, &hi);
+  std::vector<ga::GeneBounds> bounds(lo.size());
+  for (std::size_t i = 0; i < lo.size(); ++i) bounds[i] = {lo[i], hi[i]};
+  return ga::GenomeSpec(std::move(bounds));
+}
+
 ScenarioSearchResult search_challenging_scenarios(const ScenarioSearchConfig& config,
                                                   const sim::CasFactory& own_cas,
                                                   const sim::CasFactory& intruder_cas,
                                                   ThreadPool* pool,
                                                   const ga::GenerationCallback& on_generation) {
+  expect_valid_ga(config.ga);
   const auto t0 = std::chrono::steady_clock::now();
   const EncounterEvaluator evaluator(config.fitness, own_cas, intruder_cas);
   const ga::GenomeSpec spec = make_genome_spec(config.ranges);
@@ -127,6 +161,7 @@ ScenarioSearchResult random_search_scenarios(const ScenarioSearchConfig& config,
                                              const sim::CasFactory& own_cas,
                                              const sim::CasFactory& intruder_cas,
                                              ThreadPool* pool) {
+  expect_valid_ga(config.ga);
   const auto t0 = std::chrono::steady_clock::now();
   const EncounterEvaluator evaluator(config.fitness, own_cas, intruder_cas);
   const ga::GenomeSpec spec = make_genome_spec(config.ranges);
@@ -141,6 +176,38 @@ ScenarioSearchResult random_search_scenarios(const ScenarioSearchConfig& config,
   log.resize(result.ga.total_evaluations);
   result.logbook = Logbook(std::move(log));
   result.top = collect_top(result.ga, config, evaluator);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+MultiScenarioSearchResult search_challenging_multi_scenarios(
+    const MultiScenarioSearchConfig& config, const sim::CasFactory& own_cas,
+    const sim::CasFactory& intruder_cas, ThreadPool* pool,
+    const ga::GenerationCallback& on_generation) {
+  expect_valid_ga(config.ga);
+  expect(config.intruders >= 1, "intruders >= 1");
+  const auto t0 = std::chrono::steady_clock::now();
+  const MultiEncounterEvaluator evaluator(config.fitness, own_cas, intruder_cas);
+  const ga::GenomeSpec spec = make_multi_genome_spec(config.ranges, config.intruders);
+
+  const ga::FitnessFunction fitness = [&evaluator](const ga::Genome& genome,
+                                                   std::uint64_t eval_index) {
+    const auto params = encounter::MultiEncounterParams::from_vector(genome);
+    return evaluator.evaluate(params, eval_index).fitness;
+  };
+
+  MultiScenarioSearchResult result;
+  result.ga = ga::run_ga(spec, fitness, config.ga, pool, on_generation);
+  result.top = collect_top_genomes<FoundMultiScenario>(
+      result.ga, spec, config.keep_top, [&](const ga::Individual& ind) {
+        FoundMultiScenario found;
+        found.params = encounter::MultiEncounterParams::from_vector(ind.genome);
+        found.fitness = ind.fitness;
+        found.detail = evaluator.evaluate(found.params, kReportStreamId);
+        return found;
+      });
+
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return result;

@@ -46,6 +46,11 @@ struct ScenarioSearchResult {
 /// Build the GA genome spec from the parameter ranges.
 ga::GenomeSpec make_genome_spec(const encounter::ParamRanges& ranges);
 
+/// Genome spec for a K-intruder search: 2 own genes + 7 per intruder,
+/// index-aligned with encounter::MultiEncounterParams::to_vector().
+ga::GenomeSpec make_multi_genome_spec(const encounter::ParamRanges& ranges,
+                                      std::size_t intruders);
+
 /// Run the GA search against the system pair produced by the factories.
 ScenarioSearchResult search_challenging_scenarios(const ScenarioSearchConfig& config,
                                                   const sim::CasFactory& own_cas,
@@ -58,5 +63,35 @@ ScenarioSearchResult random_search_scenarios(const ScenarioSearchConfig& config,
                                              const sim::CasFactory& own_cas,
                                              const sim::CasFactory& intruder_cas,
                                              ThreadPool* pool = nullptr);
+
+/// Multi-intruder worst-case search: the same GA loop over the
+/// (2 + 7K)-gene space, scored by the own-ship-centric fitness on the
+/// N-aircraft engine.
+struct MultiScenarioSearchConfig {
+  ga::GaConfig ga;
+  encounter::ParamRanges ranges;    ///< per-intruder bounds (pairwise shape)
+  std::size_t intruders = 2;        ///< K >= 1
+  FitnessConfig fitness;
+  std::size_t keep_top = 10;
+};
+
+struct FoundMultiScenario {
+  encounter::MultiEncounterParams params;
+  double fitness = 0.0;
+  MultiEncounterEvaluation detail;  ///< re-evaluation with a fixed stream
+};
+
+struct MultiScenarioSearchResult {
+  ga::SearchResult ga;
+  std::vector<FoundMultiScenario> top;  ///< descending fitness, deduplicated
+  double wall_seconds = 0.0;
+
+  double best_fitness() const { return ga.best.fitness; }
+};
+
+MultiScenarioSearchResult search_challenging_multi_scenarios(
+    const MultiScenarioSearchConfig& config, const sim::CasFactory& own_cas,
+    const sim::CasFactory& intruder_cas, ThreadPool* pool = nullptr,
+    const ga::GenerationCallback& on_generation = {});
 
 }  // namespace cav::core

@@ -1,0 +1,149 @@
+#include "encounter/multi_encounter.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+#include "util/rng.h"
+
+namespace cav::encounter {
+
+EncounterParams MultiEncounterParams::pairwise(std::size_t k) const {
+  expect(k < intruders.size(), "intruder index in range");
+  const IntruderGeometry& g = intruders[k];
+  EncounterParams p;
+  p.gs_own_mps = gs_own_mps;
+  p.vs_own_mps = vs_own_mps;
+  p.t_cpa_s = g.t_cpa_s;
+  p.r_cpa_m = g.r_cpa_m;
+  p.theta_cpa_rad = g.theta_cpa_rad;
+  p.y_cpa_m = g.y_cpa_m;
+  p.gs_int_mps = g.gs_mps;
+  p.theta_int_rad = g.course_rad;
+  p.vs_int_mps = g.vs_mps;
+  return p;
+}
+
+MultiEncounterParams MultiEncounterParams::from_pairwise(const EncounterParams& p) {
+  MultiEncounterParams m;
+  m.gs_own_mps = p.gs_own_mps;
+  m.vs_own_mps = p.vs_own_mps;
+  IntruderGeometry g;
+  g.t_cpa_s = p.t_cpa_s;
+  g.r_cpa_m = p.r_cpa_m;
+  g.theta_cpa_rad = p.theta_cpa_rad;
+  g.y_cpa_m = p.y_cpa_m;
+  g.gs_mps = p.gs_int_mps;
+  g.course_rad = p.theta_int_rad;
+  g.vs_mps = p.vs_int_mps;
+  m.intruders.push_back(g);
+  return m;
+}
+
+double MultiEncounterParams::max_t_cpa_s() const {
+  double max = 0.0;
+  for (const IntruderGeometry& g : intruders) max = std::max(max, g.t_cpa_s);
+  return max;
+}
+
+std::vector<double> MultiEncounterParams::to_vector() const {
+  std::vector<double> x;
+  x.reserve(kOwnParams + kIntruderParams * intruders.size());
+  x.push_back(gs_own_mps);
+  x.push_back(vs_own_mps);
+  for (const IntruderGeometry& g : intruders) {
+    x.push_back(g.t_cpa_s);
+    x.push_back(g.r_cpa_m);
+    x.push_back(g.theta_cpa_rad);
+    x.push_back(g.y_cpa_m);
+    x.push_back(g.gs_mps);
+    x.push_back(g.course_rad);
+    x.push_back(g.vs_mps);
+  }
+  return x;
+}
+
+MultiEncounterParams MultiEncounterParams::from_vector(const std::vector<double>& x) {
+  expect(x.size() >= kOwnParams + kIntruderParams &&
+             (x.size() - kOwnParams) % kIntruderParams == 0,
+         "multi-encounter vector has 2 + 7K entries");
+  MultiEncounterParams m;
+  m.gs_own_mps = x[0];
+  m.vs_own_mps = x[1];
+  const std::size_t k = (x.size() - kOwnParams) / kIntruderParams;
+  m.intruders.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double* g = x.data() + kOwnParams + i * kIntruderParams;
+    m.intruders[i].t_cpa_s = g[0];
+    m.intruders[i].r_cpa_m = g[1];
+    m.intruders[i].theta_cpa_rad = g[2];
+    m.intruders[i].y_cpa_m = g[3];
+    m.intruders[i].gs_mps = g[4];
+    m.intruders[i].course_rad = g[5];
+    m.intruders[i].vs_mps = g[6];
+  }
+  return m;
+}
+
+std::vector<sim::UavState> generate_multi_initial_states(const MultiEncounterParams& params,
+                                                         const OwnshipReference& ref) {
+  expect(!params.intruders.empty(), "at least one intruder");
+  std::vector<sim::UavState> states;
+  states.reserve(params.intruders.size() + 1);
+  // Every pairwise reconstruction shares the own-ship reference, so the
+  // own-ship state is identical across pairs; take it from the first.
+  for (std::size_t k = 0; k < params.intruders.size(); ++k) {
+    const InitialStates pair = generate_initial_states(params.pairwise(k), ref);
+    if (k == 0) states.push_back(pair.own);
+    states.push_back(pair.intruder);
+  }
+  return states;
+}
+
+void multi_param_bounds(const ParamRanges& ranges, std::size_t num_intruders,
+                        std::vector<double>* lo, std::vector<double>* hi) {
+  expect(num_intruders >= 1, "at least one intruder");
+  expect(lo != nullptr && hi != nullptr, "bound outputs provided");
+  lo->clear();
+  hi->clear();
+  lo->reserve(kOwnParams + kIntruderParams * num_intruders);
+  hi->reserve(kOwnParams + kIntruderParams * num_intruders);
+  // Pairwise range indices: 0 Gs_o, 1 Vs_o, then 2..8 the intruder block.
+  for (std::size_t i = 0; i < kOwnParams; ++i) {
+    lo->push_back(ranges.lo[i]);
+    hi->push_back(ranges.hi[i]);
+  }
+  for (std::size_t k = 0; k < num_intruders; ++k) {
+    for (std::size_t i = kOwnParams; i < kNumParams; ++i) {
+      lo->push_back(ranges.lo[i]);
+      hi->push_back(ranges.hi[i]);
+    }
+  }
+}
+
+MultiEncounterModel::MultiEncounterModel(std::size_t num_intruders,
+                                         const StatisticalModelConfig& config)
+    : base_(config), num_intruders_(num_intruders) {
+  expect(num_intruders >= 1, "at least one intruder");
+}
+
+MultiEncounterParams MultiEncounterModel::sample(std::uint64_t seed,
+                                                 std::uint64_t encounter_index) const {
+  // The own-ship and each intruder draw full pairwise samples from their
+  // own derived streams and keep only their half, so no draw count couples
+  // one aircraft's geometry to another's.
+  RngStream own_rng = RngStream::derive(seed, "mc-own", encounter_index);
+  const EncounterParams own_sample = base_.sample(own_rng);
+
+  MultiEncounterParams m;
+  m.gs_own_mps = own_sample.gs_own_mps;
+  m.vs_own_mps = own_sample.vs_own_mps;
+  m.intruders.reserve(num_intruders_);
+  for (std::size_t k = 0; k < num_intruders_; ++k) {
+    RngStream rng = RngStream::derive(seed, "mc-intruder", encounter_index, k);
+    const MultiEncounterParams one = MultiEncounterParams::from_pairwise(base_.sample(rng));
+    m.intruders.push_back(one.intruders.front());
+  }
+  return m;
+}
+
+}  // namespace cav::encounter

@@ -1,0 +1,93 @@
+// Multi-intruder encounter encoding and generation.
+//
+// The paper's 9-parameter CPA-relative encounter (encounter.h) pits one
+// intruder against the own-ship.  A multi-intruder encounter keeps the
+// own-ship's two parameters (Gs_o, Vs_o) shared and gives each of K
+// intruders its own 7-parameter CPA geometry {T, R, theta, Y, Gs_i,
+// theta_i, Vs_i} against the same own-ship trajectory — the traffic shape
+// of hierarchical multi-UAV avoidance (Wang et al., arXiv:2005.14455) and
+// the density sweeps of Sunberg et al. (arXiv:1602.04762).
+//
+// Sampling uses deterministic per-intruder RNG streams: intruder k's
+// geometry depends only on (seed, encounter index, k), so raising the
+// intruder count K extends an encounter without disturbing the intruders
+// it already had.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "encounter/encounter.h"
+#include "encounter/statistical_model.h"
+#include "sim/uav.h"
+
+namespace cav::encounter {
+
+inline constexpr std::size_t kOwnParams = 2;       ///< Gs_o, Vs_o
+inline constexpr std::size_t kIntruderParams = 7;  ///< T, R, theta, Y, Gs_i, theta_i, Vs_i
+
+/// CPA-relative geometry of one intruder against the shared own-ship.
+struct IntruderGeometry {
+  double t_cpa_s = 40.0;      ///< time for this intruder to reach its CPA
+  double r_cpa_m = 0.0;       ///< horizontal miss at CPA
+  double theta_cpa_rad = 0.0; ///< bearing (world frame) of that offset
+  double y_cpa_m = 0.0;       ///< vertical offset at CPA
+  double gs_mps = 40.0;       ///< intruder ground speed
+  double course_rad = 3.141592653589793;  ///< intruder course
+  double vs_mps = 0.0;        ///< intruder vertical speed
+};
+
+/// The (2 + 7K)-parameter genome of a K-intruder encounter.
+struct MultiEncounterParams {
+  double gs_own_mps = 40.0;
+  double vs_own_mps = 0.0;
+  std::vector<IntruderGeometry> intruders;
+
+  std::size_t num_intruders() const { return intruders.size(); }
+
+  /// The pairwise encounter own-ship vs intruder k (the paper's 9 params).
+  EncounterParams pairwise(std::size_t k) const;
+  /// Wrap a pairwise encounter as the K=1 case.
+  static MultiEncounterParams from_pairwise(const EncounterParams& p);
+
+  /// Latest per-intruder CPA time — the natural simulation horizon anchor.
+  double max_t_cpa_s() const;
+
+  /// Flat genome encoding [Gs_o, Vs_o, (T, R, theta, Y, Gs_i, theta_i,
+  /// Vs_i) x K]; from_vector infers K from the vector length.
+  std::vector<double> to_vector() const;
+  static MultiEncounterParams from_vector(const std::vector<double>& x);
+};
+
+/// Initial kinematic states [own, intruder 1..K], each intruder
+/// reconstructed by the paper's equations (1)-(3) against the shared
+/// own-ship reference.
+std::vector<sim::UavState> generate_multi_initial_states(const MultiEncounterParams& params,
+                                                         const OwnshipReference& ref = {});
+
+/// Per-gene bounds for a K-intruder genome, index-aligned with
+/// MultiEncounterParams::to_vector(), built from the pairwise ranges.
+void multi_param_bounds(const ParamRanges& ranges, std::size_t num_intruders,
+                        std::vector<double>* lo, std::vector<double>* hi);
+
+/// K intruders sampled from the statistical encounter model with
+/// deterministic per-intruder streams.
+class MultiEncounterModel {
+ public:
+  explicit MultiEncounterModel(std::size_t num_intruders,
+                               const StatisticalModelConfig& config = {});
+
+  std::size_t num_intruders() const { return num_intruders_; }
+  const StatisticalEncounterModel& base() const { return base_; }
+
+  /// Deterministic in (seed, encounter_index): the own-ship draws from one
+  /// derived stream, intruder k from its own — identical encounters across
+  /// thread counts and across intruder-count extensions.
+  MultiEncounterParams sample(std::uint64_t seed, std::uint64_t encounter_index) const;
+
+ private:
+  StatisticalEncounterModel base_;
+  std::size_t num_intruders_;
+};
+
+}  // namespace cav::encounter

@@ -1,0 +1,132 @@
+#include "scenarios/scenario_library.h"
+
+#include "util/angles.h"
+#include "util/expect.h"
+
+namespace cav::scenarios {
+namespace {
+
+encounter::IntruderGeometry conflict_geometry(double t_cpa_s, double gs_mps, double course_rad,
+                                              double vs_mps) {
+  encounter::IntruderGeometry g;
+  g.t_cpa_s = t_cpa_s;
+  g.r_cpa_m = 0.0;
+  g.theta_cpa_rad = 0.0;
+  g.y_cpa_m = 0.0;
+  g.gs_mps = gs_mps;
+  g.course_rad = wrap_pi(course_rad);
+  g.vs_mps = vs_mps;
+  return g;
+}
+
+}  // namespace
+
+Scenario head_on(std::size_t intruders) {
+  expect(intruders >= 1, "at least one intruder");
+  Scenario s;
+  s.name = "head-on";
+  s.params.gs_own_mps = 40.0;
+  s.params.vs_own_mps = 0.0;
+  // A fan of reciprocal-ish courses (spread 0.35 rad per slot around pi)
+  // at staggered CPA times, so every intruder is a genuine nose-on threat
+  // to the own-ship but the intruders do not collide with each other.
+  for (std::size_t k = 0; k < intruders; ++k) {
+    const double offset =
+        0.35 * (static_cast<double>(k) - static_cast<double>(intruders - 1) / 2.0);
+    s.params.intruders.push_back(
+        conflict_geometry(40.0 + 6.0 * static_cast<double>(k), 40.0, kPi + offset, 0.0));
+  }
+  return s;
+}
+
+Scenario crossing(std::size_t intruders) {
+  expect(intruders >= 1, "at least one intruder");
+  Scenario s;
+  s.name = "crossing";
+  s.params.gs_own_mps = 35.0;
+  s.params.vs_own_mps = 0.0;
+  // Perpendicular crossers alternating from the left and the right, each
+  // aimed at the own-ship's position at its own staggered CPA time.
+  for (std::size_t k = 0; k < intruders; ++k) {
+    const double course = (k % 2 == 0) ? kPi / 2.0 : -kPi / 2.0;
+    s.params.intruders.push_back(
+        conflict_geometry(40.0 + 8.0 * static_cast<double>(k), 35.0, course, 0.0));
+  }
+  return s;
+}
+
+Scenario overtake() {
+  Scenario s;
+  s.name = "overtake";
+  // The challenging family the paper's GA found (Figs. 7-8): descending
+  // own-ship overtaken slowly from behind by a climbing intruder — tiny
+  // closure rate, so tau-based alerting stays silent.
+  s.params = encounter::MultiEncounterParams::from_pairwise(encounter::tail_approach());
+  return s;
+}
+
+Scenario converging_ring(std::size_t intruders, double t_cpa_s) {
+  expect(intruders >= 1, "at least one intruder");
+  expect(t_cpa_s > 0.0, "t_cpa_s > 0");
+  Scenario s;
+  s.name = "converging-ring";
+  s.params.gs_own_mps = 35.0;
+  s.params.vs_own_mps = 0.0;
+  // K intruders evenly spread on a ring of radius gs * T, all converging
+  // on the own-ship's CPA position at the same time.  Courses start at
+  // pi/K so no intruder flies exactly the own-ship's (or a reciprocal)
+  // course, keeping every geometry distinct.
+  for (std::size_t k = 0; k < intruders; ++k) {
+    const double course =
+        kPi / static_cast<double>(intruders) +
+        2.0 * kPi * static_cast<double>(k) / static_cast<double>(intruders);
+    s.params.intruders.push_back(conflict_geometry(t_cpa_s, 35.0, course, 0.0));
+  }
+  return s;
+}
+
+Scenario high_density_random(std::size_t intruders, std::uint64_t seed) {
+  expect(intruders >= 1, "at least one intruder");
+  Scenario s;
+  s.name = "high-density";
+  const encounter::MultiEncounterModel model(intruders);
+  s.params = model.sample(seed, /*encounter_index=*/0);
+  return s;
+}
+
+const std::vector<std::string>& scenario_names() {
+  static const std::vector<std::string> names = {
+      "head-on", "crossing", "overtake", "converging-ring", "high-density"};
+  return names;
+}
+
+Scenario make_scenario(std::string_view name, std::size_t intruders, std::uint64_t seed) {
+  if (name == "head-on") return head_on(intruders == 0 ? 1 : intruders);
+  if (name == "crossing") return crossing(intruders == 0 ? 1 : intruders);
+  if (name == "overtake") {
+    // Single-intruder family: a silent fallback would mislabel density
+    // sweeps that pass K > 1 for every name.
+    expect(intruders <= 1, "overtake is a single-intruder family");
+    return overtake();
+  }
+  if (name == "converging-ring") return converging_ring(intruders == 0 ? 4 : intruders);
+  if (name == "high-density") return high_density_random(intruders == 0 ? 8 : intruders, seed);
+  expect(false, "unknown scenario family name");
+  return {};  // unreachable
+}
+
+sim::SimResult run_scenario(const Scenario& scenario, sim::SimConfig config,
+                            const sim::CasFactory& own_cas, const sim::CasFactory& intruder_cas,
+                            std::uint64_t seed) {
+  const std::vector<sim::UavState> states = scenario.initial_states();
+  std::vector<sim::AgentSetup> agents(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    agents[i].initial_state = states[i];
+    const sim::CasFactory& factory = (i == 0) ? own_cas : intruder_cas;
+    if (factory) agents[i].cas = factory();
+  }
+  config.max_time_s = scenario.suggested_time_s();
+  return sim::run_multi_encounter(config, std::move(agents), seed);
+}
+
+}  // namespace cav::scenarios

@@ -1,49 +1,76 @@
-// Maneuver coordination between the two UAVs (§VI.C): "if the own-ship
-// chooses a 'climb' maneuver, it will send a coordination command to the
-// intruder to require it not to choose maneuvers in the same direction."
+// Maneuver coordination between UAVs (§VI.C): "if the own-ship chooses a
+// 'climb' maneuver, it will send a coordination command to the intruder to
+// require it not to choose maneuvers in the same direction."
 //
-// The channel holds the latest sense announced by each aircraft; a reader
-// asks for the constraint imposed on it by the *other* aircraft.  Message
-// loss and staleness are injectable for robustness experiments.
+// Generalized to N aircraft with per-pair (per-link) bookkeeping: a post is
+// a broadcast, but delivery is tracked per receiver link, so message loss
+// affects each receiver independently and a reader asks for the constraint
+// imposed on it by a *specific* threat aircraft.  For the two-aircraft case
+// this reduces exactly to the original channel (one link per post, the
+// constraint is whatever the other aircraft last delivered).
 #pragma once
 
-#include <array>
+#include <vector>
 
 #include "acasx/advisory.h"
+#include "util/expect.h"
 #include "util/rng.h"
 
 namespace cav::sim {
 
 struct CoordinationConfig {
   bool enabled = true;
-  double message_loss_prob = 0.0;  ///< per-post probability the message is lost
+  double message_loss_prob = 0.0;  ///< per-link probability a delivery is lost
 };
 
 class CoordinationChannel {
  public:
-  explicit CoordinationChannel(const CoordinationConfig& config = {}) : config_(config) {}
+  explicit CoordinationChannel(const CoordinationConfig& config = {}, std::size_t num_agents = 2)
+      : config_(config),
+        num_agents_(num_agents),
+        delivered_(num_agents * num_agents, acasx::Sense::kNone) {
+    expect(num_agents >= 2, "coordination needs at least two aircraft");
+  }
 
-  /// Aircraft `sender` (0 or 1) announces the sense of its chosen maneuver.
-  /// A lost message leaves the previously delivered announcement in place
-  /// (receivers work with the last thing they heard).
+  /// Aircraft `sender` announces the sense of its chosen maneuver to every
+  /// other aircraft.  Each link draws its own loss; a lost delivery leaves
+  /// the previously delivered announcement in place on that link (receivers
+  /// work with the last thing they heard).  Receivers are visited in index
+  /// order so the draw sequence is deterministic.
   void post(int sender, acasx::Sense sense, RngStream& rng) {
     if (!config_.enabled) return;
-    if (config_.message_loss_prob > 0.0 && rng.chance(config_.message_loss_prob)) return;
-    announced_[static_cast<std::size_t>(sender)] = sense;
+    for (std::size_t receiver = 0; receiver < num_agents_; ++receiver) {
+      if (receiver == static_cast<std::size_t>(sender)) continue;
+      if (config_.message_loss_prob > 0.0 && rng.chance(config_.message_loss_prob)) continue;
+      delivered_[receiver * num_agents_ + static_cast<std::size_t>(sender)] = sense;
+    }
   }
 
-  /// The sense forbidden to aircraft `receiver`: whatever the other
-  /// aircraft announced (kNone when coordination is disabled or silent).
-  acasx::Sense forbidden_for(int receiver) const {
+  /// The sense forbidden to aircraft `receiver` by aircraft `threat`:
+  /// whatever `threat` last delivered on that link (kNone when coordination
+  /// is disabled or the link has been silent).
+  acasx::Sense forbidden_for(int receiver, int threat) const {
     if (!config_.enabled) return acasx::Sense::kNone;
-    return announced_[static_cast<std::size_t>(1 - receiver)];
+    return delivered_[static_cast<std::size_t>(receiver) * num_agents_ +
+                      static_cast<std::size_t>(threat)];
   }
 
-  void reset() { announced_ = {acasx::Sense::kNone, acasx::Sense::kNone}; }
+  /// Two-aircraft convenience: the constraint from the (single) other one.
+  acasx::Sense forbidden_for(int receiver) const {
+    expect(num_agents_ == 2, "pairwise forbidden_for needs a 2-aircraft channel");
+    return forbidden_for(receiver, 1 - receiver);
+  }
+
+  std::size_t num_agents() const { return num_agents_; }
+
+  void reset() {
+    delivered_.assign(delivered_.size(), acasx::Sense::kNone);
+  }
 
  private:
   CoordinationConfig config_;
-  std::array<acasx::Sense, 2> announced_{acasx::Sense::kNone, acasx::Sense::kNone};
+  std::size_t num_agents_;
+  std::vector<acasx::Sense> delivered_;  ///< [receiver * N + sender]
 };
 
 }  // namespace cav::sim

@@ -26,4 +26,71 @@ void AccidentDetector::update(double t_s, const Vec3& a, const Vec3& b) {
   }
 }
 
+PairwiseMonitors::PairwiseMonitors(std::size_t num_agents, const AccidentConfig& config)
+    : num_agents_(num_agents) {
+  const std::size_t pairs = num_agents * (num_agents - 1) / 2;
+  proximity_.resize(pairs);
+  accidents_.assign(pairs, AccidentDetector(config));
+}
+
+std::size_t PairwiseMonitors::pair_index(std::size_t i, std::size_t j) const {
+  // Lexicographic order over (i, j) with i < j: pairs before row i, plus
+  // the offset of j within row i.
+  return i * num_agents_ - i * (i + 1) / 2 + (j - i - 1);
+}
+
+std::pair<std::size_t, std::size_t> PairwiseMonitors::pair_agents(std::size_t pair) const {
+  std::size_t i = 0;
+  while (pair_index(i, num_agents_ - 1) < pair) ++i;
+  const std::size_t j = pair - pair_index(i, i + 1) + i + 1;
+  return {i, j};
+}
+
+void PairwiseMonitors::update(double t_s, const std::vector<Vec3>& positions) {
+  std::size_t pair = 0;
+  for (std::size_t i = 0; i + 1 < num_agents_; ++i) {
+    for (std::size_t j = i + 1; j < num_agents_; ++j, ++pair) {
+      proximity_[pair].update(t_s, positions[i], positions[j]);
+      accidents_[pair].update(t_s, positions[i], positions[j]);
+    }
+  }
+}
+
+ProximityReport PairwiseMonitors::aggregate_proximity() const {
+  ProximityReport out;
+  for (const ProximityMeasurer& m : proximity_) {
+    const ProximityReport& r = m.report();
+    if (r.min_distance_m < out.min_distance_m) {
+      out.min_distance_m = r.min_distance_m;
+      out.time_of_min_distance_s = r.time_of_min_distance_s;
+    }
+    if (r.min_horizontal_m < out.min_horizontal_m) out.min_horizontal_m = r.min_horizontal_m;
+    if (r.min_vertical_m < out.min_vertical_m) out.min_vertical_m = r.min_vertical_m;
+  }
+  return out;
+}
+
+bool PairwiseMonitors::any_nmac() const {
+  for (const AccidentDetector& d : accidents_) {
+    if (d.nmac()) return true;
+  }
+  return false;
+}
+
+double PairwiseMonitors::earliest_nmac_time_s() const {
+  double earliest = -1.0;
+  for (const AccidentDetector& d : accidents_) {
+    if (!d.nmac()) continue;
+    if (earliest < 0.0 || d.nmac_time_s() < earliest) earliest = d.nmac_time_s();
+  }
+  return earliest;
+}
+
+bool PairwiseMonitors::any_hard_collision() const {
+  for (const AccidentDetector& d : accidents_) {
+    if (d.hard_collision()) return true;
+  }
+  return false;
+}
+
 }  // namespace cav::sim

@@ -11,7 +11,9 @@
 // tracked separately.
 #pragma once
 
+#include <cstddef>
 #include <limits>
+#include <vector>
 
 #include "util/units.h"
 #include "util/vec3.h"
@@ -57,6 +59,49 @@ class AccidentDetector {
   bool nmac_ = false;
   bool hard_collision_ = false;
   double nmac_time_s_ = -1.0;
+};
+
+/// Per-pair monitor bank for N-aircraft runs: one ProximityMeasurer and one
+/// AccidentDetector per unordered aircraft pair (i < j), updated together
+/// from the full position vector.  For two aircraft this is exactly the
+/// original single proximity/accident pair.
+class PairwiseMonitors {
+ public:
+  PairwiseMonitors(std::size_t num_agents, const AccidentConfig& config);
+
+  /// Update every pair; `positions` must have `num_agents()` entries.
+  void update(double t_s, const std::vector<Vec3>& positions);
+
+  std::size_t num_agents() const { return num_agents_; }
+  std::size_t num_pairs() const { return proximity_.size(); }
+
+  /// Index of pair (i, j), i < j, in lexicographic pair order.
+  std::size_t pair_index(std::size_t i, std::size_t j) const;
+
+  const ProximityMeasurer& proximity(std::size_t i, std::size_t j) const {
+    return proximity_[pair_index(i, j)];
+  }
+  const AccidentDetector& accidents(std::size_t i, std::size_t j) const {
+    return accidents_[pair_index(i, j)];
+  }
+  const ProximityMeasurer& proximity_at(std::size_t pair) const { return proximity_[pair]; }
+  const AccidentDetector& accidents_at(std::size_t pair) const { return accidents_[pair]; }
+
+  /// Pair (i, j) for a lexicographic pair index.
+  std::pair<std::size_t, std::size_t> pair_agents(std::size_t pair) const;
+
+  /// Minimum separations over all pairs; the time-of-minimum comes from the
+  /// pair achieving the smallest 3-D distance (first pair wins ties).
+  ProximityReport aggregate_proximity() const;
+  bool any_nmac() const;
+  /// Earliest NMAC penetration time across pairs; -1 when none occurred.
+  double earliest_nmac_time_s() const;
+  bool any_hard_collision() const;
+
+ private:
+  std::size_t num_agents_;
+  std::vector<ProximityMeasurer> proximity_;
+  std::vector<AccidentDetector> accidents_;
 };
 
 }  // namespace cav::sim

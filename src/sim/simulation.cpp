@@ -1,42 +1,112 @@
 #include "sim/simulation.h"
 
-#include <array>
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "util/expect.h"
 
 namespace cav::sim {
 namespace {
 
-/// Per-aircraft bookkeeping during a run.
-struct AgentRuntime {
-  UavAgent agent;
-  CollisionAvoidanceSystem* cas;  // may be null
-  std::optional<acasx::AircraftTrack> last_track_of_other;
-  AgentReport report;
-  acasx::Sense last_sense = acasx::Sense::kNone;
-  std::string current_label = "COC";
-};
-
 acasx::AircraftTrack self_track(const UavState& state) {
   // Own state is known exactly (GPS/IMU fidelity is far above ADS-B noise
-  // at these scales); only the *other* aircraft is seen through ADS-B.
+  // at these scales); only the *other* aircraft are seen through ADS-B.
   return {state.position_m, state.velocity_mps()};
 }
 
-void decide_for(AgentRuntime& me, const AgentRuntime& other, CoordinationChannel& coord,
-                const AdsbSensor& sensor, int my_id, double t_s, RngStream& adsb_rng) {
+}  // namespace
+
+bool SimResult::own_nmac() const {
+  for (const PairReport& p : pairs) {
+    if (p.a == 0 && p.nmac) return true;
+  }
+  return false;
+}
+
+double SimResult::own_min_separation_m() const {
+  double min = std::numeric_limits<double>::infinity();
+  for (const PairReport& p : pairs) {
+    if (p.a == 0 && p.proximity.min_distance_m < min) min = p.proximity.min_distance_m;
+  }
+  return min;
+}
+
+const PairReport& SimResult::pair(int a, int b) const {
+  if (a > b) std::swap(a, b);
+  for (const PairReport& p : pairs) {
+    if (p.a == a && p.b == b) return p;
+  }
+  expect(false, "no such aircraft pair in the result");
+  return pairs.front();  // unreachable
+}
+
+Simulation::Simulation(const SimConfig& config, std::vector<AgentSetup> agents,
+                       std::uint64_t seed)
+    : config_(config),
+      coord_(config.coordination, agents.size() < 2 ? 2 : agents.size()),
+      sensor_(config.adsb),
+      monitors_(agents.size(), config.accident),
+      rng_coord_(RngStream::derive(seed, "coordination")) {
+  expect(config.dt_dynamics_s > 0.0, "dt_dynamics_s > 0");
+  expect(config.decision_period_s >= config.dt_dynamics_s,
+         "decision period is at least one physics step");
+  expect(config.max_time_s > 0.0, "max_time_s > 0");
+  expect(agents.size() >= 2, "a simulation needs at least two aircraft");
+
+  runtimes_.reserve(agents.size());
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    AgentSetup& setup = agents[i];
+    // Independent streams per (random source, aircraft) keep results
+    // identical across serial/parallel execution, make failure injection
+    // orthogonal, and — crucially — do not depend on the aircraft count, so
+    // the two-aircraft path draws the exact streams it always did.
+    runtimes_.push_back(AgentRuntime{
+        UavAgent(static_cast<int>(i), setup.initial_state, setup.performance),
+        std::move(setup.cas),
+        std::vector<std::optional<acasx::AircraftTrack>>(agents.size()),
+        {},
+        acasx::Sense::kNone,
+        acasx::Sense::kNone,
+        "COC",
+        RngStream::derive(seed, "adsb", i),
+        RngStream::derive(seed, "disturbance", i)});
+    if (runtimes_.back().cas != nullptr) runtimes_.back().cas->reset();
+  }
+  positions_.resize(runtimes_.size());
+}
+
+void Simulation::decide_for(AgentRuntime& me, std::size_t my_id, double t_s) {
   if (me.cas == nullptr) return;
 
-  // Receive the other aircraft's broadcast; coast on the last track if the
-  // message was lost, and stay passive if we have never heard anything.
-  auto received = sensor.observe(other.agent.state(), adsb_rng);
-  if (received.has_value()) me.last_track_of_other = *received;
-  if (!me.last_track_of_other.has_value()) return;
+  // Receive every other aircraft's broadcast, in index order (so the draw
+  // sequence on this aircraft's ADS-B stream is deterministic); coast on
+  // the last track heard for an aircraft whose message was lost.
+  for (std::size_t j = 0; j < runtimes_.size(); ++j) {
+    if (j == my_id) continue;
+    auto received = sensor_.observe(runtimes_[j].agent.state(), me.rng_adsb);
+    if (received.has_value()) me.last_track_of[j] = *received;
+  }
 
-  const CasDecision decision =
-      me.cas->decide(self_track(me.agent.state()), *me.last_track_of_other,
-                     coord.forbidden_for(my_id));
+  // Nearest-threat selection: the existing avoidance systems are pairwise,
+  // so the engine feeds them the closest track currently held (lowest
+  // index on ties).  Stay passive if nothing has ever been heard.
+  const Vec3 my_position = me.agent.state().position_m;
+  std::size_t threat = runtimes_.size();
+  double threat_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < runtimes_.size(); ++j) {
+    if (j == my_id || !me.last_track_of[j].has_value()) continue;
+    const double d = distance(me.last_track_of[j]->position_m, my_position);
+    if (d < threat_distance) {
+      threat_distance = d;
+      threat = j;
+    }
+  }
+  if (threat == runtimes_.size()) return;
+
+  const CasDecision decision = me.cas->decide(
+      self_track(me.agent.state()), *me.last_track_of[threat],
+      coord_.forbidden_for(static_cast<int>(my_id), static_cast<int>(threat)));
 
   VerticalCommand command;
   command.active = decision.maneuver;
@@ -57,10 +127,14 @@ void decide_for(AgentRuntime& me, const AgentRuntime& other, CoordinationChannel
       me.report.first_alert_time_s = t_s;
     }
     ++me.report.alert_cycles;
-    if (me.last_sense != acasx::Sense::kNone && decision.sense != acasx::Sense::kNone &&
-        me.last_sense != decision.sense) {
+    // Reversal monitor: compare against the last *issued* sense, which
+    // survives COC coasting gaps — an RA -> COC -> opposite-RA sequence is
+    // a reversal (the paper's reversal monitor), not a fresh alert.
+    if (me.last_issued_sense != acasx::Sense::kNone && decision.sense != acasx::Sense::kNone &&
+        me.last_issued_sense != decision.sense) {
       ++me.report.reversals;
     }
+    if (decision.sense != acasx::Sense::kNone) me.last_issued_sense = decision.sense;
     me.last_sense = decision.sense;
   } else {
     me.last_sense = acasx::Sense::kNone;
@@ -68,84 +142,122 @@ void decide_for(AgentRuntime& me, const AgentRuntime& other, CoordinationChannel
   me.report.final_advisory = decision.label;
 }
 
-}  // namespace
+void Simulation::decide_all(double t_s) {
+  // Sequential decisions: lower-index aircraft announce first, so a later
+  // aircraft sees a fresh constraint (the paper's own-ship -> intruder
+  // coordination command); earlier aircraft saw the later ones' previous
+  // announcements, giving the one-cycle latency a real datalink has.
+  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+    decide_for(runtimes_[i], i, t_s);
+    coord_.post(static_cast<int>(i), runtimes_[i].last_sense, rng_coord_);
+  }
+}
 
-SimResult run_encounter(const SimConfig& config, AgentSetup own, AgentSetup intruder,
-                        std::uint64_t seed) {
-  expect(config.dt_dynamics_s > 0.0, "dt_dynamics_s > 0");
-  expect(config.decision_period_s >= config.dt_dynamics_s,
-         "decision period is at least one physics step");
-  expect(config.max_time_s > 0.0, "max_time_s > 0");
+void Simulation::record_sample(double t_s, SimResult& result) const {
+  const AgentRuntime& a = runtimes_[0];
+  const AgentRuntime& b = runtimes_[1];
+  TrajectorySample s;
+  s.t_s = t_s;
+  s.own_position_m = a.agent.state().position_m;
+  s.intruder_position_m = b.agent.state().position_m;
+  s.own_vs_mps = a.agent.state().vertical_speed_mps;
+  s.intruder_vs_mps = b.agent.state().vertical_speed_mps;
+  s.own_advisory = a.current_label;
+  s.intruder_advisory = b.current_label;
+  s.separation_m = distance(a.agent.state().position_m, b.agent.state().position_m);
+  result.trajectory.push_back(std::move(s));
 
-  AgentRuntime a{UavAgent(0, own.initial_state, own.performance), own.cas.get(), {}, {}, {}, "COC"};
-  AgentRuntime b{UavAgent(1, intruder.initial_state, intruder.performance), intruder.cas.get(),
-                 {}, {}, {}, "COC"};
-  if (a.cas != nullptr) a.cas->reset();
-  if (b.cas != nullptr) b.cas->reset();
+  MultiTrajectorySample m;
+  m.t_s = t_s;
+  m.position_m.reserve(runtimes_.size());
+  m.vs_mps.reserve(runtimes_.size());
+  m.advisory.reserve(runtimes_.size());
+  for (const AgentRuntime& r : runtimes_) {
+    m.position_m.push_back(r.agent.state().position_m);
+    m.vs_mps.push_back(r.agent.state().vertical_speed_mps);
+    m.advisory.push_back(r.current_label);
+  }
+  result.multi_trajectory.push_back(std::move(m));
+}
 
-  CoordinationChannel coord(config.coordination);
-  AdsbSensor sensor(config.adsb);
-  ProximityMeasurer proximity;
-  AccidentDetector accidents(config.accident);
+void Simulation::update_monitors(double t_s) {
+  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+    positions_[i] = runtimes_[i].agent.state().position_m;
+  }
+  monitors_.update(t_s, positions_);
+}
 
-  // Independent streams per random source keep results identical across
-  // serial/parallel execution and make failure injection orthogonal.
-  RngStream rng_adsb_a = RngStream::derive(seed, "adsb", 0);
-  RngStream rng_adsb_b = RngStream::derive(seed, "adsb", 1);
-  RngStream rng_dist_a = RngStream::derive(seed, "disturbance", 0);
-  RngStream rng_dist_b = RngStream::derive(seed, "disturbance", 1);
-  RngStream rng_coord = RngStream::derive(seed, "coordination");
-
+SimResult Simulation::run() {
   SimResult result;
+
+  const double dt = config_.dt_dynamics_s;
   const auto steps_per_decision =
-      static_cast<std::size_t>(std::lround(config.decision_period_s / config.dt_dynamics_s));
-  const auto total_steps = static_cast<std::size_t>(std::lround(config.max_time_s / config.dt_dynamics_s));
+      static_cast<std::size_t>(std::lround(config_.decision_period_s / dt));
+
+  // Round the step count down to whole physics steps and close the run
+  // with one clamped tail step, so max_time_s values that are not an
+  // integer multiple of the physics step (Monte-Carlo's t_cpa + margin
+  // rarely is) do not silently drop up to half a step of the encounter.
+  // Tails below 1 ns are integration-grid round-off, not real time.
+  const auto full_steps =
+      static_cast<std::size_t>(std::floor(config_.max_time_s / dt + 1e-9));
+  double tail_dt = config_.max_time_s - static_cast<double>(full_steps) * dt;
+  if (tail_dt <= 1e-9) tail_dt = 0.0;
+  const std::size_t total_steps = full_steps + (tail_dt > 0.0 ? 1 : 0);
 
   double t = 0.0;
-  proximity.update(t, a.agent.state().position_m, b.agent.state().position_m);
-  accidents.update(t, a.agent.state().position_m, b.agent.state().position_m);
+  update_monitors(t);
 
   for (std::size_t step = 0; step < total_steps; ++step) {
     if (step % steps_per_decision == 0) {
-      // Sequential decisions: the own-ship announces first, so the intruder
-      // sees a fresh constraint (the paper's own-ship -> intruder
-      // coordination command); the own-ship saw the intruder's previous
-      // announcement, giving the one-cycle latency a real datalink has.
-      decide_for(a, b, coord, sensor, 0, t, rng_adsb_a);
-      coord.post(0, a.last_sense, rng_coord);
-      decide_for(b, a, coord, sensor, 1, t, rng_adsb_b);
-      coord.post(1, b.last_sense, rng_coord);
-
-      if (config.record_trajectory) {
-        TrajectorySample s;
-        s.t_s = t;
-        s.own_position_m = a.agent.state().position_m;
-        s.intruder_position_m = b.agent.state().position_m;
-        s.own_vs_mps = a.agent.state().vertical_speed_mps;
-        s.intruder_vs_mps = b.agent.state().vertical_speed_mps;
-        s.own_advisory = a.current_label;
-        s.intruder_advisory = b.current_label;
-        s.separation_m = distance(a.agent.state().position_m, b.agent.state().position_m);
-        result.trajectory.push_back(std::move(s));
-      }
+      decide_all(t);
+      if (config_.record_trajectory) record_sample(t, result);
     }
 
-    a.agent.step(config.dt_dynamics_s, config.disturbance, rng_dist_a);
-    b.agent.step(config.dt_dynamics_s, config.disturbance, rng_dist_b);
-    t += config.dt_dynamics_s;
+    const double step_dt = (tail_dt > 0.0 && step + 1 == total_steps) ? tail_dt : dt;
+    for (AgentRuntime& r : runtimes_) {
+      r.agent.step(step_dt, config_.disturbance, r.rng_disturbance);
+    }
+    t += step_dt;
 
-    proximity.update(t, a.agent.state().position_m, b.agent.state().position_m);
-    accidents.update(t, a.agent.state().position_m, b.agent.state().position_m);
+    update_monitors(t);
   }
 
-  result.proximity = proximity.report();
-  result.nmac = accidents.nmac();
-  result.nmac_time_s = accidents.nmac_time_s();
-  result.hard_collision = accidents.hard_collision();
-  result.own = a.report;
-  result.intruder = b.report;
+  result.proximity = monitors_.aggregate_proximity();
+  result.nmac = monitors_.any_nmac();
+  result.nmac_time_s = monitors_.earliest_nmac_time_s();
+  result.hard_collision = monitors_.any_hard_collision();
+  result.pairs.reserve(monitors_.num_pairs());
+  for (std::size_t p = 0; p < monitors_.num_pairs(); ++p) {
+    const auto [i, j] = monitors_.pair_agents(p);
+    PairReport pr;
+    pr.a = static_cast<int>(i);
+    pr.b = static_cast<int>(j);
+    pr.proximity = monitors_.proximity_at(p).report();
+    pr.nmac = monitors_.accidents_at(p).nmac();
+    pr.nmac_time_s = monitors_.accidents_at(p).nmac_time_s();
+    pr.hard_collision = monitors_.accidents_at(p).hard_collision();
+    result.pairs.push_back(pr);
+  }
+  result.agents.reserve(runtimes_.size());
+  for (const AgentRuntime& r : runtimes_) result.agents.push_back(r.report);
+  result.own = result.agents[0];
+  result.intruder = result.agents[1];
   result.elapsed_s = t;
   return result;
+}
+
+SimResult run_encounter(const SimConfig& config, AgentSetup own, AgentSetup intruder,
+                        std::uint64_t seed) {
+  std::vector<AgentSetup> agents;
+  agents.push_back(std::move(own));
+  agents.push_back(std::move(intruder));
+  return Simulation(config, std::move(agents), seed).run();
+}
+
+SimResult run_multi_encounter(const SimConfig& config, std::vector<AgentSetup> agents,
+                              std::uint64_t seed) {
+  return Simulation(config, std::move(agents), seed).run();
 }
 
 }  // namespace cav::sim

@@ -1,21 +1,26 @@
-// Two-UAV encounter simulation (§VI.C): "The environment in our simulation
-// is a 3-D infinite flight area ... When simulation begins, the two UAVs
-// fly following their initial velocities but also be affected by
+// N-aircraft encounter simulation (§VI.C): "The environment in our
+// simulation is a 3-D infinite flight area ... When simulation begins, the
+// two UAVs fly following their initial velocities but also be affected by
 // environment disturbance.  The collision avoidance algorithm is
-// incorporated into the UAVs."
+// incorporated into the UAVs."  The engine generalizes the paper's
+// two-aircraft setup to any number of aircraft; the two-aircraft path is
+// the same code and produces the same results.
 //
-// Structure per decision cycle (1 Hz by default):
-//   1. each UAV receives the other's ADS-B broadcast (white sensor noise,
-//      optional dropout -> coast on last track);
-//   2. each UAV runs its collision avoidance system, constrained by the
-//      coordination sense last announced by the other aircraft, then
-//      announces its own sense;
+// Structure per decision cycle (1 Hz by default), aircraft in index order:
+//   1. each equipped UAV receives every other aircraft's ADS-B broadcast
+//      (white sensor noise, optional dropout -> coast on the last track
+//      heard for that aircraft);
+//   2. it selects its nearest threat among the tracks it holds, runs its
+//      (pairwise) collision avoidance system against that threat,
+//      constrained by the coordination sense that threat last delivered,
+//      then broadcasts its own sense;
 //   3. dynamics integrate at the (faster) physics rate with environment
-//      disturbance, while the monitors watch true separations.
+//      disturbance, while per-pair monitors watch every true separation.
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "sim/cas.h"
 #include "sim/coordination.h"
@@ -42,23 +47,48 @@ struct AgentReport {
   bool ever_alerted = false;
   double first_alert_time_s = -1.0;
   int alert_cycles = 0;       ///< decision cycles with an active maneuver
-  int reversals = 0;          ///< sense flips between consecutive maneuvers
+  int reversals = 0;          ///< sense flips between issued advisories
+                              ///< (counted across COC coasting gaps)
   std::string final_advisory = "COC";
 };
 
-struct SimResult {
+/// Monitor outcome for one unordered aircraft pair (a < b).
+struct PairReport {
+  int a = 0;
+  int b = 1;
   ProximityReport proximity;
   bool nmac = false;
   double nmac_time_s = -1.0;
   bool hard_collision = false;
-  AgentReport own;
-  AgentReport intruder;
+};
+
+struct SimResult {
+  ProximityReport proximity;  ///< minima over every aircraft pair
+  bool nmac = false;          ///< any pair penetrated the NMAC cylinder
+  double nmac_time_s = -1.0;  ///< earliest penetration across pairs
+  bool hard_collision = false;
+  AgentReport own;            ///< agents[0], mirrored for the pairwise API
+  AgentReport intruder;       ///< agents[1], mirrored for the pairwise API
+  std::vector<AgentReport> agents;  ///< one per aircraft, in setup order
+  std::vector<PairReport> pairs;    ///< lexicographic (a < b)
   double elapsed_s = 0.0;
-  Trajectory trajectory;  ///< empty unless SimConfig::record_trajectory
+  Trajectory trajectory;            ///< own vs first intruder (legacy view);
+                                    ///< empty unless record_trajectory
+  MultiTrajectory multi_trajectory; ///< all aircraft; same sampling
 
   /// The fitness distance d_k of the paper (§VII): 0 on a mid-air
   /// collision, otherwise the minimum 3-D separation over the run.
   double miss_distance_m() const { return nmac ? 0.0 : proximity.min_distance_m; }
+
+  /// Own-ship-centric variants over the pairs involving aircraft 0 — the
+  /// multi-intruder fitness ignores intruder-vs-intruder proximity.
+  bool own_nmac() const;
+  double own_min_separation_m() const;
+  double own_miss_distance_m() const {
+    return own_nmac() ? 0.0 : own_min_separation_m();
+  }
+
+  const PairReport& pair(int a, int b) const;
 };
 
 /// Initial condition + avoidance system for one aircraft.
@@ -68,9 +98,53 @@ struct AgentSetup {
   UavPerformance performance;
 };
 
-/// Run one encounter to completion.  All stochastic draws derive from
-/// `seed`, so identical inputs give identical results regardless of thread.
+/// Per-aircraft bookkeeping during a run.
+struct AgentRuntime {
+  UavAgent agent;
+  std::unique_ptr<CollisionAvoidanceSystem> cas;  ///< may be null
+  std::vector<std::optional<acasx::AircraftTrack>> last_track_of;  ///< per aircraft id
+  AgentReport report;
+  acasx::Sense last_sense = acasx::Sense::kNone;  ///< announced sense (COC clears it)
+  acasx::Sense last_issued_sense = acasx::Sense::kNone;  ///< survives COC gaps
+  std::string current_label = "COC";
+  RngStream rng_adsb;
+  RngStream rng_disturbance;
+};
+
+/// One N-aircraft encounter.  All stochastic draws derive from `seed` and
+/// the aircraft index, so identical inputs give identical results
+/// regardless of thread; with two aircraft the engine reproduces the
+/// original pairwise simulation exactly.
+class Simulation {
+ public:
+  Simulation(const SimConfig& config, std::vector<AgentSetup> agents, std::uint64_t seed);
+
+  std::size_t num_agents() const { return runtimes_.size(); }
+
+  /// Run to the configured time limit and collect the result.
+  SimResult run();
+
+ private:
+  void decide_for(AgentRuntime& me, std::size_t my_id, double t_s);
+  void decide_all(double t_s);
+  void record_sample(double t_s, SimResult& result) const;
+  void update_monitors(double t_s);
+
+  SimConfig config_;
+  std::vector<AgentRuntime> runtimes_;
+  CoordinationChannel coord_;
+  AdsbSensor sensor_;
+  PairwiseMonitors monitors_;
+  RngStream rng_coord_;
+  std::vector<Vec3> positions_;  ///< scratch for monitor updates
+};
+
+/// Run one two-aircraft encounter to completion (the paper's setup).
 SimResult run_encounter(const SimConfig& config, AgentSetup own, AgentSetup intruder,
                         std::uint64_t seed);
+
+/// Run one N-aircraft encounter; `agents[0]` is the own-ship.
+SimResult run_multi_encounter(const SimConfig& config, std::vector<AgentSetup> agents,
+                              std::uint64_t seed);
 
 }  // namespace cav::sim

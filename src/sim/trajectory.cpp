@@ -100,6 +100,23 @@ void write_trajectory_csv(const Trajectory& trajectory, const std::string& path)
   }
 }
 
+void write_multi_trajectory_csv(const MultiTrajectory& trajectory, const std::string& path) {
+  CsvWriter csv(path);
+  csv.header({"t_s", "aircraft", "x", "y", "z", "vs", "advisory"});
+  for (const auto& s : trajectory) {
+    for (std::size_t i = 0; i < s.position_m.size(); ++i) {
+      csv.cell(s.t_s)
+          .cell(i)
+          .cell(s.position_m[i].x)
+          .cell(s.position_m[i].y)
+          .cell(s.position_m[i].z)
+          .cell(s.vs_mps[i])
+          .cell(s.advisory[i]);
+      csv.end_row();
+    }
+  }
+}
+
 std::string render_top_view(const Trajectory& trajectory, int width, int height) {
   return render(trajectory, width, height, /*top_view=*/true);
 }

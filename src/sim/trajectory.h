@@ -23,8 +23,22 @@ struct TrajectorySample {
 
 using Trajectory = std::vector<TrajectorySample>;
 
+/// One decision-cycle snapshot of an N-aircraft run: index 0 is the
+/// own-ship, the rest are intruders (same order as the AgentSetup vector).
+struct MultiTrajectorySample {
+  double t_s = 0.0;
+  std::vector<Vec3> position_m;
+  std::vector<double> vs_mps;
+  std::vector<std::string> advisory;
+};
+
+using MultiTrajectory = std::vector<MultiTrajectorySample>;
+
 /// Write one sample per row (t, positions, rates, advisories, separation).
 void write_trajectory_csv(const Trajectory& trajectory, const std::string& path);
+
+/// Long-format CSV for N-aircraft runs: one row per (sample, aircraft).
+void write_multi_trajectory_csv(const MultiTrajectory& trajectory, const std::string& path);
 
 /// Plan view (x-y) of both aircraft; own-ship 'o', intruder 'i'; samples
 /// where an advisory was active are upper-cased (cf. the red/green maneuver

@@ -123,6 +123,65 @@ TEST_F(MonteCarloTest, RiskRatioEdgeCases) {
   EXPECT_NEAR(risk_ratio(zero, some), 0.0, 1e-12);
 }
 
+TEST_F(MonteCarloTest, ZeroEncountersIsRejected) {
+  // An empty stripe set used to reach parallel_for(0, ...); the config is
+  // now rejected at the API boundary.
+  const encounter::StatisticalEncounterModel model;
+  MonteCarloConfig config = small_config();
+  config.encounters = 0;
+  EXPECT_THROW(estimate_rates(model, config, "none", {}, {}, pool_), ContractViolation);
+  config.encounters = 10;
+  config.intruders = 0;
+  EXPECT_THROW(estimate_rates(model, config, "none", {}, {}, pool_), ContractViolation);
+}
+
+TEST_F(MonteCarloTest, MultiIntruderRatesInvariantAcrossThreadCounts) {
+  // The multi-intruder path derives every geometry from (seed, index,
+  // intruder) and every sim from (seed, index), so rates are bit-identical
+  // for any thread count — the determinism contract of the pairwise path
+  // extends to K > 1.
+  const encounter::StatisticalEncounterModel model;
+  MonteCarloConfig config = small_config();
+  config.encounters = 40;
+  config.intruders = 3;
+  const auto serial = estimate_rates(model, config, "serial", {}, {});
+  for (const std::size_t threads : {1U, 2U, 5U}) {
+    ThreadPool pool(threads);
+    const auto parallel = estimate_rates(model, config, "parallel", {}, {}, &pool);
+    EXPECT_EQ(parallel.nmacs, serial.nmacs) << threads << " threads";
+    EXPECT_EQ(parallel.alerts, serial.alerts) << threads << " threads";
+    EXPECT_DOUBLE_EQ(parallel.mean_min_separation_m, serial.mean_min_separation_m)
+        << threads << " threads";
+  }
+}
+
+TEST_F(MonteCarloTest, MoreIntrudersMeanMoreOwnshipRisk) {
+  // Density monotonicity on unequipped traffic: with three independent
+  // threats per encounter the own-ship NMAC rate must exceed the
+  // single-intruder rate (each intruder alone would produce roughly the
+  // pairwise rate).
+  const encounter::StatisticalEncounterModel model;
+  MonteCarloConfig config = small_config();
+  config.encounters = 200;
+  const auto one = estimate_rates(model, config, "K1", {}, {}, pool_);
+  config.intruders = 3;
+  const auto three = estimate_rates(model, config, "K3", {}, {}, pool_);
+  EXPECT_GT(three.nmac_rate(), one.nmac_rate());
+}
+
+TEST_F(MonteCarloTest, MultiIntruderEquippedBeatsUnequipped) {
+  const encounter::StatisticalEncounterModel model;
+  MonteCarloConfig config = small_config();
+  config.encounters = 120;
+  config.intruders = 3;
+  const auto unequipped = estimate_rates(model, config, "none", {}, {}, pool_);
+  const auto acas = estimate_rates(model, config, "acas", sim::AcasXuCas::factory(*table_),
+                                   sim::AcasXuCas::factory(*table_), pool_);
+  EXPECT_LT(acas.nmac_rate(), unequipped.nmac_rate());
+  EXPECT_GT(acas.alert_rate(), 0.0);
+  EXPECT_EQ(unequipped.alerts, 0U);
+}
+
 TEST_F(MonteCarloTest, TcasLikeAlsoReducesRisk) {
   const encounter::StatisticalEncounterModel model;
   const auto config = small_config();

@@ -129,5 +129,74 @@ TEST_F(SearchTest, GenerationCallbackStreamsProgress) {
   EXPECT_EQ(calls, small_search().ga.generations);
 }
 
+TEST_F(SearchTest, AllEliteConfigIsRejectedUpFront) {
+  // population_size == elites makes the per-generation evaluation count
+  // zero (ga_budget lies, generation_of divides by zero); both search
+  // entry points must reject it as a contract violation, not crash.
+  auto config = small_search();
+  config.ga.elites = config.ga.population_size;
+  EXPECT_THROW(search_challenging_scenarios(config, acas(), acas(), pool_), ContractViolation);
+  EXPECT_THROW(random_search_scenarios(config, acas(), acas(), pool_), ContractViolation);
+
+  MultiScenarioSearchConfig multi;
+  multi.ga = config.ga;
+  EXPECT_THROW(search_challenging_multi_scenarios(multi, acas(), acas(), pool_),
+               ContractViolation);
+}
+
+TEST(MultiGenomeSpecMapping, TwoOwnGenesPlusSevenPerIntruder) {
+  const encounter::ParamRanges ranges;
+  const ga::GenomeSpec spec = make_multi_genome_spec(ranges, 3);
+  ASSERT_EQ(spec.size(), encounter::kOwnParams + 3 * encounter::kIntruderParams);
+  // Own genes use the pairwise indices 0..1, every intruder block 2..8.
+  EXPECT_DOUBLE_EQ(spec.bound(0).lo, ranges.lo[0]);
+  EXPECT_DOUBLE_EQ(spec.bound(1).hi, ranges.hi[1]);
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t i = encounter::kOwnParams; i < encounter::kNumParams; ++i) {
+      const std::size_t gene =
+          encounter::kOwnParams + k * encounter::kIntruderParams + (i - encounter::kOwnParams);
+      EXPECT_DOUBLE_EQ(spec.bound(gene).lo, ranges.lo[i]) << gene;
+      EXPECT_DOUBLE_EQ(spec.bound(gene).hi, ranges.hi[i]) << gene;
+    }
+  }
+}
+
+TEST_F(SearchTest, MultiIntruderSearchFindsChallengingTraffic) {
+  MultiScenarioSearchConfig config;
+  config.ga.population_size = 10;
+  config.ga.generations = 2;
+  config.ga.seed = 7;
+  config.intruders = 2;
+  config.fitness.runs_per_encounter = 4;
+  config.keep_top = 3;
+
+  const auto result = search_challenging_multi_scenarios(config, acas(), acas(), pool_);
+  EXPECT_GT(result.best_fitness(), 0.0);
+  ASSERT_FALSE(result.top.empty());
+  ASSERT_LE(result.top.size(), config.keep_top);
+  for (std::size_t i = 1; i < result.top.size(); ++i) {
+    EXPECT_GE(result.top[i - 1].fitness, result.top[i].fitness);
+  }
+  for (const auto& found : result.top) {
+    EXPECT_EQ(found.params.num_intruders(), 2U);
+    EXPECT_EQ(found.detail.runs, 4U);
+    EXPECT_GE(found.detail.fitness, 0.0);
+  }
+}
+
+TEST_F(SearchTest, MultiIntruderSearchIsDeterministicPerSeed) {
+  MultiScenarioSearchConfig config;
+  config.ga.population_size = 8;
+  config.ga.generations = 2;
+  config.ga.seed = 11;
+  config.intruders = 3;
+  config.fitness.runs_per_encounter = 2;
+
+  const auto a = search_challenging_multi_scenarios(config, acas(), acas(), pool_);
+  const auto b = search_challenging_multi_scenarios(config, acas(), acas());
+  EXPECT_EQ(a.ga.fitness_by_evaluation, b.ga.fitness_by_evaluation);
+  EXPECT_EQ(a.ga.best.genome, b.ga.best.genome);
+}
+
 }  // namespace
 }  // namespace cav::core
