@@ -36,7 +36,8 @@ core::FitnessConfig base_config() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cav::bench::init(argc, argv);
   bench::banner("E9: ablations (discretization, costs, coordination, noise)");
   const auto standard = bench::standard_table();
   const std::string csv_path = bench::output_dir() + "/ablations.csv";

@@ -1,11 +1,78 @@
 #include "bench_common.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
 
 namespace cav::bench {
+
+namespace {
+
+// --json state: set once by init(), flushed by an atexit handler so every
+// bench gets the artifact without per-bench bookkeeping.
+std::string json_path;                                       // NOLINT
+std::string bench_name = "bench";                            // NOLINT
+std::vector<std::pair<std::string, double>> metrics;         // NOLINT
+std::chrono::steady_clock::time_point bench_start;           // NOLINT
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_json_at_exit() {
+  if (json_path.empty()) return;
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - bench_start).count();
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", json_path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n"
+      << "  \"smoke\": " << (smoke() ? "true" : "false") << ",\n"
+      << "  \"wall_s\": " << wall_s << ",\n  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    out << (i ? "," : "") << "\n    \"" << json_escape(metrics[i].first)
+        << "\": " << metrics[i].second;
+  }
+  out << (metrics.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+}  // namespace
+
+void init(int argc, char** argv) {
+  bench_start = std::chrono::steady_clock::now();
+  if (argc > 0) {
+    bench_name = std::filesystem::path(argv[0]).filename().string();
+  }
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[i + 1];
+    }
+  }
+  if (!json_path.empty()) std::atexit(write_json_at_exit);
+}
+
+void record_metric(const std::string& name, double value) {
+  for (auto& [key, stored] : metrics) {
+    if (key == name) {
+      stored = value;
+      return;
+    }
+  }
+  metrics.emplace_back(name, value);
+}
 
 std::string output_dir() {
   static const std::string dir = [] {

@@ -18,6 +18,21 @@ inline ThreadPool& pool() {
   return instance;
 }
 
+/// Parse the shared bench flags and start the bench wall clock; call first
+/// thing in main().  Currently one flag: `--json <path>` makes the bench
+/// write a machine-readable result file at exit — {"bench": <name>,
+/// "smoke": <bool>, "wall_s": <total>, "metrics": {...}} — which CI merges
+/// into the bench_results.json artifact and feeds to
+/// tools/check_bench_regression.py.  Unknown flags are ignored (the
+/// bench-smoke target passes benchmark-library flags to every binary).
+void init(int argc, char** argv);
+
+/// Record a named numeric result for the --json artifact (no-op when
+/// --json was not passed).  Use stable "experiment.case.metric" keys —
+/// the regression baselines are keyed on them.  Re-recording a key
+/// overwrites it.
+void record_metric(const std::string& name, double value);
+
 /// The standard logic table: loaded from the on-disk cache when a
 /// compatible one exists (the production offline/online split), otherwise
 /// solved and cached for the next bench in the run.

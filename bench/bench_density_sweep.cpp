@@ -1,0 +1,119 @@
+// E12 — Traffic-density sweep (the arXiv:1602.04762 axis as a first-class
+// experiment): NMAC rate and advisory (alert) rate versus intruder count
+// K for the nearest-threat policy against the cost-fused multi-threat
+// resolver, under identical statistical traffic (paired seeds), plus the
+// headline converging-ring comparison that E11 exposed and PR 4 closes.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.h"
+#include "core/monte_carlo.h"
+#include "scenarios/scenario_library.h"
+#include "sim/acasx_cas.h"
+#include "util/csv.h"
+
+namespace {
+
+const char* policy_name(cav::sim::ThreatPolicy policy) {
+  return policy == cav::sim::ThreatPolicy::kNearest ? "nearest" : "cost-fused";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cav;
+  bench::init(argc, argv);
+
+  std::size_t encounters = bench::smoke() ? 24 : 400;
+  if (const char* env = std::getenv("CAV_E12_ENCOUNTERS")) {
+    encounters = static_cast<std::size_t>(std::atol(env));
+  }
+
+  bench::banner("E12: NMAC/advisory rate vs traffic density, nearest vs cost-fused");
+  const auto table = bench::standard_table();
+  const sim::CasFactory equipped = sim::AcasXuCas::factory(table);
+  const encounter::StatisticalEncounterModel model;
+
+  std::printf("workload: %zu encounters per (K, policy), equipped own-ship and intruders,\n"
+              "identical traffic across policies (paired seeds)\n\n",
+              encounters);
+  std::printf("%-4s %-12s %-12s %-12s %-12s %-12s %-10s\n", "K", "policy", "NMAC rate",
+              "alert rate", "mean sep", "enc/s", "wall [s]");
+
+  const std::string csv_path = bench::output_dir() + "/density_sweep.csv";
+  CsvWriter csv(csv_path);
+  csv.header({"intruders", "policy", "encounters", "nmac_rate", "alert_rate",
+              "mean_min_separation_m", "enc_per_s", "wall_s"});
+
+  const auto ks = bench::smoke() ? std::vector<std::size_t>{1, 2, 4}
+                                 : std::vector<std::size_t>{1, 2, 3, 4, 5, 6, 7, 8};
+  for (const std::size_t k : ks) {
+    double nearest_nmac = 0.0;
+    for (const sim::ThreatPolicy policy :
+         {sim::ThreatPolicy::kNearest, sim::ThreatPolicy::kCostFused}) {
+      core::MonteCarloConfig config;
+      config.encounters = encounters;
+      config.intruders = k;
+      config.seed = 777;
+      config.sim.threat_policy = policy;
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto rates =
+          core::estimate_rates(model, config, policy_name(policy), equipped, equipped,
+                               &bench::pool());
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      const double enc_per_s = static_cast<double>(encounters) / wall_s;
+
+      std::printf("%-4zu %-12s %-12.4f %-12.4f %-12.1f %-12.1f %-10.3f\n", k,
+                  policy_name(policy), rates.nmac_rate(), rates.alert_rate(),
+                  rates.mean_min_separation_m, enc_per_s, wall_s);
+      csv.cell(k).cell(policy_name(policy)).cell(encounters).cell(rates.nmac_rate())
+          .cell(rates.alert_rate()).cell(rates.mean_min_separation_m).cell(enc_per_s)
+          .cell(wall_s);
+      csv.end_row();
+
+      const std::string prefix =
+          "e12.k" + std::to_string(k) + "." + policy_name(policy) + ".";
+      bench::record_metric(prefix + "nmac_rate", rates.nmac_rate());
+      bench::record_metric(prefix + "alert_rate", rates.alert_rate());
+      bench::record_metric(prefix + "wall_s", wall_s);
+
+      if (policy == sim::ThreatPolicy::kNearest) {
+        nearest_nmac = rates.nmac_rate();
+      } else if (k > 1 && rates.nmac_rate() > nearest_nmac) {
+        std::printf("  note: cost-fused above nearest at K=%zu\n", k);
+      }
+    }
+  }
+  std::printf("\nCSV: %s\n", csv_path.c_str());
+
+  // The converging ring (the E11 gap): paired seeds, all aircraft equipped.
+  const std::size_t ring_k = 4;
+  const int ring_seeds = bench::smoke() ? 12 : 60;
+  const scenarios::Scenario ring = scenarios::converging_ring(ring_k);
+  std::printf("\nconverging-ring K=%zu over %d paired seeds (all equipped):\n", ring_k,
+              ring_seeds);
+  for (const sim::ThreatPolicy policy :
+       {sim::ThreatPolicy::kNearest, sim::ThreatPolicy::kCostFused}) {
+    int nmacs = 0;
+    int vetoes = 0;
+    int disagreements = 0;
+    for (int seed = 1; seed <= ring_seeds; ++seed) {
+      sim::SimConfig config;
+      config.threat_policy = policy;
+      const auto r = scenarios::run_scenario(ring, config, equipped, equipped, seed);
+      if (r.own_nmac()) ++nmacs;
+      vetoes += r.own.resolver.vetoes;
+      disagreements += r.own.resolver.disagreements;
+    }
+    std::printf("  %-12s own NMACs %d/%d  (resolver vetoes %d, fused-vs-nearest "
+                "disagreements %d)\n",
+                policy_name(policy), nmacs, ring_seeds, vetoes, disagreements);
+    bench::record_metric(std::string("e12.ring_k4.") + policy_name(policy) + ".nmacs",
+                         nmacs);
+  }
+  return 0;
+}

@@ -23,7 +23,8 @@
 #include "util/ascii_plot.h"
 #include "util/csv.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cav::bench::init(argc, argv);
   using namespace cav;
 
   double scale = bench::smoke() ? 0.05 : 1.0;

@@ -27,7 +27,8 @@ int evals_to_threshold(const std::vector<double>& series, double threshold) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cav::bench::init(argc, argv);
   using namespace cav;
 
   double scale = bench::smoke() ? 0.05 : 1.0;

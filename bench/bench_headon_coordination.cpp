@@ -21,7 +21,8 @@ void evaluate_row(const char* label, const cav::core::EncounterEvaluation& eval)
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cav::bench::init(argc, argv);
   using namespace cav;
 
   bench::banner("E2: head-on encounter with coordination (paper Fig. 5)");

@@ -164,7 +164,8 @@ void bench_acas_cost_revision() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cav::bench::init(argc, argv);
   using namespace cav;
 
   double scale = bench::smoke() ? 0.1 : 1.0;

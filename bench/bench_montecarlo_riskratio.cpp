@@ -15,7 +15,8 @@
 #include "sim/acasx_cas.h"
 #include "util/csv.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cav::bench::init(argc, argv);
   using namespace cav;
 
   std::size_t encounters = bench::smoke() ? 60 : 4000;

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "bench_common.h"
 #include "core/monte_carlo.h"
@@ -13,7 +14,8 @@
 #include "sim/acasx_cas.h"
 #include "util/csv.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cav::bench::init(argc, argv);
   using namespace cav;
 
   std::size_t encounters = bench::smoke() ? 24 : 400;
@@ -65,6 +67,10 @@ int main() {
     csv.cell(k).cell(encounters).cell(serial_s).cell(pooled_s).cell(eps_serial)
         .cell(eps_pooled).cell(serial_s / pooled_s).cell(serial.nmac_rate());
     csv.end_row();
+    const std::string prefix = "e11.k" + std::to_string(k) + ".";
+    bench::record_metric(prefix + "serial_s", serial_s);
+    bench::record_metric(prefix + "pooled_s", pooled_s);
+    bench::record_metric(prefix + "nmac_rate", serial.nmac_rate());
   }
   std::printf("\nCSV: %s\n", csv_path.c_str());
 

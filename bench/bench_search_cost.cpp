@@ -87,6 +87,7 @@ BENCHMARK(BM_FitnessEvaluation)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond
 }  // namespace
 
 int main(int argc, char** argv) {
+  cav::bench::init(argc, argv);
   std::printf("E8: search cost breakdown.  Paper fn.5: the SVII search (1000\n"
               "evaluations x 100 runs) took ~300 s on a 2016 laptop in serial Java.\n"
               "Project our cost as: 1000 x BM_FitnessEvaluation/100 (serial), divided\n"

@@ -16,7 +16,8 @@
 #include "sim/trajectory.h"
 #include "util/csv.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cav::bench::init(argc, argv);
   using namespace cav;
 
   bench::banner("E4: tail-approach challenging situations (paper Figs. 7-8, SVII)");

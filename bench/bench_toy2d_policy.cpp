@@ -16,7 +16,8 @@
 #include "toy2d/toy2d_mdp.h"
 #include "toy2d/toy2d_sim.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cav::bench::init(argc, argv);
   using namespace cav;
   using namespace cav::toy2d;
 

@@ -194,6 +194,7 @@ BENCHMARK(BM_SolveFineTableParallel)->Unit(benchmark::kMillisecond)->Iterations(
 }  // namespace
 
 int main(int argc, char** argv) {
+  cav::bench::init(argc, argv);
   std::printf("E6: offline logic generation cost.  Paper fn.2 claim: full value\n"
               "iteration < 5 minutes on a laptop; our backward induction over tau\n"
               "should be orders faster in optimized C++ (shape: laptop-feasible).\n"

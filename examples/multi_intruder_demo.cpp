@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "acasx/offline_solver.h"
 #include "scenarios/scenario_library.h"
@@ -41,7 +42,9 @@ int main(int argc, char** argv) {
                 result.nmac ? "yes" : "no", alerted);
   }
 
-  // Detail view: the converging ring, the headline multi-threat case.
+  // Detail view: the converging ring, the headline multi-threat case —
+  // including the arbitration policies (nearest-threat pairwise vs the
+  // cost-fused MultiThreatResolver) over a few paired seeds.
   const scenarios::Scenario ring = scenarios::make_scenario("converging-ring", intruders);
   sim::SimConfig config;
   config.record_trajectory = true;
@@ -53,6 +56,27 @@ int main(int argc, char** argv) {
               unequipped_run.own_min_separation_m(), unequipped_run.own_nmac() ? "yes" : "no");
   std::printf("  equipped:   own minsep %.1f m, own NMAC %s\n",
               equipped_run.own_min_separation_m(), equipped_run.own_nmac() ? "yes" : "no");
+
+  std::printf("\nthreat policy on the ring (all equipped, 20 paired seeds):\n");
+  for (const sim::ThreatPolicy policy :
+       {sim::ThreatPolicy::kNearest, sim::ThreatPolicy::kCostFused}) {
+    int nmacs = 0;
+    int disagreements = 0;
+    for (int seed = 1; seed <= 20; ++seed) {
+      sim::SimConfig policy_config;
+      policy_config.threat_policy = policy;
+      const auto r = scenarios::run_scenario(ring, policy_config, equipped, equipped, seed);
+      if (r.own_nmac()) ++nmacs;
+      disagreements += r.own.resolver.disagreements;
+    }
+    std::printf("  %-11s own NMACs %2d/20%s\n",
+                policy == sim::ThreatPolicy::kNearest ? "nearest:" : "cost-fused:", nmacs,
+                policy == sim::ThreatPolicy::kNearest
+                    ? ""
+                    : (std::string("  (fused-vs-nearest disagreements ") +
+                       std::to_string(disagreements) + ")")
+                        .c_str());
+  }
   std::printf("\nper-pair minima (equipped):\n");
   for (const auto& pair : equipped_run.pairs) {
     std::printf("  (%d, %d): minsep %.1f m%s\n", pair.a, pair.b, pair.proximity.min_distance_m,

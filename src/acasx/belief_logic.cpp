@@ -32,6 +32,36 @@ BeliefAwareLogic::BeliefAwareLogic(std::shared_ptr<const LogicTable> table, Beli
   last_costs_.fill(0.0);
 }
 
+std::array<double, kNumAdvisories> BeliefAwareLogic::peek_costs(const AircraftTrack& own,
+                                                                const AircraftTrack& intruder,
+                                                                bool* active) const {
+  std::array<double, kNumAdvisories> averaged{};
+  const TauEstimate tau = AcasXuLogic::estimate_tau(own, intruder, online_);
+  if (!tau.converging || tau.tau_s > online_.tau_alert_max_s) {
+    *active = false;
+    return averaged;
+  }
+  *active = true;
+
+  const double h_ft = units::m_to_ft(intruder.position_m.z - own.position_m.z);
+  const double dh_own_fps = units::m_to_ft(own.velocity_mps.z);  // own state is known well
+  const double dh_int_fps = units::m_to_ft(intruder.velocity_mps.z);
+
+  const auto h_points = quadrature(h_ft, belief_.h_sigma_ft);
+  const auto dhi_points = quadrature(dh_int_fps, belief_.dh_int_sigma_fps);
+
+  for (const QuadPoint& hp : h_points) {
+    if (hp.weight == 0.0) continue;
+    for (const QuadPoint& vp : dhi_points) {
+      if (vp.weight == 0.0) continue;
+      const auto costs = table_->action_costs(tau.tau_s, hp.value, dh_own_fps, vp.value, ra_);
+      const double w = hp.weight * vp.weight;
+      for (std::size_t a = 0; a < kNumAdvisories; ++a) averaged[a] += w * costs[a];
+    }
+  }
+  return averaged;
+}
+
 Advisory BeliefAwareLogic::decide(const AircraftTrack& own, const AircraftTrack& intruder,
                                   Sense forbidden_sense) {
   last_tau_ = AcasXuLogic::estimate_tau(own, intruder, online_);

@@ -45,6 +45,16 @@ class BeliefAwareLogic {
                   Sense forbidden_sense = Sense::kNone);
 
   Advisory current_advisory() const { return ra_; }
+
+  /// Belief-averaged per-advisory costs against one threat at the current
+  /// advisory memory, without advancing it (see AcasXuLogic::peek_costs).
+  std::array<double, kNumAdvisories> peek_costs(const AircraftTrack& own,
+                                                const AircraftTrack& intruder,
+                                                bool* active) const;
+
+  /// Overwrite the advisory memory with the resolver's fused choice.
+  void set_advisory(Advisory a) { ra_ = a; }
+
   void reset() { ra_ = Advisory::kCoc; }
 
   const TauEstimate& last_tau() const { return last_tau_; }

@@ -66,6 +66,22 @@ class AcasXuLogic {
   /// Advisory currently displayed (kCoc before the first decide()).
   Advisory current_advisory() const { return ra_; }
 
+  /// Per-advisory costs against one threat at the *current* advisory
+  /// memory, without advancing it — the building block of multi-threat
+  /// cost fusion (sim/multi_threat.h), where several per-threat cost
+  /// vectors are summed before one advisory is committed.  `active` is
+  /// false when the threat is outside the alerting envelope (not
+  /// converging, or tau beyond the table horizon); the returned costs are
+  /// then all zero and carry no preference.
+  std::array<double, kNumAdvisories> peek_costs(const AircraftTrack& own,
+                                                const AircraftTrack& intruder,
+                                                bool* active) const;
+
+  /// Overwrite the advisory memory with an externally selected advisory
+  /// (the resolver's fused choice).  The next peek_costs/decide is then
+  /// conditioned on it exactly as if decide() had selected it.
+  void set_advisory(Advisory a) { ra_ = a; }
+
   /// Forget advisory memory (new encounter).
   void reset() { ra_ = Advisory::kCoc; }
 

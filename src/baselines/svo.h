@@ -29,6 +29,9 @@ struct SvoConfig {
   double clear_hysteresis_s = 5.0;
 };
 
+/// Decision-only system: like TcasLikeCas it exposes no per-threat cost
+/// interface, so ThreatPolicy::kCostFused arbitrates it through the
+/// resolver's severity-ordered fallback with the blocking-set veto.
 class SvoCas final : public sim::CollisionAvoidanceSystem {
  public:
   explicit SvoCas(const SvoConfig& config = {}, sim::UavPerformance perf = {});

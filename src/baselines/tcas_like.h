@@ -28,6 +28,9 @@ struct TcasConfig {
   double clear_hysteresis_s = 5.0;  ///< keep the RA this long after the conflict clears
 };
 
+/// Decision-only system: it exposes no per-threat cost interface, so under
+/// ThreatPolicy::kCostFused the resolver arbitrates it via the
+/// severity-ordered fallback with the blocking-set veto (multi_threat.h).
 class TcasLikeCas final : public sim::CollisionAvoidanceSystem {
  public:
   explicit TcasLikeCas(const TcasConfig& config = {}, sim::UavPerformance perf = {});

@@ -22,7 +22,10 @@ namespace cav::core {
 struct FitnessConfig {
   std::size_t runs_per_encounter = 100;  ///< paper: "running 100 simulations"
   double gain_max = 10000.0;             ///< footnote 6
-  sim::SimConfig sim;                    ///< max_time_s is overridden per encounter
+  /// max_time_s is overridden per encounter.  Set sim.threat_policy to
+  /// kCostFused to point the GA search at the fused multi-threat policy —
+  /// the evaluators pass this config through to every simulation.
+  sim::SimConfig sim;
   double sim_time_margin_s = 45.0;       ///< simulate until t_cpa + margin
   std::uint64_t seed = 1234;             ///< master seed for all runs
 };

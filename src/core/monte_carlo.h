@@ -25,7 +25,12 @@ struct MonteCarloConfig {
   /// N-aircraft engine.  NMACs/separations then count own-ship pairs and
   /// alerts count any aircraft.
   std::size_t intruders = 1;
-  sim::SimConfig sim;              ///< max_time_s overridden per encounter
+  /// max_time_s is overridden per encounter.  sim.threat_policy selects
+  /// how equipped aircraft handle K > 1 traffic: kNearest (pairwise CAS vs
+  /// nearest track, the PR 3 behavior) or kCostFused (MultiThreatResolver
+  /// arbitration over every gated threat) — the E12 density sweep compares
+  /// the two under identical traffic.
+  sim::SimConfig sim;
   double sim_time_margin_s = 45.0;
   std::uint64_t seed = 99;
 };

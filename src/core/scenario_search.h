@@ -66,7 +66,9 @@ ScenarioSearchResult random_search_scenarios(const ScenarioSearchConfig& config,
 
 /// Multi-intruder worst-case search: the same GA loop over the
 /// (2 + 7K)-gene space, scored by the own-ship-centric fitness on the
-/// N-aircraft engine.
+/// N-aircraft engine.  To attack the fused multi-threat policy instead of
+/// the nearest-threat one, set fitness.sim.threat_policy = kCostFused —
+/// the GA then breeds worst cases against the arbitration layer itself.
 struct MultiScenarioSearchConfig {
   ga::GaConfig ga;
   encounter::ParamRanges ranges;    ///< per-intruder bounds (pairwise shape)

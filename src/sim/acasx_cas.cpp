@@ -8,12 +8,7 @@ AcasXuCas::AcasXuCas(std::shared_ptr<const acasx::LogicTable> table, acasx::Onli
                      UavPerformance perf, TrackerConfig tracker)
     : logic_(std::move(table), online), perf_(perf), smoother_(tracker) {}
 
-CasDecision AcasXuCas::decide(const acasx::AircraftTrack& own,
-                              const acasx::AircraftTrack& intruder,
-                              acasx::Sense forbidden_sense) {
-  const acasx::AircraftTrack smoothed = smoother_.update(intruder);
-  const acasx::Advisory advisory = logic_.decide(own, smoothed, forbidden_sense);
-
+CasDecision AcasXuCas::to_decision(acasx::Advisory advisory) const {
   CasDecision decision;
   decision.label = acasx::advisory_name(advisory);
   decision.sense = acasx::sense_of(advisory);
@@ -24,6 +19,27 @@ CasDecision AcasXuCas::decide(const acasx::AircraftTrack& own,
   decision.accel_mps2 = acasx::is_strengthened(advisory) ? perf_.accel_strength_mps2
                                                          : perf_.accel_initial_mps2;
   return decision;
+}
+
+CasDecision AcasXuCas::decide(const acasx::AircraftTrack& own,
+                              const acasx::AircraftTrack& intruder,
+                              acasx::Sense forbidden_sense) {
+  const acasx::AircraftTrack smoothed = smoother_.update(intruder);
+  return to_decision(logic_.decide(own, smoothed, forbidden_sense));
+}
+
+bool AcasXuCas::evaluate_costs(const acasx::AircraftTrack& own, const ThreatObservation& threat,
+                               ThreatCosts* out) {
+  const acasx::AircraftTrack smoothed =
+      threat_smoothers_.smooth(threat.aircraft_id, threat.track, smoother_.config());
+  out->costs = logic_.peek_costs(own, smoothed, &out->active);
+  return true;
+}
+
+CasDecision AcasXuCas::commit_fused(const acasx::AircraftTrack&, const ThreatObservation&,
+                                    acasx::Advisory fused) {
+  logic_.set_advisory(fused);
+  return to_decision(fused);
 }
 
 CasFactory AcasXuCas::factory(std::shared_ptr<const acasx::LogicTable> table,

@@ -1,4 +1,10 @@
 // Adapter exposing the ACAS XU online logic as a simulator plug-in.
+//
+// Multi-threat: the table's per-threat Q-costs are exposed through the
+// cost interface (evaluate_costs / commit_fused), with one track smoother
+// per threat aircraft so multiple targets never share filter state.  The
+// pairwise decide() path and its single smoother are untouched — the
+// nearest-threat policy stays bit-identical.
 #pragma once
 
 #include <memory>
@@ -20,8 +26,15 @@ class AcasXuCas final : public CollisionAvoidanceSystem {
   void reset() override {
     logic_.reset();
     smoother_.reset();
+    threat_smoothers_.clear();
   }
   std::string name() const override { return "ACAS-XU"; }
+
+  bool evaluate_costs(const acasx::AircraftTrack& own, const ThreatObservation& threat,
+                      ThreatCosts* out) override;
+  CasDecision commit_fused(const acasx::AircraftTrack& own, const ThreatObservation& primary,
+                           acasx::Advisory fused) override;
+  acasx::Advisory current_advisory() const override { return logic_.current_advisory(); }
 
   const acasx::AcasXuLogic& logic() const { return logic_; }
 
@@ -31,9 +44,12 @@ class AcasXuCas final : public CollisionAvoidanceSystem {
                             TrackerConfig tracker = {});
 
  private:
+  CasDecision to_decision(acasx::Advisory advisory) const;
+
   acasx::AcasXuLogic logic_;
   UavPerformance perf_;
   TrackSmoother smoother_;  ///< the STM analog: smooths the intruder track
+  ThreatSmootherBank threat_smoothers_;  ///< per-threat STM (fused mode)
 };
 
 }  // namespace cav::sim

@@ -9,12 +9,7 @@ BeliefAcasXuCas::BeliefAcasXuCas(std::shared_ptr<const acasx::LogicTable> table,
                                  UavPerformance perf, TrackerConfig tracker)
     : logic_(std::move(table), belief, online), perf_(perf), smoother_(tracker) {}
 
-CasDecision BeliefAcasXuCas::decide(const acasx::AircraftTrack& own,
-                                    const acasx::AircraftTrack& intruder,
-                                    acasx::Sense forbidden_sense) {
-  const acasx::AircraftTrack smoothed = smoother_.update(intruder);
-  const acasx::Advisory advisory = logic_.decide(own, smoothed, forbidden_sense);
-
+CasDecision BeliefAcasXuCas::to_decision(acasx::Advisory advisory) const {
   CasDecision decision;
   decision.label = acasx::advisory_name(advisory);
   decision.sense = acasx::sense_of(advisory);
@@ -25,6 +20,27 @@ CasDecision BeliefAcasXuCas::decide(const acasx::AircraftTrack& own,
   decision.accel_mps2 = acasx::is_strengthened(advisory) ? perf_.accel_strength_mps2
                                                          : perf_.accel_initial_mps2;
   return decision;
+}
+
+CasDecision BeliefAcasXuCas::decide(const acasx::AircraftTrack& own,
+                                    const acasx::AircraftTrack& intruder,
+                                    acasx::Sense forbidden_sense) {
+  const acasx::AircraftTrack smoothed = smoother_.update(intruder);
+  return to_decision(logic_.decide(own, smoothed, forbidden_sense));
+}
+
+bool BeliefAcasXuCas::evaluate_costs(const acasx::AircraftTrack& own,
+                                     const ThreatObservation& threat, ThreatCosts* out) {
+  const acasx::AircraftTrack smoothed =
+      threat_smoothers_.smooth(threat.aircraft_id, threat.track, smoother_.config());
+  out->costs = logic_.peek_costs(own, smoothed, &out->active);
+  return true;
+}
+
+CasDecision BeliefAcasXuCas::commit_fused(const acasx::AircraftTrack&, const ThreatObservation&,
+                                          acasx::Advisory fused) {
+  logic_.set_advisory(fused);
+  return to_decision(fused);
 }
 
 CasFactory BeliefAcasXuCas::factory(std::shared_ptr<const acasx::LogicTable> table,

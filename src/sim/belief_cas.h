@@ -1,6 +1,7 @@
 // Simulator plug-in for the belief-aware (QMDP-style) online logic.
 // Identical plumbing to AcasXuCas — track smoothing, advisory-to-command
-// mapping — with the belief-averaged advisory selection inside.
+// mapping, per-threat cost interface for multi-threat fusion — with the
+// belief-averaged advisory selection inside.
 #pragma once
 
 #include <memory>
@@ -23,8 +24,15 @@ class BeliefAcasXuCas final : public CollisionAvoidanceSystem {
   void reset() override {
     logic_.reset();
     smoother_.reset();
+    threat_smoothers_.clear();
   }
   std::string name() const override { return "ACAS-XU-belief"; }
+
+  bool evaluate_costs(const acasx::AircraftTrack& own, const ThreatObservation& threat,
+                      ThreatCosts* out) override;
+  CasDecision commit_fused(const acasx::AircraftTrack& own, const ThreatObservation& primary,
+                           acasx::Advisory fused) override;
+  acasx::Advisory current_advisory() const override { return logic_.current_advisory(); }
 
   const acasx::BeliefAwareLogic& logic() const { return logic_; }
 
@@ -33,9 +41,12 @@ class BeliefAcasXuCas final : public CollisionAvoidanceSystem {
                             UavPerformance perf = {}, TrackerConfig tracker = {});
 
  private:
+  CasDecision to_decision(acasx::Advisory advisory) const;
+
   acasx::BeliefAwareLogic logic_;
   UavPerformance perf_;
   TrackSmoother smoother_;
+  ThreatSmootherBank threat_smoothers_;  ///< per-threat STM (fused mode)
 };
 
 }  // namespace cav::sim

@@ -6,6 +6,7 @@
 // independent instances while sharing immutable assets (the logic table).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string>
@@ -28,6 +29,31 @@ struct CasDecision {
   std::string label = "COC";        ///< human-readable advisory name
 };
 
+/// One gated threat as seen by the multi-threat arbitration layer
+/// (sim/multi_threat.h): the track currently held for that aircraft, the
+/// coordination constraint it last delivered on this link, and the range
+/// the gate measured (so systems need not recompute it).
+struct ThreatObservation {
+  int aircraft_id = -1;
+  acasx::AircraftTrack track;
+  acasx::Sense forbidden_sense = acasx::Sense::kNone;
+  double range_m = 0.0;
+  /// Horizontal tau the gate measured (+inf when not converging); < 0
+  /// means not yet computed (MultiThreatResolver::gate_and_sort fills it,
+  /// and its consumers fall back to computing it on demand).
+  double tau_s = -1.0;
+  bool converging = false;
+};
+
+/// Per-advisory expected costs for one threat, evaluated at the system's
+/// current advisory memory.  `active == false` means the threat is outside
+/// the system's alerting envelope (non-converging, tau beyond the table
+/// horizon): its costs carry no preference and must not vote.
+struct ThreatCosts {
+  bool active = false;
+  std::array<double, acasx::kNumAdvisories> costs{};
+};
+
 class CollisionAvoidanceSystem {
  public:
   virtual ~CollisionAvoidanceSystem() = default;
@@ -44,6 +70,43 @@ class CollisionAvoidanceSystem {
 
   /// Identifier used in reports ("ACAS-XU", "TCAS-like", "SVO", "none").
   virtual std::string name() const = 0;
+
+  // --- Optional multi-threat cost interface (ThreatPolicy::kCostFused) ---
+  //
+  // Table-backed systems expose their per-threat Q-costs so the resolver
+  // can sum them per candidate advisory across every gated threat.  The
+  // protocol per decision cycle is: evaluate_costs() exactly once per
+  // gated threat (it may advance per-threat tracker state), then exactly
+  // one commit_fused() with the advisory the resolver selected.  Systems
+  // that expose only a decision keep the defaults and are arbitrated by
+  // the resolver's severity-ordered fallback instead.
+
+  /// Per-threat costs at the current advisory memory.  Returns false when
+  /// the system does not support cost-level arbitration.
+  virtual bool evaluate_costs(const acasx::AircraftTrack& own, const ThreatObservation& threat,
+                              ThreatCosts* out) {
+    (void)own;
+    (void)threat;
+    (void)out;
+    return false;
+  }
+
+  /// Commit the fused advisory chosen by the resolver: update advisory
+  /// memory and translate it into the flown command.  `primary` is the
+  /// most severe gated threat (for channels that still need a single
+  /// reference track, e.g. the horizontal logic).  Only called on systems
+  /// whose evaluate_costs returned true this cycle.
+  virtual CasDecision commit_fused(const acasx::AircraftTrack& own,
+                                   const ThreatObservation& primary, acasx::Advisory fused) {
+    (void)own;
+    (void)primary;
+    (void)fused;
+    return {};
+  }
+
+  /// Advisory memory the fused selection tie-breaks against (kCoc for
+  /// memoryless systems).
+  virtual acasx::Advisory current_advisory() const { return acasx::Advisory::kCoc; }
 };
 
 using CasFactory = std::function<std::unique_ptr<CollisionAvoidanceSystem>()>;

@@ -12,14 +12,8 @@ CombinedCas::CombinedCas(std::shared_ptr<const acasx::LogicTable> vertical_table
       perf_(perf),
       smoother_(tracker) {}
 
-CasDecision CombinedCas::decide(const acasx::AircraftTrack& own,
-                                const acasx::AircraftTrack& intruder,
-                                acasx::Sense forbidden_sense) {
-  const acasx::AircraftTrack smoothed = smoother_.update(intruder);
-
-  const acasx::Advisory advisory = vertical_.decide(own, smoothed, forbidden_sense);
-  const acasx::TurnAdvisory turn = horizontal_.decide(own, smoothed);
-
+CasDecision CombinedCas::build_decision(acasx::Advisory advisory,
+                                        acasx::TurnAdvisory turn) const {
   CasDecision decision;
   decision.label = acasx::advisory_name(advisory);
   decision.sense = acasx::sense_of(advisory);
@@ -36,6 +30,36 @@ CasDecision CombinedCas::decide(const acasx::AircraftTrack& own,
     decision.label += turn == acasx::TurnAdvisory::kTurnLeft ? "+L" : "+R";
   }
   return decision;
+}
+
+CasDecision CombinedCas::decide(const acasx::AircraftTrack& own,
+                                const acasx::AircraftTrack& intruder,
+                                acasx::Sense forbidden_sense) {
+  const acasx::AircraftTrack smoothed = smoother_.update(intruder);
+
+  const acasx::Advisory advisory = vertical_.decide(own, smoothed, forbidden_sense);
+  const acasx::TurnAdvisory turn = horizontal_.decide(own, smoothed);
+  return build_decision(advisory, turn);
+}
+
+bool CombinedCas::evaluate_costs(const acasx::AircraftTrack& own, const ThreatObservation& threat,
+                                 ThreatCosts* out) {
+  const acasx::AircraftTrack smoothed =
+      threat_smoothers_.smooth(threat.aircraft_id, threat.track, smoother_.config());
+  out->costs = vertical_.peek_costs(own, smoothed, &out->active);
+  return true;
+}
+
+CasDecision CombinedCas::commit_fused(const acasx::AircraftTrack& own,
+                                      const ThreatObservation& primary, acasx::Advisory fused) {
+  vertical_.set_advisory(fused);
+  // The horizontal channel is a position-state pairwise logic: steer it
+  // against the most severe threat, reusing the track evaluate_costs
+  // already smoothed this cycle.
+  const acasx::AircraftTrack& reference =
+      threat_smoothers_.current_or(primary.aircraft_id, primary.track);
+  const acasx::TurnAdvisory turn = horizontal_.decide(own, reference);
+  return build_decision(fused, turn);
 }
 
 CasFactory CombinedCas::factory(std::shared_ptr<const acasx::LogicTable> vertical_table,

@@ -28,8 +28,18 @@ class CombinedCas final : public CollisionAvoidanceSystem {
     vertical_.reset();
     horizontal_.reset();
     smoother_.reset();
+    threat_smoothers_.clear();
   }
   std::string name() const override { return "ACAS-XU+H"; }
+
+  /// Multi-threat fusion covers the vertical channel (the costed advisory
+  /// set); the horizontal channel keeps steering against the most severe
+  /// gated threat at commit time.
+  bool evaluate_costs(const acasx::AircraftTrack& own, const ThreatObservation& threat,
+                      ThreatCosts* out) override;
+  CasDecision commit_fused(const acasx::AircraftTrack& own, const ThreatObservation& primary,
+                           acasx::Advisory fused) override;
+  acasx::Advisory current_advisory() const override { return vertical_.current_advisory(); }
 
   const acasx::AcasXuLogic& vertical() const { return vertical_; }
   const acasx::HorizontalLogic& horizontal() const { return horizontal_; }
@@ -40,10 +50,13 @@ class CombinedCas final : public CollisionAvoidanceSystem {
                             TrackerConfig tracker = {});
 
  private:
+  CasDecision build_decision(acasx::Advisory advisory, acasx::TurnAdvisory turn) const;
+
   acasx::AcasXuLogic vertical_;
   acasx::HorizontalLogic horizontal_;
   UavPerformance perf_;
   TrackSmoother smoother_;
+  ThreatSmootherBank threat_smoothers_;  ///< per-threat STM (fused mode)
 };
 
 }  // namespace cav::sim

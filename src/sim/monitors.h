@@ -20,6 +20,24 @@
 
 namespace cav::sim {
 
+/// Per-agent bookkeeping of the multi-threat arbitration layer
+/// (sim/multi_threat.h), reported next to the proximity/accident monitors:
+/// how much traffic the resolver actually weighed, how often the fused
+/// choice departed from the nearest-threat choice, and how often the
+/// blocking-set check vetoed a pairwise advisory.
+struct ResolverStats {
+  int cycles = 0;               ///< decision cycles the resolver arbitrated
+  int threats_considered = 0;   ///< gated threats, summed over those cycles
+  int max_threats_in_cycle = 0; ///< peak simultaneous gated threats
+  int fused_cycles = 0;         ///< cycles resolved by cost-summed voting
+  int fallback_cycles = 0;      ///< cycles on the severity-ordered fallback
+  int vetoes = 0;               ///< blocking-set vetoes applied
+  /// Cycles where the flown advisory knowably differed from the
+  /// nearest-threat choice: fused advisory != nearest-threat advisory on
+  /// fused cycles; vetoed or non-nearest-primary cycles on the fallback.
+  int disagreements = 0;
+};
+
 struct ProximityReport {
   double min_distance_m = std::numeric_limits<double>::infinity();   ///< 3-D separation
   double min_horizontal_m = std::numeric_limits<double>::infinity(); ///< over the whole run

@@ -1,0 +1,236 @@
+#include "sim/multi_threat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.h"
+
+namespace cav::sim {
+namespace {
+
+/// Horizontal tau of a threat under the stock online config (dmod/closure
+/// thresholds); the resolver's gate and severity order both key off it.
+acasx::TauEstimate threat_tau(const acasx::AircraftTrack& own, const acasx::AircraftTrack& threat) {
+  return acasx::AcasXuLogic::estimate_tau(own, threat, acasx::OnlineConfig{});
+}
+
+/// Index of the nearest threat (lowest range, lowest aircraft id on ties)
+/// — the threat the kNearest policy would have fed the CAS.
+std::size_t nearest_index(const std::vector<ThreatObservation>& threats) {
+  std::size_t nearest = 0;
+  for (std::size_t i = 1; i < threats.size(); ++i) {
+    if (threats[i].range_m < threats[nearest].range_m ||
+        (threats[i].range_m == threats[nearest].range_m &&
+         threats[i].aircraft_id < threats[nearest].aircraft_id)) {
+      nearest = i;
+    }
+  }
+  return nearest;
+}
+
+}  // namespace
+
+void MultiThreatResolver::gate_and_sort(const acasx::AircraftTrack& own,
+                                        std::vector<ThreatObservation>* threats) const {
+  for (ThreatObservation& obs : *threats) {
+    const acasx::TauEstimate tau = threat_tau(own, obs.track);
+    obs.converging = tau.converging;
+    obs.tau_s = tau.converging ? tau.tau_s : std::numeric_limits<double>::infinity();
+  }
+  std::erase_if(*threats, [this](const ThreatObservation& obs) {
+    const bool tau_gated = obs.converging && obs.tau_s <= gate_.tau_gate_s;
+    return obs.range_m > gate_.range_gate_m && !tau_gated;
+  });
+  std::sort(threats->begin(), threats->end(), [](const ThreatObservation& a,
+                                                 const ThreatObservation& b) {
+    if (a.tau_s != b.tau_s) return a.tau_s < b.tau_s;
+    if (a.range_m != b.range_m) return a.range_m < b.range_m;
+    return a.aircraft_id < b.aircraft_id;
+  });
+  if (threats->size() > gate_.max_threats) threats->resize(gate_.max_threats);
+}
+
+bool MultiThreatResolver::steers_into(const acasx::AircraftTrack& own, acasx::Sense sense,
+                                      const ThreatObservation& threat) const {
+  if (sense == acasx::Sense::kNone) return false;
+  bool converging = threat.converging;
+  double t = threat.tau_s;
+  if (threat.tau_s < 0.0) {  // raw observation: tau not gate-computed yet
+    const acasx::TauEstimate tau = threat_tau(own, threat.track);
+    converging = tau.converging;
+    t = tau.tau_s;
+  }
+  if (!converging || t > gate_.tau_gate_s) return false;
+  const double dz = threat.track.position_m.z - own.position_m.z;
+  const double vz_int = threat.track.velocity_mps.z;
+  const double commanded =
+      sense == acasx::Sense::kClimb ? gate_.assumed_rate_mps : -gate_.assumed_rate_mps;
+  // Predicted vertical separation at the threat's CPA with and without the
+  // commanded maneuver: blocked when the maneuver lands inside the
+  // protected band AND erodes the separation the own-ship would otherwise
+  // have kept.
+  const double sep_commanded = std::abs(dz + (vz_int - commanded) * t);
+  const double sep_level = std::abs(dz + (vz_int - own.velocity_mps.z) * t);
+  return sep_commanded < gate_.blocking_vertical_m && sep_commanded < sep_level;
+}
+
+acasx::Sense MultiThreatResolver::veto_flip(const acasx::AircraftTrack& own, acasx::Sense sense,
+                                            const std::vector<ThreatObservation>& threats,
+                                            std::size_t blocked_from) const {
+  if (sense == acasx::Sense::kNone) return acasx::Sense::kNone;
+  bool blocked = false;
+  for (std::size_t i = blocked_from; i < threats.size() && !blocked; ++i) {
+    blocked = steers_into(own, sense, threats[i]);
+  }
+  if (!blocked) return acasx::Sense::kNone;
+
+  const acasx::Sense opposite =
+      sense == acasx::Sense::kClimb ? acasx::Sense::kDescend : acasx::Sense::kClimb;
+  for (const ThreatObservation& threat : threats) {
+    if (steers_into(own, opposite, threat) || threat.forbidden_sense == opposite) {
+      return acasx::Sense::kNone;  // both senses blocked: the original stands
+    }
+  }
+  return opposite;
+}
+
+CasDecision MultiThreatResolver::resolve(CollisionAvoidanceSystem& cas,
+                                         const acasx::AircraftTrack& own,
+                                         const std::vector<ThreatObservation>& threats,
+                                         ResolverStats* stats) const {
+  expect(!threats.empty(), "resolve needs at least one gated threat");
+  ++stats->cycles;
+  stats->threats_considered += static_cast<int>(threats.size());
+  stats->max_threats_in_cycle =
+      std::max(stats->max_threats_in_cycle, static_cast<int>(threats.size()));
+
+  // One evaluate_costs per gated threat, in severity order (the call may
+  // advance per-threat tracker state, so exactly once per cycle each).
+  std::vector<ThreatCosts> costs(threats.size());
+  bool cost_capable = true;
+  for (std::size_t i = 0; i < threats.size(); ++i) {
+    if (!cas.evaluate_costs(own, threats[i], &costs[i])) {
+      cost_capable = false;
+      break;
+    }
+  }
+  if (cost_capable) return resolve_fused(cas, own, threats, costs, stats);
+  return resolve_fallback(cas, own, threats, stats);
+}
+
+CasDecision MultiThreatResolver::resolve_fused(CollisionAvoidanceSystem& cas,
+                                               const acasx::AircraftTrack& own,
+                                               const std::vector<ThreatObservation>& threats,
+                                               const std::vector<ThreatCosts>& costs,
+                                               ResolverStats* stats) const {
+  ++stats->fused_cycles;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Cost-summed advisory voting: each active threat votes with its full
+  // per-advisory cost vector.  Summation runs in severity order (the
+  // vector is sorted), so the total is deterministic for a given threat
+  // set.  Every gated threat's link-delivered coordination sense is then
+  // priced at infinity — a lock from a threat outside the alerting
+  // envelope (inactive costs) still binds, exactly as it would have under
+  // the pairwise select_advisory.
+  std::array<double, acasx::kNumAdvisories> fused{};
+  bool any_active = false;
+  for (std::size_t i = 0; i < threats.size(); ++i) {
+    if (!costs[i].active) continue;
+    any_active = true;
+    for (std::size_t a = 0; a < acasx::kNumAdvisories; ++a) {
+      fused[a] += costs[i].costs[a];
+    }
+  }
+  for (const ThreatObservation& threat : threats) {
+    if (threat.forbidden_sense == acasx::Sense::kNone) continue;
+    for (std::size_t a = 0; a < acasx::kNumAdvisories; ++a) {
+      if (acasx::sense_of(static_cast<acasx::Advisory>(a)) == threat.forbidden_sense) {
+        fused[a] = kInf;
+      }
+    }
+  }
+
+  const acasx::Advisory current = cas.current_advisory();
+  acasx::Advisory fused_advisory =
+      any_active ? acasx::select_advisory(fused, acasx::Sense::kNone, current)
+                 : acasx::Advisory::kCoc;
+
+  // Blocking-set safety net over the vote: the summed costs can still pick
+  // a sense that flies into one threat's protected volume when the other
+  // threats' cost mass dominates (each per-threat table only knows its own
+  // geometry).  Veto it when the opposite sense is clear of every gated
+  // threat and not forbidden on any link.
+  const acasx::Sense flip = veto_flip(own, acasx::sense_of(fused_advisory), threats, 0);
+  if (flip != acasx::Sense::kNone) {
+    // Cheapest advisory of the flipped sense, same deterministic
+    // preference order as select_advisory (weaker before stronger).
+    acasx::Advisory flipped = flip == acasx::Sense::kClimb ? acasx::Advisory::kClimb1500
+                                                           : acasx::Advisory::kDescend1500;
+    const acasx::Advisory strengthened = flip == acasx::Sense::kClimb
+                                             ? acasx::Advisory::kClimb2500
+                                             : acasx::Advisory::kDescend2500;
+    if (fused[static_cast<std::size_t>(strengthened)] < fused[static_cast<std::size_t>(flipped)]) {
+      flipped = strengthened;
+    }
+    fused_advisory = flipped;
+    ++stats->vetoes;
+  }
+
+  // What the nearest-threat policy would have flown, from the same cost
+  // evaluations — the disagreement signal monitors report.
+  const std::size_t nearest = nearest_index(threats);
+  acasx::Advisory nearest_advisory = acasx::Advisory::kCoc;
+  if (costs[nearest].active) {
+    nearest_advisory = acasx::select_advisory(costs[nearest].costs,
+                                              threats[nearest].forbidden_sense, current);
+  }
+  if (nearest_advisory != fused_advisory) ++stats->disagreements;
+
+  return cas.commit_fused(own, threats.front(), fused_advisory);
+}
+
+CasDecision MultiThreatResolver::resolve_fallback(CollisionAvoidanceSystem& cas,
+                                                  const acasx::AircraftTrack& own,
+                                                  const std::vector<ThreatObservation>& threats,
+                                                  ResolverStats* stats) const {
+  ++stats->fallback_cycles;
+
+  // Severity-ordered pairwise advisory: the most severe gated threat gets
+  // the (stateful) pairwise decision this cycle.  When severity order
+  // diverges from plain range order, the decision knowably targets a
+  // different threat than kNearest would have fed the CAS — that is the
+  // fallback's disagreement signal (a veto below adds to it).
+  const ThreatObservation& primary = threats.front();
+  const bool primary_is_nearest =
+      threats[nearest_index(threats)].aircraft_id == primary.aircraft_id;
+  if (!primary_is_nearest) ++stats->disagreements;
+
+  CasDecision decision = cas.decide(own, primary.track, primary.forbidden_sense);
+  if (!decision.maneuver || decision.sense == acasx::Sense::kNone || threats.size() < 2) {
+    return decision;
+  }
+
+  // Blocking-set check: veto the commanded sense when it steers into any
+  // *other* gated threat's protected volume (the primary's own decision
+  // already weighed the primary), flipping when the opposite sense is
+  // clear.  When both senses are blocked the most severe threat wins and
+  // the original advisory stands.
+  const acasx::Sense flip = veto_flip(own, decision.sense, threats, 1);
+  if (flip == acasx::Sense::kNone) return decision;
+
+  ++stats->vetoes;
+  // A veto on a nearest-primary cycle makes the flown advisory differ from
+  // the nearest-threat choice; non-nearest primaries were counted above.
+  if (primary_is_nearest) ++stats->disagreements;
+  decision.sense = flip;
+  decision.target_vs_mps = -decision.target_vs_mps;
+  // Relabel with the flown direction — the original label names the
+  // pre-veto maneuver and would misreport every trajectory sample.
+  decision.label =
+      std::string(flip == acasx::Sense::kClimb ? "CL" : "DES") + "(veto)";
+  return decision;
+}
+
+}  // namespace cav::sim

@@ -47,6 +47,7 @@ Simulation::Simulation(const SimConfig& config, std::vector<AgentSetup> agents,
       coord_(config.coordination, agents.size() < 2 ? 2 : agents.size()),
       sensor_(config.adsb),
       monitors_(agents.size(), config.accident),
+      resolver_(config.threat_gate),
       rng_coord_(RngStream::derive(seed, "coordination")) {
   expect(config.dt_dynamics_s > 0.0, "dt_dynamics_s > 0");
   expect(config.decision_period_s >= config.dt_dynamics_s,
@@ -70,7 +71,8 @@ Simulation::Simulation(const SimConfig& config, std::vector<AgentSetup> agents,
         acasx::Sense::kNone,
         "COC",
         RngStream::derive(seed, "adsb", i),
-        RngStream::derive(seed, "disturbance", i)});
+        RngStream::derive(seed, "disturbance", i),
+        {}});
     if (runtimes_.back().cas != nullptr) runtimes_.back().cas->reset();
   }
   positions_.resize(runtimes_.size());
@@ -88,25 +90,54 @@ void Simulation::decide_for(AgentRuntime& me, std::size_t my_id, double t_s) {
     if (received.has_value()) me.last_track_of[j] = *received;
   }
 
-  // Nearest-threat selection: the existing avoidance systems are pairwise,
-  // so the engine feeds them the closest track currently held (lowest
-  // index on ties).  Stay passive if nothing has ever been heard.
-  const Vec3 my_position = me.agent.state().position_m;
-  std::size_t threat = runtimes_.size();
-  double threat_distance = std::numeric_limits<double>::infinity();
-  for (std::size_t j = 0; j < runtimes_.size(); ++j) {
-    if (j == my_id || !me.last_track_of[j].has_value()) continue;
-    const double d = distance(me.last_track_of[j]->position_m, my_position);
-    if (d < threat_distance) {
-      threat_distance = d;
-      threat = j;
+  // Multi-threat arbitration (ThreatPolicy::kCostFused): hand every gated
+  // track to the resolver instead of just the nearest one.  When the gate
+  // leaves nothing (all traffic far and diverging), fall through to the
+  // nearest-threat path so a previously issued command is still cleared by
+  // the CAS rather than frozen in place.
+  CasDecision decision;
+  bool resolved = false;
+  if (config_.threat_policy == ThreatPolicy::kCostFused) {
+    const acasx::AircraftTrack own_track = self_track(me.agent.state());
+    std::vector<ThreatObservation>& threats = me.threat_scratch;
+    threats.clear();
+    for (std::size_t j = 0; j < runtimes_.size(); ++j) {
+      if (j == my_id || !me.last_track_of[j].has_value()) continue;
+      ThreatObservation obs;
+      obs.aircraft_id = static_cast<int>(j);
+      obs.track = *me.last_track_of[j];
+      obs.forbidden_sense = coord_.forbidden_for(static_cast<int>(my_id), static_cast<int>(j));
+      obs.range_m = distance(obs.track.position_m, own_track.position_m);
+      threats.push_back(std::move(obs));
+    }
+    resolver_.gate_and_sort(own_track, &threats);
+    if (!threats.empty()) {
+      decision = resolver_.resolve(*me.cas, own_track, threats, &me.report.resolver);
+      resolved = true;
     }
   }
-  if (threat == runtimes_.size()) return;
 
-  const CasDecision decision = me.cas->decide(
-      self_track(me.agent.state()), *me.last_track_of[threat],
-      coord_.forbidden_for(static_cast<int>(my_id), static_cast<int>(threat)));
+  if (!resolved) {
+    // Nearest-threat selection: the existing avoidance systems are pairwise,
+    // so the engine feeds them the closest track currently held (lowest
+    // index on ties).  Stay passive if nothing has ever been heard.
+    const Vec3 my_position = me.agent.state().position_m;
+    std::size_t threat = runtimes_.size();
+    double threat_distance = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < runtimes_.size(); ++j) {
+      if (j == my_id || !me.last_track_of[j].has_value()) continue;
+      const double d = distance(me.last_track_of[j]->position_m, my_position);
+      if (d < threat_distance) {
+        threat_distance = d;
+        threat = j;
+      }
+    }
+    if (threat == runtimes_.size()) return;
+
+    decision = me.cas->decide(
+        self_track(me.agent.state()), *me.last_track_of[threat],
+        coord_.forbidden_for(static_cast<int>(my_id), static_cast<int>(threat)));
+  }
 
   VerticalCommand command;
   command.active = decision.maneuver;

@@ -10,10 +10,12 @@
 //   1. each equipped UAV receives every other aircraft's ADS-B broadcast
 //      (white sensor noise, optional dropout -> coast on the last track
 //      heard for that aircraft);
-//   2. it selects its nearest threat among the tracks it holds, runs its
-//      (pairwise) collision avoidance system against that threat,
-//      constrained by the coordination sense that threat last delivered,
-//      then broadcasts its own sense;
+//   2. it turns the tracks it holds into one advisory under the configured
+//      ThreatPolicy — kNearest runs the (pairwise) collision avoidance
+//      system against the nearest track, constrained by the coordination
+//      sense that threat last delivered; kCostFused arbitrates every gated
+//      threat through sim::MultiThreatResolver — then broadcasts its own
+//      sense;
 //   3. dynamics integrate at the (faster) physics rate with environment
 //      disturbance, while per-pair monitors watch every true separation.
 #pragma once
@@ -25,6 +27,7 @@
 #include "sim/cas.h"
 #include "sim/coordination.h"
 #include "sim/monitors.h"
+#include "sim/multi_threat.h"
 #include "sim/sensors.h"
 #include "sim/trajectory.h"
 #include "sim/uav.h"
@@ -40,6 +43,11 @@ struct SimConfig {
   AdsbConfig adsb;
   CoordinationConfig coordination;
   AccidentConfig accident;
+  /// kNearest reproduces the PR 3 engine bit-identically (and is the
+  /// paper's pairwise setup for two aircraft); kCostFused arbitrates all
+  /// gated threats per cycle (multi_threat.h).
+  ThreatPolicy threat_policy = ThreatPolicy::kNearest;
+  ThreatGateConfig threat_gate;   ///< only read under kCostFused
   bool record_trajectory = false; ///< keep per-decision-cycle samples
 };
 
@@ -50,6 +58,7 @@ struct AgentReport {
   int reversals = 0;          ///< sense flips between issued advisories
                               ///< (counted across COC coasting gaps)
   std::string final_advisory = "COC";
+  ResolverStats resolver;     ///< multi-threat arbitration stats (kCostFused)
 };
 
 /// Monitor outcome for one unordered aircraft pair (a < b).
@@ -109,6 +118,9 @@ struct AgentRuntime {
   std::string current_label = "COC";
   RngStream rng_adsb;
   RngStream rng_disturbance;
+  /// Scratch for the kCostFused threat list, reused across decision cycles
+  /// so the Monte-Carlo hot path does not allocate per cycle.
+  std::vector<ThreatObservation> threat_scratch;
 };
 
 /// One N-aircraft encounter.  All stochastic draws derive from `seed` and
@@ -135,6 +147,7 @@ class Simulation {
   CoordinationChannel coord_;
   AdsbSensor sensor_;
   PairwiseMonitors monitors_;
+  MultiThreatResolver resolver_;  ///< arbitration layer (kCostFused)
   RngStream rng_coord_;
   std::vector<Vec3> positions_;  ///< scratch for monitor updates
 };

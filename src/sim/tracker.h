@@ -9,6 +9,8 @@
 // 1 Hz by default) — configure `dt_s` if the simulation changes it.
 #pragma once
 
+#include <map>
+
 #include "acasx/online_logic.h"
 
 namespace cav::sim {
@@ -39,6 +41,10 @@ class TrackSmoother {
   /// Forget filter state (new encounter / track drop).
   void reset() { initialized_ = false; }
 
+  /// Current smoothed track (only meaningful once initialized); used by
+  /// commit-time consumers that must not fold in a second measurement.
+  const acasx::AircraftTrack& current() const { return state_; }
+
   bool initialized() const { return initialized_; }
   const TrackerConfig& config() const { return config_; }
 
@@ -46,6 +52,35 @@ class TrackSmoother {
   TrackerConfig config_;
   bool initialized_ = false;
   acasx::AircraftTrack state_{};
+};
+
+/// Per-threat smoother bank for the multi-threat cost protocol
+/// (sim/cas.h): one TrackSmoother per threat aircraft, created with the
+/// shared config on first sight, so multiple targets never mix filter
+/// state.  Shared by every cost-capable avoidance system.
+class ThreatSmootherBank {
+ public:
+  /// Fold one measurement into `aircraft_id`'s smoother (creating it from
+  /// `config` when unseen) and return the smoothed track.
+  acasx::AircraftTrack smooth(int aircraft_id, const acasx::AircraftTrack& measurement,
+                              const TrackerConfig& config) {
+    return smoothers_.try_emplace(aircraft_id, config).first->second.update(measurement);
+  }
+
+  /// Current smoothed track for `aircraft_id`, or `fallback` when that
+  /// aircraft has never been smoothed (commit-time consumers must not
+  /// fold in a second measurement).
+  const acasx::AircraftTrack& current_or(int aircraft_id,
+                                         const acasx::AircraftTrack& fallback) const {
+    const auto it = smoothers_.find(aircraft_id);
+    return (it != smoothers_.end() && it->second.initialized()) ? it->second.current()
+                                                                : fallback;
+  }
+
+  void clear() { smoothers_.clear(); }
+
+ private:
+  std::map<int, TrackSmoother> smoothers_;
 };
 
 }  // namespace cav::sim

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Merge per-bench --json result files into one bench_results.json.
+
+Each bench binary invoked with `--json <path>` (the bench-smoke target does
+this automatically) writes {"bench", "smoke", "wall_s", "metrics"}.  This
+script folds a directory of those files into the repo's persistent perf
+artifact shape:
+
+    {
+      "smoke": true,
+      "benches": {
+        "bench_value_iteration": {"wall_s": 1.2, "metrics": {...}},
+        ...
+      }
+    }
+
+Usage: merge_bench_json.py <dir-with-*.json> [-o bench_results.json]
+"""
+import argparse
+import json
+import pathlib
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_dir", type=pathlib.Path,
+                        help="directory holding per-bench *.json files")
+    parser.add_argument("-o", "--output", type=pathlib.Path,
+                        default=pathlib.Path("bench_results.json"))
+    args = parser.parse_args()
+
+    files = sorted(args.json_dir.glob("*.json"))
+    if not files:
+        print(f"error: no *.json files in {args.json_dir}", file=sys.stderr)
+        return 1
+
+    merged = {"smoke": None, "benches": {}}
+    for path in files:
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as err:
+            print(f"error: {path}: {err}", file=sys.stderr)
+            return 1
+        name = data.get("bench", path.stem)
+        merged["benches"][name] = {
+            "wall_s": data.get("wall_s"),
+            "metrics": data.get("metrics", {}),
+        }
+        smoke = data.get("smoke")
+        if merged["smoke"] is None:
+            merged["smoke"] = smoke
+        elif merged["smoke"] != smoke:
+            print(f"warning: {name} smoke={smoke} differs from earlier benches",
+                  file=sys.stderr)
+
+    args.output.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    print(f"merged {len(files)} bench results -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
