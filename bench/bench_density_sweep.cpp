@@ -1,13 +1,17 @@
 // E12 — Traffic-density sweep (the arXiv:1602.04762 axis as a first-class
 // experiment): NMAC rate and advisory (alert) rate versus intruder count
 // K for the nearest-threat policy against the cost-fused multi-threat
-// resolver, under identical statistical traffic (paired seeds), plus the
-// headline converging-ring comparison that E11 exposed and PR 4 closes.
+// resolver and the joint-threat table policy, under identical statistical
+// traffic (paired seeds), plus the headline converging-ring comparison
+// that E11 exposed, PR 4 narrowed (cost fusion), and the joint table
+// narrows further (the symmetric co-altitude squeeze).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
+#include "acasx/joint_solver.h"
 #include "bench_common.h"
 #include "core/monte_carlo.h"
 #include "scenarios/scenario_library.h"
@@ -17,8 +21,19 @@
 namespace {
 
 const char* policy_name(cav::sim::ThreatPolicy policy) {
-  return policy == cav::sim::ThreatPolicy::kNearest ? "nearest" : "cost-fused";
+  switch (policy) {
+    case cav::sim::ThreatPolicy::kNearest: return "nearest";
+    case cav::sim::ThreatPolicy::kCostFused: return "cost-fused";
+    case cav::sim::ThreatPolicy::kJointTable: return "joint-table";
+  }
+  return "?";
 }
+
+constexpr cav::sim::ThreatPolicy kPolicies[] = {
+    cav::sim::ThreatPolicy::kNearest,
+    cav::sim::ThreatPolicy::kCostFused,
+    cav::sim::ThreatPolicy::kJointTable,
+};
 
 }  // namespace
 
@@ -31,9 +46,25 @@ int main(int argc, char** argv) {
     encounters = static_cast<std::size_t>(std::atol(env));
   }
 
-  bench::banner("E12: NMAC/advisory rate vs traffic density, nearest vs cost-fused");
+  bench::banner("E12: NMAC/advisory rate vs traffic density, "
+                "nearest vs cost-fused vs joint-table");
   const auto table = bench::standard_table();
+
+  // The joint-threat table rides the same smoke convention as the
+  // pairwise one: coarse under bench-smoke, full-size otherwise.
+  const auto joint_t0 = std::chrono::steady_clock::now();
+  const auto joint = std::make_shared<const acasx::JointLogicTable>(acasx::solve_joint_table(
+      bench::smoke() ? acasx::JointConfig::coarse() : acasx::JointConfig::standard(),
+      &bench::pool()));
+  std::printf("joint table solved in %.3f s (%zu entries)\n",
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - joint_t0).count(),
+              joint->num_entries());
+
   const sim::CasFactory equipped = sim::AcasXuCas::factory(table);
+  const sim::CasFactory joint_equipped = sim::AcasXuCas::factory(table, {}, {}, {}, joint);
+  const auto factory_for = [&](sim::ThreatPolicy policy) -> const sim::CasFactory& {
+    return policy == sim::ThreatPolicy::kJointTable ? joint_equipped : equipped;
+  };
   const encounter::StatisticalEncounterModel model;
 
   std::printf("workload: %zu encounters per (K, policy), equipped own-ship and intruders,\n"
@@ -51,8 +82,7 @@ int main(int argc, char** argv) {
                                  : std::vector<std::size_t>{1, 2, 3, 4, 5, 6, 7, 8};
   for (const std::size_t k : ks) {
     double nearest_nmac = 0.0;
-    for (const sim::ThreatPolicy policy :
-         {sim::ThreatPolicy::kNearest, sim::ThreatPolicy::kCostFused}) {
+    for (const sim::ThreatPolicy policy : kPolicies) {
       core::MonteCarloConfig config;
       config.encounters = encounters;
       config.intruders = k;
@@ -60,9 +90,9 @@ int main(int argc, char** argv) {
       config.sim.threat_policy = policy;
 
       const auto t0 = std::chrono::steady_clock::now();
-      const auto rates =
-          core::estimate_rates(model, config, policy_name(policy), equipped, equipped,
-                               &bench::pool());
+      const auto rates = core::estimate_rates(model, config, policy_name(policy),
+                                              factory_for(policy), factory_for(policy),
+                                              &bench::pool());
       const double wall_s =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
       const double enc_per_s = static_cast<double>(encounters) / wall_s;
@@ -84,7 +114,7 @@ int main(int argc, char** argv) {
       if (policy == sim::ThreatPolicy::kNearest) {
         nearest_nmac = rates.nmac_rate();
       } else if (k > 1 && rates.nmac_rate() > nearest_nmac) {
-        std::printf("  note: cost-fused above nearest at K=%zu\n", k);
+        std::printf("  note: %s above nearest at K=%zu\n", policy_name(policy), k);
       }
     }
   }
@@ -96,22 +126,24 @@ int main(int argc, char** argv) {
   const scenarios::Scenario ring = scenarios::converging_ring(ring_k);
   std::printf("\nconverging-ring K=%zu over %d paired seeds (all equipped):\n", ring_k,
               ring_seeds);
-  for (const sim::ThreatPolicy policy :
-       {sim::ThreatPolicy::kNearest, sim::ThreatPolicy::kCostFused}) {
+  for (const sim::ThreatPolicy policy : kPolicies) {
     int nmacs = 0;
     int vetoes = 0;
     int disagreements = 0;
+    int joint_cycles = 0;
     for (int seed = 1; seed <= ring_seeds; ++seed) {
       sim::SimConfig config;
       config.threat_policy = policy;
-      const auto r = scenarios::run_scenario(ring, config, equipped, equipped, seed);
+      const auto r =
+          scenarios::run_scenario(ring, config, factory_for(policy), factory_for(policy), seed);
       if (r.own_nmac()) ++nmacs;
       vetoes += r.own.resolver.vetoes;
       disagreements += r.own.resolver.disagreements;
+      joint_cycles += r.own.resolver.joint_cycles;
     }
-    std::printf("  %-12s own NMACs %d/%d  (resolver vetoes %d, fused-vs-nearest "
-                "disagreements %d)\n",
-                policy_name(policy), nmacs, ring_seeds, vetoes, disagreements);
+    std::printf("  %-12s own NMACs %2d/%d  (resolver vetoes %d, fused-vs-nearest "
+                "disagreements %d, joint cycles %d)\n",
+                policy_name(policy), nmacs, ring_seeds, vetoes, disagreements, joint_cycles);
     bench::record_metric(std::string("e12.ring_k4.") + policy_name(policy) + ".nmacs",
                          nmacs);
   }

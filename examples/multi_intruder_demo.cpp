@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "acasx/joint_solver.h"
 #include "acasx/offline_solver.h"
 #include "scenarios/scenario_library.h"
 #include "sim/acasx_cas.h"
@@ -43,8 +44,9 @@ int main(int argc, char** argv) {
   }
 
   // Detail view: the converging ring, the headline multi-threat case —
-  // including the arbitration policies (nearest-threat pairwise vs the
-  // cost-fused MultiThreatResolver) over a few paired seeds.
+  // including all three arbitration policies (nearest-threat pairwise,
+  // the cost-fused MultiThreatResolver, and the joint-threat table) over
+  // a few paired seeds.
   const scenarios::Scenario ring = scenarios::make_scenario("converging-ring", intruders);
   sim::SimConfig config;
   config.record_trajectory = true;
@@ -57,23 +59,34 @@ int main(int argc, char** argv) {
   std::printf("  equipped:   own minsep %.1f m, own NMAC %s\n",
               equipped_run.own_min_separation_m(), equipped_run.own_nmac() ? "yes" : "no");
 
+  std::printf("\nsolving coarse joint-threat table...\n");
+  const auto joint = std::make_shared<const acasx::JointLogicTable>(
+      acasx::solve_joint_table(acasx::JointConfig::coarse()));
+  const sim::CasFactory joint_equipped = sim::AcasXuCas::factory(table, {}, {}, {}, joint);
+
   std::printf("\nthreat policy on the ring (all equipped, 20 paired seeds):\n");
   for (const sim::ThreatPolicy policy :
-       {sim::ThreatPolicy::kNearest, sim::ThreatPolicy::kCostFused}) {
+       {sim::ThreatPolicy::kNearest, sim::ThreatPolicy::kCostFused,
+        sim::ThreatPolicy::kJointTable}) {
+    const bool is_joint = policy == sim::ThreatPolicy::kJointTable;
+    const sim::CasFactory& factory = is_joint ? joint_equipped : equipped;
     int nmacs = 0;
     int disagreements = 0;
     for (int seed = 1; seed <= 20; ++seed) {
       sim::SimConfig policy_config;
       policy_config.threat_policy = policy;
-      const auto r = scenarios::run_scenario(ring, policy_config, equipped, equipped, seed);
+      const auto r = scenarios::run_scenario(ring, policy_config, factory, factory, seed);
       if (r.own_nmac()) ++nmacs;
       disagreements += r.own.resolver.disagreements;
     }
-    std::printf("  %-11s own NMACs %2d/20%s\n",
-                policy == sim::ThreatPolicy::kNearest ? "nearest:" : "cost-fused:", nmacs,
+    std::printf("  %-12s own NMACs %2d/20%s\n",
+                policy == sim::ThreatPolicy::kNearest     ? "nearest:"
+                : policy == sim::ThreatPolicy::kCostFused ? "cost-fused:"
+                                                          : "joint-table:",
+                nmacs,
                 policy == sim::ThreatPolicy::kNearest
                     ? ""
-                    : (std::string("  (fused-vs-nearest disagreements ") +
+                    : (std::string("  (vs-nearest disagreements ") +
                        std::to_string(disagreements) + ")")
                         .c_str());
   }

@@ -1,0 +1,224 @@
+#include "acasx/joint_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/expect.h"
+#include "util/units.h"
+
+namespace cav::acasx {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4a545831;  // "JTX1"
+
+void write_axis(std::ofstream& out, const UniformAxis& axis) {
+  const double lo = axis.lo();
+  const double hi = axis.hi();
+  const std::uint64_t count = axis.count();
+  out.write(reinterpret_cast<const char*>(&lo), sizeof lo);
+  out.write(reinterpret_cast<const char*>(&hi), sizeof hi);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+}
+
+UniformAxis read_axis(std::ifstream& in) {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&lo), sizeof lo);
+  in.read(reinterpret_cast<char*>(&hi), sizeof hi);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  return UniformAxis(lo, hi, static_cast<std::size_t>(count));
+}
+
+}  // namespace
+
+JointConfig JointConfig::coarse() {
+  JointConfig c;
+  c.space = StateSpaceConfig::coarse();
+  c.space.dh_own_fps = UniformAxis(-2500.0 / 60.0, 2500.0 / 60.0, 5);
+  c.space.dh_int_fps = UniformAxis(-2500.0 / 60.0, 2500.0 / 60.0, 5);
+  return c;
+}
+
+JointConfig JointConfig::standard() {
+  JointConfig c;
+  c.space = StateSpaceConfig::standard();
+  c.space.dh_own_fps = UniformAxis(-2500.0 / 60.0, 2500.0 / 60.0, 7);
+  c.space.dh_int_fps = UniformAxis(-2500.0 / 60.0, 2500.0 / 60.0, 7);
+  return c;
+}
+
+JointLogicTable::JointLogicTable(const JointConfig& config)
+    : config_(config), grid_(config.grid()) {
+  const std::size_t n = config_.secondary.num_slabs() * num_tau_layers() * grid_.size() *
+                        kNumAdvisories * kNumAdvisories;
+  q_.assign(n, 0.0F);
+}
+
+std::array<double, kNumAdvisories> JointLogicTable::action_costs(
+    double tau1_s, double delta_s, double h1_ft, double dh_own_fps, double dh_int1_fps,
+    double h2_ft, SecondarySense sense, Advisory ra) const {
+  expect(!q_.empty(), "joint table is solved/loaded");
+  const std::size_t db = config_.secondary.delta_bin(delta_s);
+  const std::size_t slab = config_.slab_index(db, sense);
+
+  // The layer axis counts down to the SECONDARY's CPA and advances one
+  // dynamics step (dt_s) per layer; with delta snapped to its bin value the
+  // primary's CPA sits at layer delta_value/dt, so the query layer
+  // preserving the primary's tau is (tau1 + delta_value) / dt.  (At the
+  // default dt_s = 1 this is the pairwise LogicTable convention exactly.)
+  const double tau_max = static_cast<double>(config_.space.tau_max);
+  const double tau = std::clamp(
+      (tau1_s + config_.secondary.delta_value_s(db)) / config_.dynamics.dt_s, 0.0, tau_max);
+  const auto t_lo = static_cast<std::size_t>(tau);
+  const std::size_t t_hi = std::min<std::size_t>(t_lo + 1, config_.space.tau_max);
+  const double t_frac = tau - static_cast<double>(t_lo);
+
+  const auto vertices = grid_.scatter({h1_ft, dh_own_fps, dh_int1_fps, h2_ft});
+
+  std::array<double, kNumAdvisories> costs{};
+  for (std::size_t ai = 0; ai < kNumAdvisories; ++ai) {
+    const auto action = static_cast<Advisory>(ai);
+    double lo = 0.0;
+    double hi = 0.0;
+    for (const auto& v : vertices) {
+      lo += v.weight * static_cast<double>(at(slab, t_lo, v.flat, ra, action));
+      if (t_hi != t_lo) {
+        hi += v.weight * static_cast<double>(at(slab, t_hi, v.flat, ra, action));
+      }
+    }
+    costs[ai] = (t_hi == t_lo) ? lo : lo * (1.0 - t_frac) + hi * t_frac;
+  }
+  return costs;
+}
+
+void JointLogicTable::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("JointLogicTable::save: cannot open " + path);
+
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof kMagic);
+  write_axis(out, config_.space.h_ft);
+  write_axis(out, config_.space.dh_own_fps);
+  write_axis(out, config_.space.dh_int_fps);
+  write_axis(out, config_.secondary.h2_ft);
+  const std::uint64_t tau_max = config_.space.tau_max;
+  out.write(reinterpret_cast<const char*>(&tau_max), sizeof tau_max);
+  const std::uint64_t delta_bins = config_.secondary.num_delta_bins;
+  out.write(reinterpret_cast<const char*>(&delta_bins), sizeof delta_bins);
+  const double secondary[3] = {config_.secondary.delta_step_s, config_.secondary.sense_rate_fps,
+                               config_.secondary.sense_level_threshold_fps};
+  out.write(reinterpret_cast<const char*>(secondary), sizeof secondary);
+
+  const double dyn[4] = {config_.dynamics.dt_s, config_.dynamics.accel_initial_fps2,
+                         config_.dynamics.accel_strength_fps2,
+                         config_.dynamics.accel_noise_sigma_fps2};
+  out.write(reinterpret_cast<const char*>(dyn), sizeof dyn);
+  const double costs[8] = {config_.costs.nmac_cost,      config_.costs.nmac_h_ft,
+                           config_.costs.maneuver_cost,  config_.costs.strengthened_maneuver_cost,
+                           config_.costs.level_reward,   config_.costs.strengthen_cost,
+                           config_.costs.reversal_cost,  config_.costs.termination_cost};
+  out.write(reinterpret_cast<const char*>(costs), sizeof costs);
+
+  const std::uint64_t n = q_.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  out.write(reinterpret_cast<const char*>(q_.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+  if (!out) throw std::runtime_error("JointLogicTable::save: write failed for " + path);
+}
+
+JointLogicTable JointLogicTable::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("JointLogicTable::load: cannot open " + path);
+
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  if (magic != kMagic) throw std::runtime_error("JointLogicTable::load: bad magic in " + path);
+
+  JointConfig config;
+  config.space.h_ft = read_axis(in);
+  config.space.dh_own_fps = read_axis(in);
+  config.space.dh_int_fps = read_axis(in);
+  config.secondary.h2_ft = read_axis(in);
+  std::uint64_t tau_max = 0;
+  in.read(reinterpret_cast<char*>(&tau_max), sizeof tau_max);
+  config.space.tau_max = static_cast<std::size_t>(tau_max);
+  std::uint64_t delta_bins = 0;
+  in.read(reinterpret_cast<char*>(&delta_bins), sizeof delta_bins);
+  config.secondary.num_delta_bins = static_cast<std::size_t>(delta_bins);
+  double secondary[3];
+  in.read(reinterpret_cast<char*>(secondary), sizeof secondary);
+  config.secondary.delta_step_s = secondary[0];
+  config.secondary.sense_rate_fps = secondary[1];
+  config.secondary.sense_level_threshold_fps = secondary[2];
+
+  double dyn[4];
+  in.read(reinterpret_cast<char*>(dyn), sizeof dyn);
+  config.dynamics.dt_s = dyn[0];
+  config.dynamics.accel_initial_fps2 = dyn[1];
+  config.dynamics.accel_strength_fps2 = dyn[2];
+  config.dynamics.accel_noise_sigma_fps2 = dyn[3];
+  double costs[8];
+  in.read(reinterpret_cast<char*>(costs), sizeof costs);
+  config.costs.nmac_cost = costs[0];
+  config.costs.nmac_h_ft = costs[1];
+  config.costs.maneuver_cost = costs[2];
+  config.costs.strengthened_maneuver_cost = costs[3];
+  config.costs.level_reward = costs[4];
+  config.costs.strengthen_cost = costs[5];
+  config.costs.reversal_cost = costs[6];
+  config.costs.termination_cost = costs[7];
+
+  JointLogicTable table(config);
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof n);
+  if (n != table.q_.size()) {
+    throw std::runtime_error("JointLogicTable::load: size mismatch in " + path);
+  }
+  in.read(reinterpret_cast<char*>(table.q_.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  if (!in) throw std::runtime_error("JointLogicTable::load: truncated file " + path);
+  return table;
+}
+
+std::array<double, kNumAdvisories> joint_action_costs(const JointLogicTable& table,
+                                                      const AircraftTrack& own,
+                                                      const AircraftTrack& a,
+                                                      const AircraftTrack& b, Advisory ra,
+                                                      const OnlineConfig& online, bool* active) {
+  std::array<double, kNumAdvisories> costs{};
+  const TauEstimate tau_a = AcasXuLogic::estimate_tau(own, a, online);
+  const TauEstimate tau_b = AcasXuLogic::estimate_tau(own, b, online);
+  const bool a_active = tau_a.converging && tau_a.tau_s <= online.tau_alert_max_s;
+  const bool b_active = tau_b.converging && tau_b.tau_s <= online.tau_alert_max_s;
+  if (!a_active || !b_active) {
+    *active = false;
+    return costs;
+  }
+  *active = true;
+
+  // Deterministic primary selection: smaller tau first, ties broken on the
+  // relative state (so swapping a and b can never change the result).
+  const double ha = units::m_to_ft(a.position_m.z - own.position_m.z);
+  const double hb = units::m_to_ft(b.position_m.z - own.position_m.z);
+  const double dha = units::m_to_ft(a.velocity_mps.z);
+  const double dhb = units::m_to_ft(b.velocity_mps.z);
+  bool a_primary = tau_a.tau_s < tau_b.tau_s;
+  if (tau_a.tau_s == tau_b.tau_s) {
+    a_primary = (ha != hb) ? ha < hb : dha <= dhb;
+  }
+
+  const double tau1 = a_primary ? tau_a.tau_s : tau_b.tau_s;
+  const double delta = (a_primary ? tau_b.tau_s : tau_a.tau_s) - tau1;
+  const double h1 = a_primary ? ha : hb;
+  const double dh_int1 = a_primary ? dha : dhb;
+  const double h2 = a_primary ? hb : ha;
+  const double dh2 = a_primary ? dhb : dha;
+  const double dh_own = units::m_to_ft(own.velocity_mps.z);
+
+  return table.action_costs(tau1, delta, h1, dh_own, dh_int1, h2,
+                            table.config().secondary.sense_of_rate(dh2), ra);
+}
+
+}  // namespace cav::acasx

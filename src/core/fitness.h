@@ -23,8 +23,9 @@ struct FitnessConfig {
   std::size_t runs_per_encounter = 100;  ///< paper: "running 100 simulations"
   double gain_max = 10000.0;             ///< footnote 6
   /// max_time_s is overridden per encounter.  Set sim.threat_policy to
-  /// kCostFused to point the GA search at the fused multi-threat policy —
-  /// the evaluators pass this config through to every simulation.
+  /// kCostFused (or kJointTable, with joint-table-equipped CAS factories)
+  /// to point the GA search at a multi-threat arbitration policy — the
+  /// evaluators pass this config through to every simulation.
   sim::SimConfig sim;
   double sim_time_margin_s = 45.0;       ///< simulate until t_cpa + margin
   std::uint64_t seed = 1234;             ///< master seed for all runs

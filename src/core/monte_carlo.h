@@ -27,9 +27,11 @@ struct MonteCarloConfig {
   std::size_t intruders = 1;
   /// max_time_s is overridden per encounter.  sim.threat_policy selects
   /// how equipped aircraft handle K > 1 traffic: kNearest (pairwise CAS vs
-  /// nearest track, the PR 3 behavior) or kCostFused (MultiThreatResolver
-  /// arbitration over every gated threat) — the E12 density sweep compares
-  /// the two under identical traffic.
+  /// nearest track, the PR 3 behavior), kCostFused (MultiThreatResolver
+  /// arbitration over every gated threat), or kJointTable (the two most
+  /// severe threats priced by the joint-threat table — the CAS factories
+  /// must then carry an acasx::JointLogicTable) — the E12 density sweep
+  /// compares all three under identical traffic.
   sim::SimConfig sim;
   double sim_time_margin_s = 45.0;
   std::uint64_t seed = 99;

@@ -39,9 +39,9 @@ struct IntruderGeometry {
 
 /// The (2 + 7K)-parameter genome of a K-intruder encounter.
 struct MultiEncounterParams {
-  double gs_own_mps = 40.0;
-  double vs_own_mps = 0.0;
-  std::vector<IntruderGeometry> intruders;
+  double gs_own_mps = 40.0;  ///< own-ship ground speed (shared by all pairings)
+  double vs_own_mps = 0.0;   ///< own-ship vertical speed
+  std::vector<IntruderGeometry> intruders;  ///< one CPA geometry per intruder
 
   std::size_t num_intruders() const { return intruders.size(); }
 
@@ -61,7 +61,9 @@ struct MultiEncounterParams {
 
 /// Initial kinematic states [own, intruder 1..K], each intruder
 /// reconstructed by the paper's equations (1)-(3) against the shared
-/// own-ship reference.
+/// own-ship reference.  Pure function of its inputs (no hidden RNG): the
+/// same params always place the same aircraft, which is what makes
+/// paired policy comparisons over a scenario meaningful.
 std::vector<sim::UavState> generate_multi_initial_states(const MultiEncounterParams& params,
                                                          const OwnshipReference& ref = {});
 

@@ -1,0 +1,76 @@
+// Joint-state indexing for product state spaces.
+//
+// Solving an MDP over the *joint* state of several interacting factors
+// (the ACAS joint-threat table: primary-threat grid x secondary-threat
+// abstraction; a sharded CompiledMdp: shard x local state) needs one
+// canonical convention for flattening the product into the contiguous
+// value arrays every compiled sweep kernel (compiled_mdp.h, the ACAS
+// stencil solver) iterates.  This header is that convention: a mixed-radix
+// row-major indexer, factor 0 slowest — so fixing the leading factors
+// always yields one contiguous slab, which is what slab-wise solvers
+// (independent sub-MDPs per abstract factor, as in the joint-threat
+// table, where the secondary's (delta, sense) never changes mid-episode)
+// sweep without scatter.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace cav::mdp {
+
+/// Row-major mixed-radix indexer over a product of discrete factors.
+/// Factor 0 varies slowest; the last factor is contiguous.
+class JointStateIndexer {
+ public:
+  JointStateIndexer() = default;
+
+  /// `sizes[d]` is the cardinality of factor d; every size must be >= 1.
+  explicit JointStateIndexer(std::vector<std::size_t> sizes) : sizes_(std::move(sizes)) {
+    if (sizes_.empty()) throw std::invalid_argument("JointStateIndexer needs >= 1 factor");
+    strides_.assign(sizes_.size(), 1);
+    for (std::size_t d = sizes_.size(); d-- > 0;) {
+      if (sizes_[d] == 0) throw std::invalid_argument("JointStateIndexer factor of size 0");
+      if (d + 1 < sizes_.size()) strides_[d] = strides_[d + 1] * sizes_[d + 1];
+    }
+    size_ = strides_[0] * sizes_[0];
+  }
+
+  std::size_t rank() const { return sizes_.size(); }
+  std::size_t factor_size(std::size_t d) const { return sizes_[d]; }
+  /// Flat indices of states that share factor d differ by a multiple of
+  /// this unless a slower factor also changed.
+  std::size_t stride(std::size_t d) const { return strides_[d]; }
+  /// Total number of joint states (product of the factor sizes).
+  std::size_t size() const { return size_; }
+
+  /// Flat joint index of per-factor indices (unchecked for speed; every
+  /// idx[d] must be < factor_size(d)).
+  std::size_t flat(const std::vector<std::size_t>& idx) const {
+    std::size_t f = 0;
+    for (std::size_t d = 0; d < sizes_.size(); ++d) f += idx[d] * strides_[d];
+    return f;
+  }
+
+  /// Inverse of flat().
+  std::vector<std::size_t> unflatten(std::size_t flat_index) const {
+    std::vector<std::size_t> idx(sizes_.size());
+    for (std::size_t d = 0; d < sizes_.size(); ++d) {
+      idx[d] = flat_index / strides_[d];
+      flat_index %= strides_[d];
+    }
+    return idx;
+  }
+
+  /// Flat index of the first state of the slab that fixes factor 0 at
+  /// `leading`; the slab spans [slab_begin, slab_begin + stride(0)).
+  std::size_t slab_begin(std::size_t leading) const { return leading * strides_[0]; }
+
+ private:
+  std::vector<std::size_t> sizes_;
+  std::vector<std::size_t> strides_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cav::mdp

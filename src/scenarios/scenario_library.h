@@ -32,8 +32,8 @@
 namespace cav::scenarios {
 
 struct Scenario {
-  std::string name;
-  encounter::MultiEncounterParams params;
+  std::string name;  ///< family name ("head-on", "converging-ring", ...)
+  encounter::MultiEncounterParams params;  ///< the full (2 + 7K)-gene geometry
 
   std::size_t num_aircraft() const { return params.num_intruders() + 1; }
   /// Simulation horizon covering every intruder's CPA plus settle time.
@@ -61,7 +61,10 @@ Scenario make_scenario(std::string_view name, std::size_t intruders = 0,
 
 /// Equip and run: aircraft 0 gets `own_cas`, every intruder `intruder_cas`
 /// (either may be null for unequipped flight).  `config.max_time_s` is
-/// overridden with the scenario's suggested horizon.
+/// overridden with the scenario's suggested horizon.  Deterministic in
+/// (scenario, config, seed): identical inputs give identical SimResults
+/// regardless of thread count, so same-seed runs under different threat
+/// policies are paired comparisons over identical traffic.
 sim::SimResult run_scenario(const Scenario& scenario, sim::SimConfig config,
                             const sim::CasFactory& own_cas, const sim::CasFactory& intruder_cas,
                             std::uint64_t seed);

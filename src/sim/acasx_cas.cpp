@@ -5,8 +5,10 @@
 namespace cav::sim {
 
 AcasXuCas::AcasXuCas(std::shared_ptr<const acasx::LogicTable> table, acasx::OnlineConfig online,
-                     UavPerformance perf, TrackerConfig tracker)
-    : logic_(std::move(table), online), perf_(perf), smoother_(tracker) {}
+                     UavPerformance perf, TrackerConfig tracker,
+                     std::shared_ptr<const acasx::JointLogicTable> joint)
+    : logic_(std::move(table), online), joint_(std::move(joint)), perf_(perf),
+      smoother_(tracker) {}
 
 CasDecision AcasXuCas::to_decision(acasx::Advisory advisory) const {
   CasDecision decision;
@@ -36,6 +38,21 @@ bool AcasXuCas::evaluate_costs(const acasx::AircraftTrack& own, const ThreatObse
   return true;
 }
 
+bool AcasXuCas::evaluate_joint_costs(const acasx::AircraftTrack& own,
+                                     const ThreatObservation& primary,
+                                     const ThreatObservation& secondary, ThreatCosts* out) {
+  if (joint_ == nullptr) return false;
+  // Read the smoothed tracks this cycle's evaluate_costs calls produced —
+  // the protocol (sim/cas.h) forbids advancing the smoothers here.
+  const acasx::AircraftTrack& a = threat_smoothers_.current_or(primary.aircraft_id,
+                                                              primary.track);
+  const acasx::AircraftTrack& b = threat_smoothers_.current_or(secondary.aircraft_id,
+                                                              secondary.track);
+  out->costs = acasx::joint_action_costs(*joint_, own, a, b, logic_.current_advisory(),
+                                         logic_.config(), &out->active);
+  return true;
+}
+
 CasDecision AcasXuCas::commit_fused(const acasx::AircraftTrack&, const ThreatObservation&,
                                     acasx::Advisory fused) {
   logic_.set_advisory(fused);
@@ -44,10 +61,11 @@ CasDecision AcasXuCas::commit_fused(const acasx::AircraftTrack&, const ThreatObs
 
 CasFactory AcasXuCas::factory(std::shared_ptr<const acasx::LogicTable> table,
                               acasx::OnlineConfig online, UavPerformance perf,
-                              TrackerConfig tracker) {
-  return [table = std::move(table), online, perf,
+                              TrackerConfig tracker,
+                              std::shared_ptr<const acasx::JointLogicTable> joint) {
+  return [table = std::move(table), joint = std::move(joint), online, perf,
           tracker]() -> std::unique_ptr<CollisionAvoidanceSystem> {
-    return std::make_unique<AcasXuCas>(table, online, perf, tracker);
+    return std::make_unique<AcasXuCas>(table, online, perf, tracker, joint);
   };
 }
 

@@ -2,13 +2,17 @@
 //
 // Multi-threat: the table's per-threat Q-costs are exposed through the
 // cost interface (evaluate_costs / commit_fused), with one track smoother
-// per threat aircraft so multiple targets never share filter state.  The
-// pairwise decide() path and its single smoother are untouched — the
-// nearest-threat policy stays bit-identical.
+// per threat aircraft so multiple targets never share filter state.  An
+// optional joint-threat table (acasx/joint_table.h) additionally answers
+// the two-threat joint query (evaluate_joint_costs) from the tracks this
+// cycle's evaluate_costs calls already smoothed.  The pairwise decide()
+// path and its single smoother are untouched — the nearest-threat policy
+// stays bit-identical.
 #pragma once
 
 #include <memory>
 
+#include "acasx/joint_table.h"
 #include "acasx/online_logic.h"
 #include "sim/cas.h"
 #include "sim/tracker.h"
@@ -18,8 +22,13 @@ namespace cav::sim {
 
 class AcasXuCas final : public CollisionAvoidanceSystem {
  public:
+  /// `joint` may be null: the system then declines the joint query and
+  /// ThreatPolicy::kJointTable degrades to kCostFused behaviour.  (The
+  /// joint table trails the parameter list in all three table-backed
+  /// CASes — see BeliefAcasXuCas / CombinedCas.)
   AcasXuCas(std::shared_ptr<const acasx::LogicTable> table, acasx::OnlineConfig online = {},
-            UavPerformance perf = {}, TrackerConfig tracker = {});
+            UavPerformance perf = {}, TrackerConfig tracker = {},
+            std::shared_ptr<const acasx::JointLogicTable> joint = nullptr);
 
   CasDecision decide(const acasx::AircraftTrack& own, const acasx::AircraftTrack& intruder,
                      acasx::Sense forbidden_sense) override;
@@ -32,21 +41,26 @@ class AcasXuCas final : public CollisionAvoidanceSystem {
 
   bool evaluate_costs(const acasx::AircraftTrack& own, const ThreatObservation& threat,
                       ThreatCosts* out) override;
+  bool evaluate_joint_costs(const acasx::AircraftTrack& own, const ThreatObservation& primary,
+                            const ThreatObservation& secondary, ThreatCosts* out) override;
   CasDecision commit_fused(const acasx::AircraftTrack& own, const ThreatObservation& primary,
                            acasx::Advisory fused) override;
   acasx::Advisory current_advisory() const override { return logic_.current_advisory(); }
 
   const acasx::AcasXuLogic& logic() const { return logic_; }
 
-  /// Factory capturing a shared table.
+  /// Factory capturing the shared table(s); leave `joint` null for a
+  /// pairwise-only system (joint query off).
   static CasFactory factory(std::shared_ptr<const acasx::LogicTable> table,
                             acasx::OnlineConfig online = {}, UavPerformance perf = {},
-                            TrackerConfig tracker = {});
+                            TrackerConfig tracker = {},
+                            std::shared_ptr<const acasx::JointLogicTable> joint = nullptr);
 
  private:
   CasDecision to_decision(acasx::Advisory advisory) const;
 
   acasx::AcasXuLogic logic_;
+  std::shared_ptr<const acasx::JointLogicTable> joint_;
   UavPerformance perf_;
   TrackSmoother smoother_;  ///< the STM analog: smooths the intruder track
   ThreatSmootherBank threat_smoothers_;  ///< per-threat STM (fused mode)

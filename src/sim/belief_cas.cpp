@@ -6,8 +6,10 @@ namespace cav::sim {
 
 BeliefAcasXuCas::BeliefAcasXuCas(std::shared_ptr<const acasx::LogicTable> table,
                                  acasx::BeliefConfig belief, acasx::OnlineConfig online,
-                                 UavPerformance perf, TrackerConfig tracker)
-    : logic_(std::move(table), belief, online), perf_(perf), smoother_(tracker) {}
+                                 UavPerformance perf, TrackerConfig tracker,
+                                 std::shared_ptr<const acasx::JointLogicTable> joint)
+    : logic_(std::move(table), belief, online), joint_(std::move(joint)), perf_(perf),
+      smoother_(tracker) {}
 
 CasDecision BeliefAcasXuCas::to_decision(acasx::Advisory advisory) const {
   CasDecision decision;
@@ -37,6 +39,22 @@ bool BeliefAcasXuCas::evaluate_costs(const acasx::AircraftTrack& own,
   return true;
 }
 
+bool BeliefAcasXuCas::evaluate_joint_costs(const acasx::AircraftTrack& own,
+                                           const ThreatObservation& primary,
+                                           const ThreatObservation& secondary,
+                                           ThreatCosts* out) {
+  if (joint_ == nullptr) return false;
+  // Point-estimate joint query on the tracks this cycle's evaluate_costs
+  // calls smoothed (the belief quadrature covers the pairwise path only).
+  const acasx::AircraftTrack& a = threat_smoothers_.current_or(primary.aircraft_id,
+                                                              primary.track);
+  const acasx::AircraftTrack& b = threat_smoothers_.current_or(secondary.aircraft_id,
+                                                              secondary.track);
+  out->costs = acasx::joint_action_costs(*joint_, own, a, b, logic_.current_advisory(),
+                                         logic_.online_config(), &out->active);
+  return true;
+}
+
 CasDecision BeliefAcasXuCas::commit_fused(const acasx::AircraftTrack&, const ThreatObservation&,
                                           acasx::Advisory fused) {
   logic_.set_advisory(fused);
@@ -45,10 +63,11 @@ CasDecision BeliefAcasXuCas::commit_fused(const acasx::AircraftTrack&, const Thr
 
 CasFactory BeliefAcasXuCas::factory(std::shared_ptr<const acasx::LogicTable> table,
                                     acasx::BeliefConfig belief, acasx::OnlineConfig online,
-                                    UavPerformance perf, TrackerConfig tracker) {
-  return [table = std::move(table), belief, online, perf,
-          tracker]() -> std::unique_ptr<CollisionAvoidanceSystem> {
-    return std::make_unique<BeliefAcasXuCas>(table, belief, online, perf, tracker);
+                                    UavPerformance perf, TrackerConfig tracker,
+                                    std::shared_ptr<const acasx::JointLogicTable> joint) {
+  return [table = std::move(table), belief, online, perf, tracker,
+          joint = std::move(joint)]() -> std::unique_ptr<CollisionAvoidanceSystem> {
+    return std::make_unique<BeliefAcasXuCas>(table, belief, online, perf, tracker, joint);
   };
 }
 

@@ -1,12 +1,16 @@
 // Simulator plug-in for the belief-aware (QMDP-style) online logic.
 // Identical plumbing to AcasXuCas — track smoothing, advisory-to-command
-// mapping, per-threat cost interface for multi-threat fusion — with the
-// belief-averaged advisory selection inside.
+// mapping, per-threat cost interface for multi-threat fusion, optional
+// joint-threat table — with the belief-averaged advisory selection inside.
+// The joint query itself is answered at the point estimate (the belief
+// quadrature covers the pairwise axes only; extending it to the joint
+// state is future work).
 #pragma once
 
 #include <memory>
 
 #include "acasx/belief_logic.h"
+#include "acasx/joint_table.h"
 #include "sim/cas.h"
 #include "sim/tracker.h"
 #include "sim/uav.h"
@@ -15,9 +19,12 @@ namespace cav::sim {
 
 class BeliefAcasXuCas final : public CollisionAvoidanceSystem {
  public:
+  /// `joint` may be null: the system then declines the joint query and
+  /// ThreatPolicy::kJointTable degrades to kCostFused behaviour.
   BeliefAcasXuCas(std::shared_ptr<const acasx::LogicTable> table,
                   acasx::BeliefConfig belief = {}, acasx::OnlineConfig online = {},
-                  UavPerformance perf = {}, TrackerConfig tracker = {});
+                  UavPerformance perf = {}, TrackerConfig tracker = {},
+                  std::shared_ptr<const acasx::JointLogicTable> joint = nullptr);
 
   CasDecision decide(const acasx::AircraftTrack& own, const acasx::AircraftTrack& intruder,
                      acasx::Sense forbidden_sense) override;
@@ -30,6 +37,8 @@ class BeliefAcasXuCas final : public CollisionAvoidanceSystem {
 
   bool evaluate_costs(const acasx::AircraftTrack& own, const ThreatObservation& threat,
                       ThreatCosts* out) override;
+  bool evaluate_joint_costs(const acasx::AircraftTrack& own, const ThreatObservation& primary,
+                            const ThreatObservation& secondary, ThreatCosts* out) override;
   CasDecision commit_fused(const acasx::AircraftTrack& own, const ThreatObservation& primary,
                            acasx::Advisory fused) override;
   acasx::Advisory current_advisory() const override { return logic_.current_advisory(); }
@@ -38,12 +47,14 @@ class BeliefAcasXuCas final : public CollisionAvoidanceSystem {
 
   static CasFactory factory(std::shared_ptr<const acasx::LogicTable> table,
                             acasx::BeliefConfig belief = {}, acasx::OnlineConfig online = {},
-                            UavPerformance perf = {}, TrackerConfig tracker = {});
+                            UavPerformance perf = {}, TrackerConfig tracker = {},
+                            std::shared_ptr<const acasx::JointLogicTable> joint = nullptr);
 
  private:
   CasDecision to_decision(acasx::Advisory advisory) const;
 
   acasx::BeliefAwareLogic logic_;
+  std::shared_ptr<const acasx::JointLogicTable> joint_;
   UavPerformance perf_;
   TrackSmoother smoother_;
   ThreatSmootherBank threat_smoothers_;  ///< per-threat STM (fused mode)

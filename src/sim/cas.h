@@ -71,13 +71,17 @@ class CollisionAvoidanceSystem {
   /// Identifier used in reports ("ACAS-XU", "TCAS-like", "SVO", "none").
   virtual std::string name() const = 0;
 
-  // --- Optional multi-threat cost interface (ThreatPolicy::kCostFused) ---
+  // --- Optional multi-threat cost interface ---
+  //     (ThreatPolicy::kCostFused and ThreatPolicy::kJointTable)
   //
   // Table-backed systems expose their per-threat Q-costs so the resolver
   // can sum them per candidate advisory across every gated threat.  The
   // protocol per decision cycle is: evaluate_costs() exactly once per
-  // gated threat (it may advance per-threat tracker state), then exactly
-  // one commit_fused() with the advisory the resolver selected.  Systems
+  // gated threat (it may advance per-threat tracker state); under
+  // kJointTable at most one evaluate_joint_costs() for the two most
+  // severe threats (it must NOT advance tracker state — it reads the
+  // tracks evaluate_costs already smoothed this cycle); then exactly one
+  // commit_fused() with the advisory the resolver selected.  Systems
   // that expose only a decision keep the defaults and are arbitrated by
   // the resolver's severity-ordered fallback instead.
 
@@ -87,6 +91,24 @@ class CollisionAvoidanceSystem {
                               ThreatCosts* out) {
     (void)own;
     (void)threat;
+    (void)out;
+    return false;
+  }
+
+  /// Joint two-threat costs (ThreatPolicy::kJointTable): per-advisory
+  /// expected costs from a table solved over the JOINT state of both
+  /// threats (acasx/joint_table.h), at the current advisory memory.
+  /// Returns false when the system carries no joint table; `out->active`
+  /// is false when either threat is outside the joint alerting envelope —
+  /// the resolver then falls back to pairwise cost fusion.  Must only be
+  /// called after evaluate_costs() was called for both threats this
+  /// cycle, and must not advance per-threat tracker state.
+  virtual bool evaluate_joint_costs(const acasx::AircraftTrack& own,
+                                    const ThreatObservation& primary,
+                                    const ThreatObservation& secondary, ThreatCosts* out) {
+    (void)own;
+    (void)primary;
+    (void)secondary;
     (void)out;
     return false;
   }

@@ -6,9 +6,11 @@ namespace cav::sim {
 
 CombinedCas::CombinedCas(std::shared_ptr<const acasx::LogicTable> vertical_table,
                          std::shared_ptr<const acasx::HorizontalTable> horizontal_table,
-                         acasx::OnlineConfig online, UavPerformance perf, TrackerConfig tracker)
+                         acasx::OnlineConfig online, UavPerformance perf, TrackerConfig tracker,
+                         std::shared_ptr<const acasx::JointLogicTable> joint)
     : vertical_(std::move(vertical_table), online),
       horizontal_(std::move(horizontal_table)),
+      joint_(std::move(joint)),
       perf_(perf),
       smoother_(tracker) {}
 
@@ -50,6 +52,21 @@ bool CombinedCas::evaluate_costs(const acasx::AircraftTrack& own, const ThreatOb
   return true;
 }
 
+bool CombinedCas::evaluate_joint_costs(const acasx::AircraftTrack& own,
+                                       const ThreatObservation& primary,
+                                       const ThreatObservation& secondary, ThreatCosts* out) {
+  if (joint_ == nullptr) return false;
+  // Vertical channel only: the joint query reads the tracks this cycle's
+  // evaluate_costs calls smoothed (the protocol forbids re-smoothing).
+  const acasx::AircraftTrack& a = threat_smoothers_.current_or(primary.aircraft_id,
+                                                              primary.track);
+  const acasx::AircraftTrack& b = threat_smoothers_.current_or(secondary.aircraft_id,
+                                                              secondary.track);
+  out->costs = acasx::joint_action_costs(*joint_, own, a, b, vertical_.current_advisory(),
+                                         vertical_.config(), &out->active);
+  return true;
+}
+
 CasDecision CombinedCas::commit_fused(const acasx::AircraftTrack& own,
                                       const ThreatObservation& primary, acasx::Advisory fused) {
   vertical_.set_advisory(fused);
@@ -65,11 +82,13 @@ CasDecision CombinedCas::commit_fused(const acasx::AircraftTrack& own,
 CasFactory CombinedCas::factory(std::shared_ptr<const acasx::LogicTable> vertical_table,
                                 std::shared_ptr<const acasx::HorizontalTable> horizontal_table,
                                 acasx::OnlineConfig online, UavPerformance perf,
-                                TrackerConfig tracker) {
+                                TrackerConfig tracker,
+                                std::shared_ptr<const acasx::JointLogicTable> joint) {
   return [vertical_table = std::move(vertical_table),
-          horizontal_table = std::move(horizontal_table), online, perf,
-          tracker]() -> std::unique_ptr<CollisionAvoidanceSystem> {
-    return std::make_unique<CombinedCas>(vertical_table, horizontal_table, online, perf, tracker);
+          horizontal_table = std::move(horizontal_table), online, perf, tracker,
+          joint = std::move(joint)]() -> std::unique_ptr<CollisionAvoidanceSystem> {
+    return std::make_unique<CombinedCas>(vertical_table, horizontal_table, online, perf,
+                                         tracker, joint);
   };
 }
 

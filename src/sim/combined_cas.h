@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "acasx/horizontal.h"
+#include "acasx/joint_table.h"
 #include "acasx/online_logic.h"
 #include "sim/cas.h"
 #include "sim/tracker.h"
@@ -17,10 +18,13 @@ namespace cav::sim {
 
 class CombinedCas final : public CollisionAvoidanceSystem {
  public:
+  /// `joint` may be null: the system then declines the joint query and
+  /// ThreatPolicy::kJointTable degrades to kCostFused behaviour.
   CombinedCas(std::shared_ptr<const acasx::LogicTable> vertical_table,
               std::shared_ptr<const acasx::HorizontalTable> horizontal_table,
               acasx::OnlineConfig online = {}, UavPerformance perf = {},
-              TrackerConfig tracker = {});
+              TrackerConfig tracker = {},
+              std::shared_ptr<const acasx::JointLogicTable> joint = nullptr);
 
   CasDecision decide(const acasx::AircraftTrack& own, const acasx::AircraftTrack& intruder,
                      acasx::Sense forbidden_sense) override;
@@ -33,10 +37,12 @@ class CombinedCas final : public CollisionAvoidanceSystem {
   std::string name() const override { return "ACAS-XU+H"; }
 
   /// Multi-threat fusion covers the vertical channel (the costed advisory
-  /// set); the horizontal channel keeps steering against the most severe
-  /// gated threat at commit time.
+  /// set, joint or pairwise); the horizontal channel keeps steering
+  /// against the most severe gated threat at commit time.
   bool evaluate_costs(const acasx::AircraftTrack& own, const ThreatObservation& threat,
                       ThreatCosts* out) override;
+  bool evaluate_joint_costs(const acasx::AircraftTrack& own, const ThreatObservation& primary,
+                            const ThreatObservation& secondary, ThreatCosts* out) override;
   CasDecision commit_fused(const acasx::AircraftTrack& own, const ThreatObservation& primary,
                            acasx::Advisory fused) override;
   acasx::Advisory current_advisory() const override { return vertical_.current_advisory(); }
@@ -47,13 +53,15 @@ class CombinedCas final : public CollisionAvoidanceSystem {
   static CasFactory factory(std::shared_ptr<const acasx::LogicTable> vertical_table,
                             std::shared_ptr<const acasx::HorizontalTable> horizontal_table,
                             acasx::OnlineConfig online = {}, UavPerformance perf = {},
-                            TrackerConfig tracker = {});
+                            TrackerConfig tracker = {},
+                            std::shared_ptr<const acasx::JointLogicTable> joint = nullptr);
 
  private:
   CasDecision build_decision(acasx::Advisory advisory, acasx::TurnAdvisory turn) const;
 
   acasx::AcasXuLogic vertical_;
   acasx::HorizontalLogic horizontal_;
+  std::shared_ptr<const acasx::JointLogicTable> joint_;
   UavPerformance perf_;
   TrackSmoother smoother_;
   ThreatSmootherBank threat_smoothers_;  ///< per-threat STM (fused mode)

@@ -25,11 +25,14 @@ namespace cav::sim {
 /// how much traffic the resolver actually weighed, how often the fused
 /// choice departed from the nearest-threat choice, and how often the
 /// blocking-set check vetoed a pairwise advisory.
+/// Invariant: cycles == fused_cycles + joint_cycles + fallback_cycles
+/// (joint_cycles is only ever non-zero under ThreatPolicy::kJointTable).
 struct ResolverStats {
   int cycles = 0;               ///< decision cycles the resolver arbitrated
   int threats_considered = 0;   ///< gated threats, summed over those cycles
   int max_threats_in_cycle = 0; ///< peak simultaneous gated threats
   int fused_cycles = 0;         ///< cycles resolved by cost-summed voting
+  int joint_cycles = 0;         ///< cycles resolved through the joint-threat table
   int fallback_cycles = 0;      ///< cycles on the severity-ordered fallback
   int vetoes = 0;               ///< blocking-set vetoes applied
   /// Cycles where the flown advisory knowably differed from the

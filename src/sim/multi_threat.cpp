@@ -98,7 +98,7 @@ acasx::Sense MultiThreatResolver::veto_flip(const acasx::AircraftTrack& own, aca
 CasDecision MultiThreatResolver::resolve(CollisionAvoidanceSystem& cas,
                                          const acasx::AircraftTrack& own,
                                          const std::vector<ThreatObservation>& threats,
-                                         ResolverStats* stats) const {
+                                         ResolverStats* stats, ThreatPolicy policy) const {
   expect(!threats.empty(), "resolve needs at least one gated threat");
   ++stats->cycles;
   stats->threats_considered += static_cast<int>(threats.size());
@@ -115,28 +115,48 @@ CasDecision MultiThreatResolver::resolve(CollisionAvoidanceSystem& cas,
       break;
     }
   }
-  if (cost_capable) return resolve_fused(cas, own, threats, costs, stats);
-  return resolve_fallback(cas, own, threats, stats);
+  if (!cost_capable) return resolve_fallback(cas, own, threats, stats);
+
+  // kJointTable: price the two most severe threats through the joint
+  // table when both are inside the pairwise alerting envelope AND the
+  // system answers the joint query for them; any other cycle (single
+  // threat, secondary outside the joint envelope, no joint table) falls
+  // back to pure pairwise fusion — which keeps K=1 policy-invariant.
+  if (policy == ThreatPolicy::kJointTable && threats.size() >= 2 && costs[0].active &&
+      costs[1].active) {
+    ThreatCosts joint;
+    if (cas.evaluate_joint_costs(own, threats[0], threats[1], &joint) && joint.active) {
+      ++stats->joint_cycles;
+      return resolve_costed(cas, own, threats, costs, &joint, stats);
+    }
+  }
+  ++stats->fused_cycles;
+  return resolve_costed(cas, own, threats, costs, nullptr, stats);
 }
 
-CasDecision MultiThreatResolver::resolve_fused(CollisionAvoidanceSystem& cas,
-                                               const acasx::AircraftTrack& own,
-                                               const std::vector<ThreatObservation>& threats,
-                                               const std::vector<ThreatCosts>& costs,
-                                               ResolverStats* stats) const {
-  ++stats->fused_cycles;
+CasDecision MultiThreatResolver::resolve_costed(CollisionAvoidanceSystem& cas,
+                                                const acasx::AircraftTrack& own,
+                                                const std::vector<ThreatObservation>& threats,
+                                                const std::vector<ThreatCosts>& costs,
+                                                const ThreatCosts* joint,
+                                                ResolverStats* stats) const {
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
   // Cost-summed advisory voting: each active threat votes with its full
   // per-advisory cost vector.  Summation runs in severity order (the
   // vector is sorted), so the total is deterministic for a given threat
-  // set.  Every gated threat's link-delivered coordination sense is then
-  // priced at infinity — a lock from a threat outside the alerting
-  // envelope (inactive costs) still binds, exactly as it would have under
-  // the pairwise select_advisory.
+  // set.  Under the joint policy the two most severe threats vote jointly
+  // (one vector from the joint table replaces their two pairwise
+  // vectors); threats beyond them keep their pairwise votes.  Every gated
+  // threat's link-delivered coordination sense is then priced at infinity
+  // — a lock from a threat outside the alerting envelope (inactive costs)
+  // still binds, exactly as it would have under the pairwise
+  // select_advisory.
   std::array<double, acasx::kNumAdvisories> fused{};
-  bool any_active = false;
-  for (std::size_t i = 0; i < threats.size(); ++i) {
+  bool any_active = joint != nullptr;
+  if (joint != nullptr) fused = joint->costs;
+  const std::size_t pairwise_from = joint != nullptr ? 2 : 0;
+  for (std::size_t i = pairwise_from; i < threats.size(); ++i) {
     if (!costs[i].active) continue;
     any_active = true;
     for (std::size_t a = 0; a < acasx::kNumAdvisories; ++a) {

@@ -30,6 +30,18 @@
 //     vetoed and flipped (or kept, when both senses are blocked — the most
 //     severe threat then wins).
 //
+// ThreatPolicy::kJointTable goes one level deeper on the failure mode cost
+// fusion cannot express (the symmetric co-altitude squeeze — threats above
+// and below at the same CPA, where every pairwise vote ignores the other
+// threat's future): the two most severe gated threats are priced by ONE
+// table solved over their joint state (acasx/joint_table.h), any remaining
+// gated threats keep voting with their pairwise costs on top, and
+// everything downstream (coordination pricing, tie-break, blocking-set
+// veto, commit) is shared with kCostFused.  When no second threat is
+// inside the joint alerting envelope — or the system carries no joint
+// table — the cycle resolves exactly as kCostFused, so single-threat
+// traffic is policy-invariant.
+//
 // ThreatPolicy::kNearest preserves the PR 3 engine bit-identically.
 #pragma once
 
@@ -42,8 +54,11 @@ namespace cav::sim {
 
 /// How an equipped UAV turns the set of tracks it holds into one advisory.
 enum class ThreatPolicy {
-  kNearest,    ///< pairwise CAS against the nearest track (PR 3 engine)
-  kCostFused,  ///< arbitrate every gated threat via MultiThreatResolver
+  kNearest,     ///< pairwise CAS against the nearest track (PR 3 engine)
+  kCostFused,   ///< arbitrate every gated threat via MultiThreatResolver
+  kJointTable,  ///< kCostFused, with the two most severe threats priced by
+                ///< the joint-threat table (falls back per cycle when no
+                ///< second threat is jointly active)
 };
 
 /// Which tracks count as threats, and the blocking-set geometry.
@@ -87,9 +102,13 @@ class MultiThreatResolver {
                      std::vector<ThreatObservation>* threats) const;
 
   /// Arbitrate one decision cycle.  `threats` must be non-empty and come
-  /// from gate_and_sort; `stats` is updated in place.
+  /// from gate_and_sort; `stats` is updated in place.  `policy` selects
+  /// between pure pairwise cost fusion (kCostFused, the default) and the
+  /// joint-table pricing of the two most severe threats (kJointTable);
+  /// kNearest never reaches the resolver.
   CasDecision resolve(CollisionAvoidanceSystem& cas, const acasx::AircraftTrack& own,
-                      const std::vector<ThreatObservation>& threats, ResolverStats* stats) const;
+                      const std::vector<ThreatObservation>& threats, ResolverStats* stats,
+                      ThreatPolicy policy = ThreatPolicy::kCostFused) const;
 
   /// True when flying `sense` at the assumed rate steers the own-ship into
   /// `threat`'s protected volume at its predicted CPA (see
@@ -98,9 +117,14 @@ class MultiThreatResolver {
                    const ThreatObservation& threat) const;
 
  private:
-  CasDecision resolve_fused(CollisionAvoidanceSystem& cas, const acasx::AircraftTrack& own,
-                            const std::vector<ThreatObservation>& threats,
-                            const std::vector<ThreatCosts>& costs, ResolverStats* stats) const;
+  /// Shared cost-level selection for kCostFused and kJointTable: sum the
+  /// votes (with `joint`, when non-null, replacing the two most severe
+  /// threats' pairwise votes), price coordination senses at infinity,
+  /// select, veto, commit.
+  CasDecision resolve_costed(CollisionAvoidanceSystem& cas, const acasx::AircraftTrack& own,
+                             const std::vector<ThreatObservation>& threats,
+                             const std::vector<ThreatCosts>& costs, const ThreatCosts* joint,
+                             ResolverStats* stats) const;
   CasDecision resolve_fallback(CollisionAvoidanceSystem& cas, const acasx::AircraftTrack& own,
                                const std::vector<ThreatObservation>& threats,
                                ResolverStats* stats) const;

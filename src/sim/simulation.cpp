@@ -90,14 +90,14 @@ void Simulation::decide_for(AgentRuntime& me, std::size_t my_id, double t_s) {
     if (received.has_value()) me.last_track_of[j] = *received;
   }
 
-  // Multi-threat arbitration (ThreatPolicy::kCostFused): hand every gated
-  // track to the resolver instead of just the nearest one.  When the gate
-  // leaves nothing (all traffic far and diverging), fall through to the
-  // nearest-threat path so a previously issued command is still cleared by
-  // the CAS rather than frozen in place.
+  // Multi-threat arbitration (ThreatPolicy::kCostFused / kJointTable):
+  // hand every gated track to the resolver instead of just the nearest
+  // one.  When the gate leaves nothing (all traffic far and diverging),
+  // fall through to the nearest-threat path so a previously issued
+  // command is still cleared by the CAS rather than frozen in place.
   CasDecision decision;
   bool resolved = false;
-  if (config_.threat_policy == ThreatPolicy::kCostFused) {
+  if (config_.threat_policy != ThreatPolicy::kNearest) {
     const acasx::AircraftTrack own_track = self_track(me.agent.state());
     std::vector<ThreatObservation>& threats = me.threat_scratch;
     threats.clear();
@@ -112,7 +112,8 @@ void Simulation::decide_for(AgentRuntime& me, std::size_t my_id, double t_s) {
     }
     resolver_.gate_and_sort(own_track, &threats);
     if (!threats.empty()) {
-      decision = resolver_.resolve(*me.cas, own_track, threats, &me.report.resolver);
+      decision = resolver_.resolve(*me.cas, own_track, threats, &me.report.resolver,
+                                   config_.threat_policy);
       resolved = true;
     }
   }

@@ -13,9 +13,9 @@
 //   2. it turns the tracks it holds into one advisory under the configured
 //      ThreatPolicy — kNearest runs the (pairwise) collision avoidance
 //      system against the nearest track, constrained by the coordination
-//      sense that threat last delivered; kCostFused arbitrates every gated
-//      threat through sim::MultiThreatResolver — then broadcasts its own
-//      sense;
+//      sense that threat last delivered; kCostFused and kJointTable
+//      arbitrate every gated threat through sim::MultiThreatResolver —
+//      then broadcasts its own sense;
 //   3. dynamics integrate at the (faster) physics rate with environment
 //      disturbance, while per-pair monitors watch every true separation.
 #pragma once
@@ -45,9 +45,11 @@ struct SimConfig {
   AccidentConfig accident;
   /// kNearest reproduces the PR 3 engine bit-identically (and is the
   /// paper's pairwise setup for two aircraft); kCostFused arbitrates all
-  /// gated threats per cycle (multi_threat.h).
+  /// gated threats per cycle; kJointTable additionally prices the two
+  /// most severe threats through the joint-threat table when the CAS
+  /// carries one (multi_threat.h).
   ThreatPolicy threat_policy = ThreatPolicy::kNearest;
-  ThreatGateConfig threat_gate;   ///< only read under kCostFused
+  ThreatGateConfig threat_gate;   ///< only read under kCostFused/kJointTable
   bool record_trajectory = false; ///< keep per-decision-cycle samples
 };
 

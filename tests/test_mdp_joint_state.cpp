@@ -1,0 +1,61 @@
+// Joint-state indexing (mdp/joint_state.h): the mixed-radix convention the
+// joint-threat solver builds its slab layout on.
+#include "mdp/joint_state.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cav::mdp {
+namespace {
+
+TEST(JointStateIndexerTest, SizesAndStrides) {
+  const JointStateIndexer idx({2, 3, 5});
+  EXPECT_EQ(idx.rank(), 3U);
+  EXPECT_EQ(idx.size(), 30U);
+  EXPECT_EQ(idx.factor_size(0), 2U);
+  EXPECT_EQ(idx.factor_size(2), 5U);
+  // Row-major: factor 0 slowest, last factor contiguous.
+  EXPECT_EQ(idx.stride(0), 15U);
+  EXPECT_EQ(idx.stride(1), 5U);
+  EXPECT_EQ(idx.stride(2), 1U);
+}
+
+TEST(JointStateIndexerTest, FlatUnflattenRoundTrip) {
+  const JointStateIndexer idx({3, 4, 2, 5});
+  for (std::size_t f = 0; f < idx.size(); ++f) {
+    const auto parts = idx.unflatten(f);
+    ASSERT_EQ(parts.size(), 4U);
+    for (std::size_t d = 0; d < parts.size(); ++d) EXPECT_LT(parts[d], idx.factor_size(d));
+    EXPECT_EQ(idx.flat(parts), f);
+  }
+}
+
+TEST(JointStateIndexerTest, SlabsAreContiguous) {
+  const JointStateIndexer idx({4, 7});
+  for (std::size_t slab = 0; slab < 4; ++slab) {
+    EXPECT_EQ(idx.slab_begin(slab), slab * 7);
+    // Every state of the slab lies inside [begin, begin + stride(0)).
+    for (std::size_t local = 0; local < 7; ++local) {
+      const std::size_t f = idx.flat({slab, local});
+      EXPECT_GE(f, idx.slab_begin(slab));
+      EXPECT_LT(f, idx.slab_begin(slab) + idx.stride(0));
+    }
+  }
+}
+
+TEST(JointStateIndexerTest, SingleFactorIsIdentity) {
+  const JointStateIndexer idx({9});
+  for (std::size_t f = 0; f < 9; ++f) {
+    EXPECT_EQ(idx.flat({f}), f);
+    EXPECT_EQ(idx.unflatten(f).front(), f);
+  }
+}
+
+TEST(JointStateIndexerTest, RejectsDegenerateFactors) {
+  EXPECT_THROW(JointStateIndexer(std::vector<std::size_t>{}), std::invalid_argument);
+  EXPECT_THROW(JointStateIndexer({3, 0, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cav::mdp

@@ -1,8 +1,13 @@
 // Multi-threat arbitration tests: the converging-ring gap closes under
 // ThreatPolicy::kCostFused, the kNearest path stays bit-identical to the
 // PR 3 engine, the resolver's gate/severity order and fused selection are
-// deterministic under threat-set permutation, and the blocking-set veto
-// fires (and counts) on squeezed geometries.
+// deterministic under threat-set permutation, the blocking-set veto
+// fires (and counts) on squeezed geometries, and the kJointTable policy
+// routes the two most severe threats through the joint table with exact
+// kCostFused fallbacks (K=1, missing table, inactive secondary).  The
+// headline paired-seed ring comparison for kJointTable lives in
+// test_joint_policy.cpp (slow tier — it solves the full coarse joint
+// table).
 #include "sim/multi_threat.h"
 
 #include <gtest/gtest.h>
@@ -11,6 +16,7 @@
 #include <memory>
 #include <random>
 
+#include "acasx/joint_solver.h"
 #include "acasx/offline_solver.h"
 #include "scenarios/scenario_library.h"
 #include "sim/acasx_cas.h"
@@ -88,22 +94,43 @@ class AlwaysClimbCas final : public CollisionAvoidanceSystem {
   std::string name() const override { return "always-climb"; }
 };
 
+/// Sanitizer-affordable joint config: full 100 ft h1 resolution (the NMAC
+/// band must stay resolved), minimal rate axes, a coarse secondary.  The
+/// full-fidelity JointConfig::coarse() solve lives in the slow tier.
+acasx::JointConfig mini_joint_config() {
+  acasx::JointConfig c;
+  c.space.h_ft = UniformAxis(-800.0, 800.0, 17);
+  c.space.dh_own_fps = UniformAxis(-2500.0 / 60.0, 2500.0 / 60.0, 3);
+  c.space.dh_int_fps = UniformAxis(-2500.0 / 60.0, 2500.0 / 60.0, 3);
+  c.space.tau_max = 16;
+  c.secondary.h2_ft = UniformAxis(-600.0, 600.0, 7);
+  return c;
+}
+
 class MultiThreatWithTableTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     table_ = new std::shared_ptr<const acasx::LogicTable>(
         std::make_shared<const acasx::LogicTable>(
             acasx::solve_logic_table(acasx::AcasXuConfig::coarse())));
+    joint_ = new std::shared_ptr<const acasx::JointLogicTable>(
+        std::make_shared<const acasx::JointLogicTable>(
+            acasx::solve_joint_table(mini_joint_config())));
   }
   static void TearDownTestSuite() {
     delete table_;
+    delete joint_;
     table_ = nullptr;
+    joint_ = nullptr;
   }
   static CasFactory equipped() { return AcasXuCas::factory(*table_); }
+  static CasFactory joint_equipped() { return AcasXuCas::factory(*table_, {}, {}, {}, *joint_); }
   static std::shared_ptr<const acasx::LogicTable>* table_;
+  static std::shared_ptr<const acasx::JointLogicTable>* joint_;
 };
 
 std::shared_ptr<const acasx::LogicTable>* MultiThreatWithTableTest::table_ = nullptr;
+std::shared_ptr<const acasx::JointLogicTable>* MultiThreatWithTableTest::joint_ = nullptr;
 
 // ---------------------------------------------------------------------------
 // The headline: the converging-ring gap E11 exposed closes under kCostFused.
@@ -361,6 +388,177 @@ TEST(MultiThreatResolverTest, FallbackKeepsAdvisoryWhenBothSensesBlocked) {
   const CasDecision d = resolver.resolve(cas, own, threats, &stats);
   EXPECT_EQ(stats.vetoes, 0);
   EXPECT_EQ(d.sense, acasx::Sense::kClimb) << "most severe threat wins the squeeze";
+}
+
+// ---------------------------------------------------------------------------
+// ThreatPolicy::kJointTable: routing, fallbacks, and policy invariance.
+
+TEST_F(MultiThreatWithTableTest, JointPolicyK1IsBitIdenticalToNearest) {
+  // With a single threat the joint query never fires (it needs two gated
+  // threats) and the cycle reduces to the pairwise evaluation — the K=1
+  // acceptance contract: bit-identical outcomes to kNearest.
+  const scenarios::Scenario scenario = scenarios::head_on(1);
+  SimConfig config;
+  config.threat_policy = ThreatPolicy::kNearest;
+  const SimResult nearest =
+      scenarios::run_scenario(scenario, config, joint_equipped(), joint_equipped(), 9);
+  config.threat_policy = ThreatPolicy::kJointTable;
+  const SimResult joint =
+      scenarios::run_scenario(scenario, config, joint_equipped(), joint_equipped(), 9);
+
+  EXPECT_EQ(nearest.proximity.min_distance_m, joint.proximity.min_distance_m);
+  EXPECT_EQ(nearest.own.alert_cycles, joint.own.alert_cycles);
+  EXPECT_EQ(nearest.own.first_alert_time_s, joint.own.first_alert_time_s);
+  EXPECT_EQ(nearest.own.reversals, joint.own.reversals);
+  EXPECT_EQ(joint.own.resolver.joint_cycles, 0) << "one threat never reaches the joint table";
+}
+
+TEST_F(MultiThreatWithTableTest, JointPolicyWithoutJointTableMatchesCostFused) {
+  // A CAS that carries no joint table declines every joint query, so the
+  // kJointTable policy must reproduce kCostFused exactly.
+  const scenarios::Scenario scenario = scenarios::converging_ring(4);
+  SimConfig config;
+  config.threat_policy = ThreatPolicy::kCostFused;
+  const SimResult fused = scenarios::run_scenario(scenario, config, equipped(), equipped(), 7);
+  config.threat_policy = ThreatPolicy::kJointTable;
+  const SimResult joint = scenarios::run_scenario(scenario, config, equipped(), equipped(), 7);
+
+  EXPECT_EQ(fused.proximity.min_distance_m, joint.proximity.min_distance_m);
+  EXPECT_EQ(fused.own.alert_cycles, joint.own.alert_cycles);
+  EXPECT_EQ(fused.own.resolver.fused_cycles, joint.own.resolver.fused_cycles);
+  EXPECT_EQ(joint.own.resolver.joint_cycles, 0);
+}
+
+TEST_F(MultiThreatWithTableTest, JointPolicyArbitratesTheRingThroughTheJointTable) {
+  const scenarios::Scenario scenario = scenarios::converging_ring(4);
+  SimConfig config;
+  config.threat_policy = ThreatPolicy::kJointTable;
+  const SimResult r =
+      scenarios::run_scenario(scenario, config, joint_equipped(), joint_equipped(), 3);
+  const ResolverStats& stats = r.own.resolver;
+  EXPECT_GT(stats.joint_cycles, 0) << "the simultaneous ring must reach the joint table";
+  EXPECT_EQ(stats.fused_cycles + stats.joint_cycles + stats.fallback_cycles, stats.cycles);
+}
+
+TEST_F(MultiThreatWithTableTest, DivergingSecondaryFallsBackToPairwiseAdvisory) {
+  // The marginalization contract at the resolver level: when the second
+  // threat is not converging (tau = inf, kept by the range arm of the
+  // gate), the joint query deactivates and the cycle must fly exactly the
+  // pairwise advisory against the primary.
+  MultiThreatResolver resolver;
+  const acasx::AircraftTrack own = track_at(0, 0, 1000, 30, 0, 0);
+  std::vector<ThreatObservation> threats;
+  // Primary: converging head-on slightly above.  Secondary: close but
+  // flying away (range-gated in, tau = inf).
+  threats.push_back(threat_at(1, track_at(600, 0, 1012, -30, 0, 0), own));
+  threats.push_back(threat_at(2, track_at(400, 150, 980, 35, 0, 0), own));
+  resolver.gate_and_sort(own, &threats);
+  ASSERT_EQ(threats.size(), 2U);
+  ASSERT_EQ(threats[0].aircraft_id, 1);
+  ASSERT_FALSE(threats[1].converging);
+
+  AcasXuCas with_joint(*table_, {}, {}, {}, *joint_);
+  ResolverStats stats;
+  const CasDecision resolved =
+      resolver.resolve(with_joint, own, threats, &stats, ThreatPolicy::kJointTable);
+  EXPECT_EQ(stats.joint_cycles, 0);
+  EXPECT_EQ(stats.fused_cycles, 1);
+
+  AcasXuCas pairwise_only(*table_);
+  const CasDecision pairwise =
+      pairwise_only.decide(own, threats[0].track, acasx::Sense::kNone);
+  EXPECT_EQ(resolved.label, pairwise.label);
+  EXPECT_EQ(resolved.sense, pairwise.sense);
+  EXPECT_EQ(resolved.maneuver, pairwise.maneuver);
+}
+
+/// FakeCostCas plus a deterministic joint answer: the joint vote depends
+/// only on the (unordered) pair of threat ids, so resolver-level results
+/// must be pure functions of the threat set under kJointTable too.
+class FakeJointCas final : public CollisionAvoidanceSystem {
+ public:
+  CasDecision decide(const acasx::AircraftTrack&, const acasx::AircraftTrack&,
+                     acasx::Sense) override {
+    return {};
+  }
+  void reset() override {}
+  std::string name() const override { return "fake-joint"; }
+
+  bool evaluate_costs(const acasx::AircraftTrack&, const ThreatObservation& threat,
+                      ThreatCosts* out) override {
+    out->active = true;
+    for (std::size_t a = 0; a < acasx::kNumAdvisories; ++a) {
+      out->costs[a] =
+          static_cast<double>(((threat.aircraft_id * 7 + static_cast<int>(a) * 13) % 5));
+    }
+    return true;
+  }
+  bool evaluate_joint_costs(const acasx::AircraftTrack&, const ThreatObservation& primary,
+                            const ThreatObservation& secondary, ThreatCosts* out) override {
+    joint_queries.push_back({primary.aircraft_id, secondary.aircraft_id});
+    out->active = true;
+    const int key = primary.aircraft_id * secondary.aircraft_id;
+    for (std::size_t a = 0; a < acasx::kNumAdvisories; ++a) {
+      out->costs[a] = static_cast<double>((key * 3 + static_cast<int>(a) * 11) % 7);
+    }
+    return true;
+  }
+  CasDecision commit_fused(const acasx::AircraftTrack&, const ThreatObservation&,
+                           acasx::Advisory fused) override {
+    committed = fused;
+    CasDecision d;
+    d.label = acasx::advisory_name(fused);
+    d.sense = acasx::sense_of(fused);
+    d.maneuver = fused != acasx::Advisory::kCoc;
+    return d;
+  }
+
+  acasx::Advisory committed = acasx::Advisory::kCoc;
+  std::vector<std::pair<int, int>> joint_queries;
+};
+
+TEST(MultiThreatResolverTest, JointSelectionInvariantUnderPermutation) {
+  MultiThreatResolver resolver;
+  std::mt19937 rng(4242);
+  std::uniform_real_distribution<double> pos(-4000.0, 4000.0);
+  std::uniform_real_distribution<double> alt(-150.0, 150.0);
+  std::uniform_real_distribution<double> vel(-60.0, 60.0);
+  std::uniform_int_distribution<int> count(2, 6);
+
+  int joint_rounds = 0;
+  for (int round = 0; round < 200; ++round) {
+    const acasx::AircraftTrack own = track_at(0, 0, 1000, 40, 0, 0);
+    std::vector<ThreatObservation> threats;
+    const int k = count(rng);
+    for (int id = 1; id <= k; ++id) {
+      threats.push_back(threat_at(
+          id, track_at(pos(rng), pos(rng), 1000.0 + alt(rng), vel(rng), vel(rng), 0), own));
+    }
+    std::vector<ThreatObservation> shuffled = threats;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+
+    resolver.gate_and_sort(own, &threats);
+    resolver.gate_and_sort(own, &shuffled);
+    if (threats.empty()) continue;
+
+    FakeJointCas a;
+    FakeJointCas b;
+    ResolverStats stats_a;
+    ResolverStats stats_b;
+    resolver.resolve(a, own, threats, &stats_a, ThreatPolicy::kJointTable);
+    resolver.resolve(b, own, shuffled, &stats_b, ThreatPolicy::kJointTable);
+    EXPECT_EQ(a.committed, b.committed) << "round " << round;
+    EXPECT_EQ(a.joint_queries, b.joint_queries) << "round " << round;
+    EXPECT_EQ(stats_a.joint_cycles, stats_b.joint_cycles);
+    EXPECT_EQ(stats_a.vetoes, stats_b.vetoes);
+    if (stats_a.joint_cycles > 0) {
+      ++joint_rounds;
+      // The joint query targets the two most severe gated threats.
+      EXPECT_EQ(a.joint_queries.front().first, threats[0].aircraft_id);
+      EXPECT_EQ(a.joint_queries.front().second, threats[1].aircraft_id);
+    }
+  }
+  EXPECT_GT(joint_rounds, 20) << "the fuzz actually exercised the joint path";
 }
 
 TEST(MultiThreatResolverTest, FallbackRespectsForbiddenSenseOnFlip) {

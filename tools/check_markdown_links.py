@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in the repo's markdown files.
+
+Scans every tracked *.md file (or an explicit list) for inline markdown
+links and images, `[text](target)`, and checks that relative targets exist
+on disk.  The docs sweep (docs/ARCHITECTURE.md, docs/REPRODUCING.md,
+README.md) cross-references source files and each other heavily; this
+keeps a rename or file move from silently stranding them.
+
+Checked:   relative file links, with or without an anchor ("docs/X.md",
+           "src/sim/cas.h", "ARCHITECTURE.md#layer-map").  Anchors are
+           validated against the target's headings when the target is a
+           markdown file.
+Ignored:   absolute URLs (http/https/mailto), pure in-page anchors
+           ("#section"), and badge-style links into CI infrastructure
+           ("../../actions/...", which only resolve on the hosting site).
+
+Usage:
+    check_markdown_links.py [--root REPO_ROOT] [files...]
+Exit code 1 when any link is broken.
+"""
+import argparse
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def strip_code_fences(text: str) -> str:
+    """Drop fenced code blocks so '# comment' lines don't register as headings."""
+    kept, in_fence = [], False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.lstrip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            kept.append(line)
+    return "\n".join(kept)
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, punctuation dropped."""
+    anchor = heading.strip().lower()
+    anchor = re.sub(r"[^\w\- ]", "", anchor)
+    return anchor.replace(" ", "-")
+
+
+def anchors_in(md_path: pathlib.Path) -> set:
+    try:
+        text = md_path.read_text(encoding="utf-8")
+    except OSError:
+        return set()
+    # GitHub suffixes repeated headings '-1', '-2', ... in document order.
+    anchors, seen = set(), {}
+    for line in strip_code_fences(text).splitlines():
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        base = anchor_of(match.group(1))
+        count = seen.get(base, 0)
+        seen[base] = count + 1
+        anchors.add(base if count == 0 else f"{base}-{count}")
+    return anchors
+
+
+def check_file(md_path: pathlib.Path, root: pathlib.Path) -> list:
+    errors = []
+    text = strip_code_fences(md_path.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):  # in-page anchor; heading check below
+            if anchor_of(target[1:]) not in anchors_in(md_path):
+                errors.append(f"{md_path}: broken in-page anchor '{target}'")
+            continue
+        if target.startswith("../../actions/"):  # CI badge, resolves on the host only
+            continue
+        path_part, _, anchor = target.partition("#")
+        resolved = (md_path.parent / path_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{md_path}: broken link '{target}' "
+                          f"(no such file: {resolved.relative_to(root) if resolved.is_relative_to(root) else resolved})")
+            continue
+        if anchor and resolved.suffix == ".md" and anchor not in anchors_in(resolved):
+            errors.append(f"{md_path}: broken anchor '{target}' "
+                          f"(no heading '#{anchor}' in {path_part})")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent)
+    parser.add_argument("files", nargs="*", type=pathlib.Path,
+                        help="markdown files to check (default: every *.md under --root)")
+    args = parser.parse_args()
+
+    root = args.root.resolve()
+    files = args.files or sorted(
+        p for p in root.rglob("*.md")
+        if not any(part.startswith((".", "build")) for part in p.relative_to(root).parts))
+
+    errors = []
+    for md in files:
+        errors.extend(check_file(md.resolve(), root))
+
+    print(f"checked {len(files)} markdown files")
+    if errors:
+        print("\nbroken links:", file=sys.stderr)
+        for e in errors:
+            print(f"  - {e}", file=sys.stderr)
+        return 1
+    print("all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
