@@ -7,6 +7,21 @@
 #include "util/rng.h"
 
 namespace cav::core {
+namespace {
+
+/// Equipage draw for one intruder slot of one fitness run: a dedicated
+/// stream per (run_seed, intruder index) — run_seed already mixes
+/// (config.seed, stream_id, run_index) — so no other draw shifts and the
+/// boundary fractions never draw (1.0 is the pre-fault path).
+bool fitness_intruder_equipped(const FitnessConfig& config, std::uint64_t run_seed,
+                               std::size_t intruder_index) {
+  if (config.equipage_fraction >= 1.0) return true;
+  if (config.equipage_fraction <= 0.0) return false;
+  RngStream rng = RngStream::derive(run_seed, "fit-equipage", intruder_index);
+  return rng.chance(config.equipage_fraction);
+}
+
+}  // namespace
 
 EncounterEvaluator::EncounterEvaluator(FitnessConfig config, sim::CasFactory own_cas,
                                        sim::CasFactory intruder_cas)
@@ -25,15 +40,20 @@ sim::SimResult EncounterEvaluator::run_once(const encounter::EncounterParams& pa
   sim_config.max_time_s = params.t_cpa_s + config_.sim_time_margin_s;
   sim_config.record_trajectory = record_trajectory;
 
+  const std::uint64_t run_seed =
+      mix64(config_.seed ^ mix64(stream_id * 0x9e3779b97f4a7c15ULL + run_index));
+
   sim::AgentSetup own;
   own.initial_state = init.own;
   if (own_cas_) own.cas = own_cas_();
+  if (config_.own_fault.has_value()) own.fault = config_.own_fault;
   sim::AgentSetup intruder;
   intruder.initial_state = init.intruder;
-  if (intruder_cas_) intruder.cas = intruder_cas_();
+  if (intruder_cas_ && fitness_intruder_equipped(config_, run_seed, 0)) {
+    intruder.cas = intruder_cas_();
+  }
+  if (config_.intruder_fault.has_value()) intruder.fault = config_.intruder_fault;
 
-  const std::uint64_t run_seed =
-      mix64(config_.seed ^ mix64(stream_id * 0x9e3779b97f4a7c15ULL + run_index));
   return sim::run_encounter(sim_config, std::move(own), std::move(intruder), run_seed);
 }
 
@@ -81,15 +101,21 @@ sim::SimResult MultiEncounterEvaluator::run_once(const encounter::MultiEncounter
   sim_config.max_time_s = params.max_t_cpa_s() + config_.sim_time_margin_s;
   sim_config.record_trajectory = record_trajectory;
 
-  std::vector<sim::AgentSetup> agents(states.size());
-  for (std::size_t i = 0; i < states.size(); ++i) {
-    agents[i].initial_state = states[i];
-    const sim::CasFactory& factory = (i == 0) ? own_cas_ : intruder_cas_;
-    if (factory) agents[i].cas = factory();
-  }
-
   const std::uint64_t run_seed =
       mix64(config_.seed ^ mix64(stream_id * 0x9e3779b97f4a7c15ULL + run_index));
+
+  std::vector<sim::AgentSetup> agents(states.size());
+  agents[0].initial_state = states[0];
+  if (own_cas_) agents[0].cas = own_cas_();
+  if (config_.own_fault.has_value()) agents[0].fault = config_.own_fault;
+  for (std::size_t i = 1; i < states.size(); ++i) {
+    agents[i].initial_state = states[i];
+    if (intruder_cas_ && fitness_intruder_equipped(config_, run_seed, i - 1)) {
+      agents[i].cas = intruder_cas_();
+    }
+    if (config_.intruder_fault.has_value()) agents[i].fault = config_.intruder_fault;
+  }
+
   return sim::run_multi_encounter(sim_config, std::move(agents), run_seed);
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "encounter/encounter.h"
 #include "encounter/multi_encounter.h"
@@ -25,10 +26,22 @@ struct FitnessConfig {
   /// max_time_s is overridden per encounter.  Set sim.threat_policy to
   /// kCostFused (or kJointTable, with joint-table-equipped CAS factories)
   /// to point the GA search at a multi-threat arbitration policy — the
-  /// evaluators pass this config through to every simulation.
+  /// evaluators pass this config through to every simulation.  sim.fault
+  /// and sim.coordination inject degraded-mode conditions, so the GA can
+  /// breed worst cases against a policy under bursty comms or sensor
+  /// outages (see also search_degraded_multi_scenarios, which puts the
+  /// fault knobs themselves on the genome).
   sim::SimConfig sim;
   double sim_time_margin_s = 45.0;       ///< simulate until t_cpa + margin
   std::uint64_t seed = 1234;             ///< master seed for all runs
+
+  /// Mixed-fleet knobs, mirroring MonteCarloConfig: per-agent fault
+  /// profiles override sim.fault when set; equipage_fraction < 1 leaves
+  /// some intruders without the intruder CAS (the draw is deterministic
+  /// in (seed, stream_id, run, intruder), so fitness stays reproducible).
+  std::optional<sim::FaultProfile> own_fault;
+  std::optional<sim::FaultProfile> intruder_fault;
+  double equipage_fraction = 1.0;
 };
 
 /// Everything a fitness evaluation learns about one encounter.

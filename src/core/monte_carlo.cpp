@@ -2,15 +2,51 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "encounter/encounter.h"
 #include "encounter/multi_encounter.h"
+#include "sim/faults.h"
 #include "sim/simulation.h"
 #include "util/expect.h"
 #include "util/rng.h"
 
 namespace cav::core {
+namespace {
+
+/// Deterministic equipage draw for intruder k of encounter i: a dedicated
+/// stream per (seed, i, k), so the pattern is identical across policies,
+/// thread counts, and K growth, and no other draw shifts.  The boundary
+/// fractions never draw — 1.0 is the pre-fault equip-everyone path.
+bool intruder_equipped(const MonteCarloConfig& config, std::size_t encounter_index,
+                       std::size_t intruder_index) {
+  if (config.equipage_fraction >= 1.0) return true;
+  if (config.equipage_fraction <= 0.0) return false;
+  RngStream rng = RngStream::derive(config.seed, "mc-equipage", encounter_index, intruder_index);
+  return rng.chance(config.equipage_fraction);
+}
+
+/// Equip one intruder slot: the intruder CAS when the equipage draw says
+/// so, otherwise the configured unequipped behavior (passive, or the
+/// scripted adversary that maneuvers toward the own-ship around its CPA).
+void equip_intruder(const MonteCarloConfig& config, std::size_t encounter_index,
+                    std::size_t intruder_index, double t_cpa_s,
+                    const sim::CasFactory& intruder_cas, sim::AgentSetup* setup) {
+  if (intruder_equipped(config, encounter_index, intruder_index)) {
+    if (intruder_cas) setup->cas = intruder_cas();
+  } else if (config.unequipped_behavior == UnequippedBehavior::kManeuverAtCpa) {
+    sim::ScriptedManeuverConfig script;
+    script.start_s = std::max(0.0, t_cpa_s - 10.0);
+    script.duration_s = 20.0;
+    script.decision_period_s = config.sim.decision_period_s;
+    setup->cas = std::make_unique<sim::ScriptedManeuverCas>(script);
+    setup->count_alerts = false;  // attacks are not avoidance alerts
+  }
+  if (config.intruder_fault.has_value()) setup->fault = config.intruder_fault;
+}
+
+}  // namespace
 
 SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
                            const MonteCarloConfig& config, const std::string& system_name,
@@ -54,9 +90,10 @@ SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
     sim::AgentSetup own;
     own.initial_state = init.own;
     if (own_cas) own.cas = own_cas();
+    if (config.own_fault.has_value()) own.fault = config.own_fault;
     sim::AgentSetup intruder;
     intruder.initial_state = init.intruder;
-    if (intruder_cas) intruder.cas = intruder_cas();
+    equip_intruder(config, i, /*intruder_index=*/0, params.t_cpa_s, intruder_cas, &intruder);
 
     const std::uint64_t sim_seed = mix64(config.seed ^ mix64(kMcTag ^ i));
     const sim::SimResult result =
@@ -78,10 +115,13 @@ SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
     sim_config.max_time_s = params.max_t_cpa_s() + config.sim_time_margin_s;
 
     std::vector<sim::AgentSetup> agents(states.size());
-    for (std::size_t a = 0; a < states.size(); ++a) {
+    agents[0].initial_state = states[0];
+    if (own_cas) agents[0].cas = own_cas();
+    if (config.own_fault.has_value()) agents[0].fault = config.own_fault;
+    for (std::size_t a = 1; a < states.size(); ++a) {
       agents[a].initial_state = states[a];
-      const sim::CasFactory& factory = (a == 0) ? own_cas : intruder_cas;
-      if (factory) agents[a].cas = factory();
+      equip_intruder(config, i, a - 1, params.intruders[a - 1].t_cpa_s, intruder_cas,
+                     &agents[a]);
     }
 
     const std::uint64_t sim_seed = mix64(config.seed ^ mix64(kMcTag ^ i));

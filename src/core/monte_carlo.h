@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,13 @@
 #include "util/thread_pool.h"
 
 namespace cav::core {
+
+/// What an unequipped intruder does with itself (mixed-equipage sweeps).
+enum class UnequippedBehavior {
+  kPassive,        ///< flies its flight plan (the classic unequipped aircraft)
+  kManeuverAtCpa,  ///< adversarial: maneuvers toward the own-ship's altitude
+                   ///< in a window around its own CPA time (faults.h)
+};
 
 struct MonteCarloConfig {
   std::size_t encounters = 2000;   ///< sampled encounter geometries (>= 1)
@@ -31,10 +39,26 @@ struct MonteCarloConfig {
   /// arbitration over every gated threat), or kJointTable (the two most
   /// severe threats priced by the joint-threat table — the CAS factories
   /// must then carry an acasx::JointLogicTable) — the E12 density sweep
-  /// compares all three under identical traffic.
+  /// compares all three under identical traffic.  sim.fault injects the
+  /// fleet-wide fault profile; sim.coordination carries the loss model.
   sim::SimConfig sim;
   double sim_time_margin_s = 45.0;
   std::uint64_t seed = 99;
+
+  // --- Mixed fleets (E14 degraded-mode axes) -------------------------
+  /// Fraction of intruders carrying the intruder CAS.  Each intruder k of
+  /// encounter i draws equipped/unequipped from a dedicated stream
+  /// deterministic in (seed, i, k), so the equipage pattern is paired
+  /// across policies and thread counts and does not perturb any other
+  /// draw.  1.0 (default) equips everyone without drawing — the pre-fault
+  /// path, bit-identical.
+  double equipage_fraction = 1.0;
+  UnequippedBehavior unequipped_behavior = UnequippedBehavior::kPassive;
+  /// Per-agent fault profiles: when set, override sim.fault for the
+  /// own-ship / every intruder respectively (degraded own receiver vs
+  /// degraded traffic, asymmetric comms, ...).
+  std::optional<sim::FaultProfile> own_fault;
+  std::optional<sim::FaultProfile> intruder_fault;
 };
 
 /// Rates for one system configuration under the common traffic model.
@@ -55,10 +79,14 @@ struct SystemRates {
   Interval alert_ci() const { return wilson_interval(alerts, encounters); }
 };
 
-/// Estimate rates for one equipage (the same factory equips both aircraft;
-/// pass nullptr factories for unequipped flight).  Encounter geometries and
-/// disturbance seeds depend only on (config.seed, encounter index), so
-/// different systems face exactly the same traffic — paired comparison.
+/// Estimate rates for one equipage.  `own_cas` equips the own-ship and
+/// `intruder_cas` each intruder that the equipage draw (see
+/// MonteCarloConfig::equipage_fraction) selects; unequipped intruders fly
+/// per `unequipped_behavior`; pass nullptr factories for unequipped
+/// flight.  Encounter geometries, disturbance seeds, equipage draws, and
+/// fault draws depend only on (config.seed, encounter index, agent
+/// index), so different systems face exactly the same traffic — paired
+/// comparison.
 SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
                            const MonteCarloConfig& config, const std::string& system_name,
                            const sim::CasFactory& own_cas, const sim::CasFactory& intruder_cas,

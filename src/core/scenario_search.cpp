@@ -181,6 +181,102 @@ ScenarioSearchResult random_search_scenarios(const ScenarioSearchConfig& config,
   return result;
 }
 
+void DegradedConditions::apply(sim::SimConfig* sim) const {
+  sim->coordination.message_loss_prob = message_loss_prob;
+  sim->coordination.burst_enter_prob = burst_enter_prob;
+  if (blackout_duration_s > 0.0) {
+    sim->fault.comms_blackouts.push_back(
+        {blackout_start_s, blackout_start_s + blackout_duration_s});
+  }
+  sim->fault.adsb_dropout_burst_prob = adsb_dropout_burst_prob;
+  if (adsb_dropout_burst_prob > 0.0) {
+    sim->fault.adsb_burst_continue_prob = kBurstContinueProb;
+  }
+}
+
+std::vector<double> DegradedConditions::to_vector() const {
+  return {message_loss_prob, burst_enter_prob, blackout_start_s, blackout_duration_s,
+          adsb_dropout_burst_prob};
+}
+
+DegradedConditions DegradedConditions::from_genome_tail(const std::vector<double>& genome) {
+  expect(genome.size() >= kNumGenes, "degraded genome carries the fault genes");
+  const std::size_t base = genome.size() - kNumGenes;
+  DegradedConditions c;
+  c.message_loss_prob = genome[base + 0];
+  c.burst_enter_prob = genome[base + 1];
+  c.blackout_start_s = genome[base + 2];
+  c.blackout_duration_s = genome[base + 3];
+  c.adsb_dropout_burst_prob = genome[base + 4];
+  return c;
+}
+
+ga::GenomeSpec make_degraded_genome_spec(const encounter::ParamRanges& ranges,
+                                         std::size_t intruders,
+                                         const DegradedGeneRanges& fault_ranges) {
+  std::vector<double> lo;
+  std::vector<double> hi;
+  encounter::multi_param_bounds(ranges, intruders, &lo, &hi);
+  std::vector<ga::GeneBounds> bounds(lo.size() + DegradedConditions::kNumGenes);
+  for (std::size_t i = 0; i < lo.size(); ++i) bounds[i] = {lo[i], hi[i]};
+  bounds[lo.size() + 0] = {0.0, fault_ranges.message_loss_hi};
+  bounds[lo.size() + 1] = {0.0, fault_ranges.burst_enter_hi};
+  bounds[lo.size() + 2] = {0.0, fault_ranges.blackout_start_hi};
+  bounds[lo.size() + 3] = {0.0, fault_ranges.blackout_duration_hi};
+  bounds[lo.size() + 4] = {0.0, fault_ranges.dropout_burst_hi};
+  return ga::GenomeSpec(std::move(bounds));
+}
+
+DegradedSearchResult search_degraded_multi_scenarios(
+    const MultiScenarioSearchConfig& config, const DegradedGeneRanges& fault_ranges,
+    const sim::CasFactory& own_cas, const sim::CasFactory& intruder_cas, ThreadPool* pool,
+    const ga::GenerationCallback& on_generation) {
+  expect_valid_ga(config.ga);
+  expect(config.intruders >= 1, "intruders >= 1");
+  const auto t0 = std::chrono::steady_clock::now();
+  const ga::GenomeSpec spec =
+      make_degraded_genome_spec(config.ranges, config.intruders, fault_ranges);
+
+  const std::size_t geometry_genes = spec.size() - DegradedConditions::kNumGenes;
+
+  // The fault genes change the SimConfig, which is baked into the
+  // evaluator, so each evaluation builds a fresh evaluator around the
+  // decoded conditions (construction is two std::function copies and a
+  // config copy — noise next to the 100 simulations it then runs).
+  const auto evaluate_genome = [&](const ga::Genome& genome, std::uint64_t stream_id) {
+    const std::vector<double> geometry(genome.begin(),
+                                       genome.begin() + static_cast<long>(geometry_genes));
+    const auto params = encounter::MultiEncounterParams::from_vector(geometry);
+    const DegradedConditions conditions = DegradedConditions::from_genome_tail(genome);
+    FitnessConfig fitness_config = config.fitness;
+    conditions.apply(&fitness_config.sim);
+    const MultiEncounterEvaluator evaluator(fitness_config, own_cas, intruder_cas);
+    return evaluator.evaluate(params, stream_id);
+  };
+
+  const ga::FitnessFunction fitness = [&](const ga::Genome& genome, std::uint64_t eval_index) {
+    return evaluate_genome(genome, eval_index).fitness;
+  };
+
+  DegradedSearchResult result;
+  result.ga = ga::run_ga(spec, fitness, config.ga, pool, on_generation);
+  result.top = collect_top_genomes<FoundDegradedScenario>(
+      result.ga, spec, config.keep_top, [&](const ga::Individual& ind) {
+        FoundDegradedScenario found;
+        const std::vector<double> geometry(
+            ind.genome.begin(), ind.genome.begin() + static_cast<long>(geometry_genes));
+        found.params = encounter::MultiEncounterParams::from_vector(geometry);
+        found.faults = DegradedConditions::from_genome_tail(ind.genome);
+        found.fitness = ind.fitness;
+        found.detail = evaluate_genome(ind.genome, kReportStreamId);
+        return found;
+      });
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
 MultiScenarioSearchResult search_challenging_multi_scenarios(
     const MultiScenarioSearchConfig& config, const sim::CasFactory& own_cas,
     const sim::CasFactory& intruder_cas, ThreadPool* pool,

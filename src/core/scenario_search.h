@@ -96,4 +96,79 @@ MultiScenarioSearchResult search_challenging_multi_scenarios(
     const sim::CasFactory& intruder_cas, ThreadPool* pool = nullptr,
     const ga::GenerationCallback& on_generation = {});
 
+// --- Degraded-mode attack campaign (E14) -----------------------------
+//
+// The paper's claim is that search finds the weaknesses offline
+// optimization hides; the degraded search extends the genome with FAULT
+// GENES so the GA breeds the *conditions* along with the geometry: it can
+// discover that a geometry is only deadly when the coordination link
+// bursts at the wrong moment, or that a blackout window aligned with CPA
+// defeats the joint table.  The benign corner (all fault genes 0) is
+// inside the search space, so any degradation in a found scenario is
+// something the GA chose because it paid off in fitness.
+
+/// The degraded-mode conditions carried on the genome (kNumGenes genes,
+/// appended after the (2 + 7K) geometry genes in to_vector order).
+struct DegradedConditions {
+  double message_loss_prob = 0.0;     ///< uniform per-link coordination loss
+  double burst_enter_prob = 0.0;      ///< Gilbert–Elliott GOOD -> BAD rate
+  double blackout_start_s = 0.0;      ///< fleet-wide comms blackout window
+  double blackout_duration_s = 0.0;   ///< 0 = no blackout
+  double adsb_dropout_burst_prob = 0.0;  ///< ADS-B outage-burst start rate
+
+  static constexpr std::size_t kNumGenes = 5;
+  /// Continuation probability of ADS-B dropout bursts (fixed, not a gene:
+  /// mean burst length 2.5 cycles).
+  static constexpr double kBurstContinueProb = 0.6;
+
+  /// Write these conditions into a SimConfig (coordination loss model +
+  /// fleet-wide fault profile).
+  void apply(sim::SimConfig* sim) const;
+
+  std::vector<double> to_vector() const;
+  /// Decode from the last kNumGenes entries of a degraded genome.
+  static DegradedConditions from_genome_tail(const std::vector<double>& genome);
+};
+
+/// Upper bounds of the fault genes (lower bounds are all 0 — the benign
+/// corner stays in the space).
+struct DegradedGeneRanges {
+  double message_loss_hi = 0.75;
+  double burst_enter_hi = 0.4;
+  double blackout_start_hi = 60.0;
+  double blackout_duration_hi = 40.0;
+  double dropout_burst_hi = 0.4;
+};
+
+struct FoundDegradedScenario {
+  encounter::MultiEncounterParams params;
+  DegradedConditions faults;
+  double fitness = 0.0;
+  MultiEncounterEvaluation detail;  ///< re-evaluation with a fixed stream
+};
+
+struct DegradedSearchResult {
+  ga::SearchResult ga;
+  std::vector<FoundDegradedScenario> top;  ///< descending fitness, deduplicated
+  double wall_seconds = 0.0;
+
+  double best_fitness() const { return ga.best.fitness; }
+};
+
+/// Genome spec of the degraded search: the multi-intruder geometry genes
+/// plus the kNumGenes fault genes.
+ga::GenomeSpec make_degraded_genome_spec(const encounter::ParamRanges& ranges,
+                                         std::size_t intruders,
+                                         const DegradedGeneRanges& fault_ranges);
+
+/// GA attack over (geometry x degraded conditions).  config.fitness.sim
+/// supplies the baseline the fault genes are applied on top of (threat
+/// policy, equipage fractions, per-agent profiles) — point
+/// config.fitness.sim.threat_policy at kJointTable to attack the joint
+/// table under degraded comms.
+DegradedSearchResult search_degraded_multi_scenarios(
+    const MultiScenarioSearchConfig& config, const DegradedGeneRanges& fault_ranges,
+    const sim::CasFactory& own_cas, const sim::CasFactory& intruder_cas,
+    ThreadPool* pool = nullptr, const ga::GenerationCallback& on_generation = {});
+
 }  // namespace cav::core

@@ -1,7 +1,11 @@
 #include "scenarios/scenario_library.h"
 
+#include <algorithm>
+#include <memory>
+
 #include "util/angles.h"
 #include "util/expect.h"
+#include "util/rng.h"
 
 namespace cav::scenarios {
 namespace {
@@ -118,15 +122,136 @@ Scenario make_scenario(std::string_view name, std::size_t intruders, std::uint64
 sim::SimResult run_scenario(const Scenario& scenario, sim::SimConfig config,
                             const sim::CasFactory& own_cas, const sim::CasFactory& intruder_cas,
                             std::uint64_t seed) {
+  return run_scenario(scenario, std::move(config), own_cas, intruder_cas, seed,
+                      ScenarioEquipage{});
+}
+
+sim::SimResult run_scenario(const Scenario& scenario, sim::SimConfig config,
+                            const sim::CasFactory& own_cas, const sim::CasFactory& intruder_cas,
+                            std::uint64_t seed, const ScenarioEquipage& equipage) {
   const std::vector<sim::UavState> states = scenario.initial_states();
   std::vector<sim::AgentSetup> agents(states.size());
   for (std::size_t i = 0; i < states.size(); ++i) {
     agents[i].initial_state = states[i];
-    const sim::CasFactory& factory = (i == 0) ? own_cas : intruder_cas;
-    if (factory) agents[i].cas = factory();
+    if (i == 0) {
+      if (own_cas) agents[i].cas = own_cas();
+      if (equipage.own_fault.has_value()) agents[i].fault = equipage.own_fault;
+      continue;
+    }
+    // Equipage draw from a dedicated (seed, slot) stream: the boundary
+    // fractions never draw, and the simulation's own streams are untouched
+    // either way, so the fully-equipped default stays bit-identical to the
+    // historical path.
+    bool equipped = true;
+    if (equipage.equipage_fraction <= 0.0) {
+      equipped = false;
+    } else if (equipage.equipage_fraction < 1.0) {
+      RngStream rng = RngStream::derive(seed, "scn-equipage", i - 1);
+      equipped = rng.chance(equipage.equipage_fraction);
+    }
+    if (equipped) {
+      if (intruder_cas) agents[i].cas = intruder_cas();
+    } else if (equipage.adversarial_unequipped) {
+      sim::ScriptedManeuverConfig maneuver;
+      maneuver.start_s = std::max(0.0, scenario.params.intruders[i - 1].t_cpa_s - 10.0);
+      maneuver.duration_s = 20.0;
+      maneuver.decision_period_s = config.decision_period_s;
+      agents[i].cas = std::make_unique<sim::ScriptedManeuverCas>(maneuver);
+      agents[i].count_alerts = false;
+    }
+    if (equipage.intruder_fault.has_value()) agents[i].fault = equipage.intruder_fault;
   }
   config.max_time_s = scenario.suggested_time_s();
   return sim::run_multi_encounter(config, std::move(agents), seed);
+}
+
+namespace {
+
+/// Rebuild a GA-found geometry from its gene vector (to_vector order:
+/// 2 own genes then 7 per intruder), exactly as the campaign logged it.
+Scenario degraded_geometry(std::string name, const std::vector<double>& genes) {
+  Scenario s;
+  s.name = std::move(name);
+  s.params = encounter::MultiEncounterParams::from_vector(genes);
+  return s;
+}
+
+}  // namespace
+
+DegradedScenario ga_blackout_pincer() {
+  DegradedScenario d;
+  // Frozen from search_degraded_multi_scenarios (K=2, kJointTable own-ship,
+  // GA seed 606): a slow own-ship pinched between a fast crosser (CPA 33 s)
+  // and a slow close-aboard threat (CPA 29 s), with a 21.5 s comms blackout
+  // covering both resolution windows on top of heavy link loss, bursts, and
+  // ADS-B dropout.  At the pinned seed the degraded run is an own-NMAC
+  // under all three threat policies while the fault-free control resolves
+  // cleanly under the joint table — the degradation, not the geometry, is
+  // what defeats the strongest policy (asserted in test_scenarios.cpp).
+  d.scenario = degraded_geometry(
+      "ga-blackout-pincer",
+      {/*gs_own*/ 22.467, /*vs_own*/ -3.521,
+       /*intruder 1 (T R theta Y Gs course Vs)*/
+       32.868, 94.365, 2.195, -52.446, 53.142, 1.253, 3.535,
+       /*intruder 2*/ 28.968, 23.985, -1.298, 7.610, 19.558, -0.080, 4.836});
+  d.coordination.message_loss_prob = 0.57;
+  d.coordination.burst_enter_prob = 0.15;
+  d.fault.comms_blackouts.push_back({/*start_s=*/14.8, /*end_s=*/14.8 + 21.5});
+  d.fault.adsb_dropout_burst_prob = 0.25;
+  d.fault.adsb_burst_continue_prob = 0.6;  // DegradedConditions::kBurstContinueProb
+  d.seed = 1;
+  return d;
+}
+
+DegradedScenario ga_burst_stale_overtake() {
+  DegradedScenario d;
+  // Frozen from the same campaign (GA seed 707): a very slow own-ship
+  // overtaken from astern by a slightly-faster co-course threat (CPA 38 s)
+  // while a fast crosser converges (CPA 44 s), under the heaviest ADS-B
+  // dropout the gene range allows (bursts cover ~half the cycles) plus
+  // bursty link loss and a short late blackout.  Of all campaign findings
+  // this one's outcome depends most on
+  // the faults: fault-free it is a 2/10-seed NMAC geometry under the joint
+  // table, degraded it is 6/10.  The 8 s staleness horizon is added on top
+  // of the found conditions so the fixture also exercises the coast-limit
+  // path — the GA had no horizon gene.
+  d.scenario = degraded_geometry(
+      "ga-burst-stale-overtake",
+      {/*gs_own*/ 16.433, /*vs_own*/ 0.542,
+       /*intruder 1 (T R theta Y Gs course Vs)*/
+       43.665, 105.301, 1.957, 12.566, 52.752, 1.407, 4.340,
+       /*intruder 2*/ 38.176, 52.899, -0.256, 10.460, 23.327, -0.187, -4.673});
+  d.coordination.message_loss_prob = 0.33;
+  d.coordination.burst_enter_prob = 0.27;
+  d.fault.comms_blackouts.push_back({/*start_s=*/30.9, /*end_s=*/30.9 + 7.3});
+  d.fault.adsb_dropout_burst_prob = 0.40;
+  d.fault.adsb_burst_continue_prob = 0.6;  // DegradedConditions::kBurstContinueProb
+  d.fault.track_staleness_horizon_s = 8.0;
+  d.seed = 4;
+  return d;
+}
+
+const std::vector<std::string>& degraded_scenario_names() {
+  static const std::vector<std::string> names = {"ga-blackout-pincer",
+                                                 "ga-burst-stale-overtake"};
+  return names;
+}
+
+DegradedScenario make_degraded_scenario(std::string_view name) {
+  if (name == "ga-blackout-pincer") return ga_blackout_pincer();
+  if (name == "ga-burst-stale-overtake") return ga_burst_stale_overtake();
+  expect(false, "unknown degraded scenario name");
+  return {};  // unreachable
+}
+
+sim::SimResult run_degraded_scenario(const DegradedScenario& degraded, sim::SimConfig config,
+                                     const sim::CasFactory& own_cas,
+                                     const sim::CasFactory& intruder_cas,
+                                     const ScenarioEquipage& equipage) {
+  config.coordination = degraded.coordination;
+  config.fault = degraded.fault;
+  return run_scenario(degraded.scenario, std::move(config), own_cas, intruder_cas,
+                      degraded.seed, equipage);
 }
 
 }  // namespace cav::scenarios

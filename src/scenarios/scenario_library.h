@@ -21,12 +21,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "encounter/multi_encounter.h"
 #include "sim/cas.h"
+#include "sim/faults.h"
 #include "sim/simulation.h"
 
 namespace cav::scenarios {
@@ -59,14 +61,78 @@ const std::vector<std::string>& scenario_names();
 Scenario make_scenario(std::string_view name, std::size_t intruders = 0,
                        std::uint64_t seed = 2016);
 
+/// Mixed-fleet options for run_scenario.  The defaults reproduce the
+/// historical behavior exactly (every intruder equipped, no per-agent
+/// faults, no draws consumed), so the equipage-taking overload with a
+/// default-constructed ScenarioEquipage is bit-identical to the plain one.
+struct ScenarioEquipage {
+  /// Fraction of intruders carrying `intruder_cas`.  Boundary values never
+  /// draw; in between, each intruder slot draws from a dedicated
+  /// (seed, "scn-equipage", slot) stream so the simulation streams are
+  /// untouched and runs stay paired across policies.
+  double equipage_fraction = 1.0;
+  /// When true, unequipped intruders fly a scripted bust through the
+  /// own-ship's altitude around their CPA time (sim::ScriptedManeuverCas)
+  /// instead of passive straight-line flight.  Scripted agents do not
+  /// count toward alert statistics.
+  bool adversarial_unequipped = false;
+  /// Per-agent fault profiles; unset means inherit config.fault.
+  std::optional<sim::FaultProfile> own_fault;
+  std::optional<sim::FaultProfile> intruder_fault;
+};
+
 /// Equip and run: aircraft 0 gets `own_cas`, every intruder `intruder_cas`
 /// (either may be null for unequipped flight).  `config.max_time_s` is
 /// overridden with the scenario's suggested horizon.  Deterministic in
-/// (scenario, config, seed): identical inputs give identical SimResults
-/// regardless of thread count, so same-seed runs under different threat
-/// policies are paired comparisons over identical traffic.
+/// (scenario, config, equipage, seed): identical inputs give identical
+/// SimResults regardless of thread count, so same-seed runs under
+/// different threat policies are paired comparisons over identical
+/// traffic.
 sim::SimResult run_scenario(const Scenario& scenario, sim::SimConfig config,
                             const sim::CasFactory& own_cas, const sim::CasFactory& intruder_cas,
                             std::uint64_t seed);
+
+/// Mixed-equipage / per-agent-fault variant.  `run_scenario(s, c, o, i,
+/// seed, {})` is bit-identical to the overload above.
+sim::SimResult run_scenario(const Scenario& scenario, sim::SimConfig config,
+                            const sim::CasFactory& own_cas, const sim::CasFactory& intruder_cas,
+                            std::uint64_t seed, const ScenarioEquipage& equipage);
+
+// --- Degraded-mode regression fixtures (E14) -------------------------
+//
+// Worst cases surfaced by the GA attack campaign with fault genes
+// (core::search_degraded_multi_scenarios targeting kJointTable), frozen
+// here as named, seeded fixtures so regressions in the degraded-mode
+// path are caught by plain scenario runs — no GA in the loop.
+
+/// A found-hard degraded case: the geometry plus the degraded conditions
+/// (coordination loss model + fleet-wide fault profile) it was found under.
+struct DegradedScenario {
+  Scenario scenario;                    ///< name + (2 + 7K)-gene geometry
+  sim::CoordinationConfig coordination; ///< loss model the GA chose
+  sim::FaultProfile fault;              ///< fleet-wide profile the GA chose
+  std::uint64_t seed = 0;               ///< the seed the outcome is pinned at
+};
+
+/// GA-found: two converging intruders whose coordination link bursts
+/// (Gilbert–Elliott) through the encounter while a comms blackout covers
+/// the joint-table arbitration window around CPA.
+DegradedScenario ga_blackout_pincer();
+
+/// GA-found: a climbing tail-chase pair under heavy uniform link loss and
+/// ADS-B dropout bursts — the surveillance picture goes stale exactly as
+/// the threats merge in the joint table's sensed grid.
+DegradedScenario ga_burst_stale_overtake();
+
+/// All degraded fixtures, in presentation order.
+const std::vector<std::string>& degraded_scenario_names();
+DegradedScenario make_degraded_scenario(std::string_view name);
+
+/// Run a degraded fixture: applies its coordination + fault conditions to
+/// `config`, then delegates to run_scenario with the stored seed.
+sim::SimResult run_degraded_scenario(const DegradedScenario& degraded, sim::SimConfig config,
+                                     const sim::CasFactory& own_cas,
+                                     const sim::CasFactory& intruder_cas,
+                                     const ScenarioEquipage& equipage = {});
 
 }  // namespace cav::scenarios

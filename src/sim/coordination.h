@@ -8,8 +8,24 @@
 // imposed on it by a *specific* threat aircraft.  For the two-aircraft case
 // this reduces exactly to the original channel (one link per post, the
 // constraint is whatever the other aircraft last delivered).
+//
+// Loss model: each link is a two-state Gilbert–Elliott channel.  In the
+// GOOD state a delivery is lost with `message_loss_prob` (the original
+// uniform model); in the BAD state with `burst_loss_prob` (1.0 = total
+// outage).  State transitions are drawn per delivery attempt.  With
+// `burst_enter_prob == 0` no link ever leaves GOOD, no transition draw is
+// made, and the channel is bit-identical to the pre-burst uniform channel —
+// uniform loss is the degenerate case, not a second code path the caller
+// selects.
+//
+// Staleness: `forbidden_for` returns the last *delivered* sense.  With the
+// default `staleness_ttl_cycles == 0` (infinite TTL) a silent or
+// blacked-out sender constrains its receivers forever; a positive TTL
+// decays a link's constraint to kNone once `tick()` has been called more
+// than TTL times since the last delivery on that link.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "acasx/advisory.h"
@@ -20,7 +36,22 @@ namespace cav::sim {
 
 struct CoordinationConfig {
   bool enabled = true;
-  double message_loss_prob = 0.0;  ///< per-link probability a delivery is lost
+  /// Per-link loss probability in the GOOD channel state (the uniform
+  /// model; the only loss knob before fault injection existed).
+  double message_loss_prob = 0.0;
+  /// Gilbert–Elliott burst loss.  `burst_enter_prob > 0` activates the
+  /// two-state model; 0 (default) keeps the uniform channel bit-identical
+  /// to the pre-burst engine (no transition draws).
+  double burst_enter_prob = 0.0;  ///< GOOD -> BAD per delivery attempt
+  double burst_exit_prob = 0.2;   ///< BAD -> GOOD per delivery attempt
+  double burst_loss_prob = 1.0;   ///< loss probability while BAD
+  /// Decision-cycle TTL on delivered senses: 0 means infinite (a silent
+  /// sender's constraint never expires — the pre-fault behavior); a
+  /// positive value decays a link to kNone once more than this many
+  /// tick()s pass without a delivery on it.
+  int staleness_ttl_cycles = 0;
+
+  bool burst_model_active() const { return burst_enter_prob > 0.0; }
 };
 
 class CoordinationChannel {
@@ -28,31 +59,64 @@ class CoordinationChannel {
   explicit CoordinationChannel(const CoordinationConfig& config = {}, std::size_t num_agents = 2)
       : config_(config),
         num_agents_(num_agents),
-        delivered_(num_agents * num_agents, acasx::Sense::kNone) {
+        delivered_(num_agents * num_agents, acasx::Sense::kNone),
+        age_cycles_(num_agents * num_agents, 0),
+        link_bad_(num_agents * num_agents, 0) {
     expect(num_agents >= 2, "coordination needs at least two aircraft");
   }
 
   /// Aircraft `sender` announces the sense of its chosen maneuver to every
-  /// other aircraft.  Each link draws its own loss; a lost delivery leaves
-  /// the previously delivered announcement in place on that link (receivers
-  /// work with the last thing they heard).  Receivers are visited in index
-  /// order so the draw sequence is deterministic.
-  void post(int sender, acasx::Sense sense, RngStream& rng) {
+  /// other aircraft.  Each link draws its own loss (and, when the burst
+  /// model is active, its own state transition); a lost delivery leaves
+  /// the previously delivered announcement in place on that link
+  /// (receivers work with the last thing they heard).  Receivers are
+  /// visited in index order so the draw sequence is deterministic.
+  /// `deaf`, when non-null, marks receivers whose comms are blacked out:
+  /// their links still draw (the channel state evolves), but nothing is
+  /// delivered to them.
+  void post(int sender, acasx::Sense sense, RngStream& rng,
+            const std::vector<bool>* deaf = nullptr) {
     if (!config_.enabled) return;
     for (std::size_t receiver = 0; receiver < num_agents_; ++receiver) {
       if (receiver == static_cast<std::size_t>(sender)) continue;
-      if (config_.message_loss_prob > 0.0 && rng.chance(config_.message_loss_prob)) continue;
-      delivered_[receiver * num_agents_ + static_cast<std::size_t>(sender)] = sense;
+      const std::size_t link = receiver * num_agents_ + static_cast<std::size_t>(sender);
+      double loss = config_.message_loss_prob;
+      if (config_.burst_model_active()) {
+        if (link_bad_[link]) {
+          if (rng.chance(config_.burst_exit_prob)) link_bad_[link] = 0;
+        } else if (rng.chance(config_.burst_enter_prob)) {
+          link_bad_[link] = 1;
+        }
+        if (link_bad_[link]) loss = config_.burst_loss_prob;
+      }
+      if (loss > 0.0 && rng.chance(loss)) continue;
+      if (deaf != nullptr && (*deaf)[receiver]) continue;
+      delivered_[link] = sense;
+      age_cycles_[link] = 0;
+    }
+  }
+
+  /// Advance the staleness clock one decision cycle (call once per cycle,
+  /// before the cycle's posts).  Ages saturate; with the default infinite
+  /// TTL they are tracked but never read.
+  void tick() {
+    for (int& age : age_cycles_) {
+      if (age < kMaxAge) ++age;
     }
   }
 
   /// The sense forbidden to aircraft `receiver` by aircraft `threat`:
-  /// whatever `threat` last delivered on that link (kNone when coordination
-  /// is disabled or the link has been silent).
+  /// whatever `threat` last delivered on that link (kNone when
+  /// coordination is disabled, the link has been silent, or the delivery
+  /// is older than the staleness TTL).
   acasx::Sense forbidden_for(int receiver, int threat) const {
     if (!config_.enabled) return acasx::Sense::kNone;
-    return delivered_[static_cast<std::size_t>(receiver) * num_agents_ +
-                      static_cast<std::size_t>(threat)];
+    const std::size_t link = static_cast<std::size_t>(receiver) * num_agents_ +
+                             static_cast<std::size_t>(threat);
+    if (config_.staleness_ttl_cycles > 0 && age_cycles_[link] > config_.staleness_ttl_cycles) {
+      return acasx::Sense::kNone;
+    }
+    return delivered_[link];
   }
 
   /// Two-aircraft convenience: the constraint from the (single) other one.
@@ -61,16 +125,29 @@ class CoordinationChannel {
     return forbidden_for(receiver, 1 - receiver);
   }
 
+  /// Whether the link receiver<-sender is currently in the BAD (bursty)
+  /// Gilbert–Elliott state.  Exposed for tests.
+  bool link_in_burst(int receiver, int sender) const {
+    return link_bad_[static_cast<std::size_t>(receiver) * num_agents_ +
+                     static_cast<std::size_t>(sender)] != 0;
+  }
+
   std::size_t num_agents() const { return num_agents_; }
 
   void reset() {
     delivered_.assign(delivered_.size(), acasx::Sense::kNone);
+    age_cycles_.assign(age_cycles_.size(), 0);
+    link_bad_.assign(link_bad_.size(), 0);
   }
 
  private:
+  static constexpr int kMaxAge = 1 << 28;  ///< saturation bound for ages
+
   CoordinationConfig config_;
   std::size_t num_agents_;
   std::vector<acasx::Sense> delivered_;  ///< [receiver * N + sender]
+  std::vector<int> age_cycles_;          ///< tick()s since last delivery per link
+  std::vector<std::uint8_t> link_bad_;   ///< Gilbert–Elliott BAD flag per link
 };
 
 }  // namespace cav::sim

@@ -72,10 +72,43 @@ Simulation::Simulation(const SimConfig& config, std::vector<AgentSetup> agents,
         "COC",
         RngStream::derive(seed, "adsb", i),
         RngStream::derive(seed, "disturbance", i),
-        {}});
+        RngStream::derive(seed, "fault", i),
+        {},
+        setup.fault.has_value() ? *setup.fault : config.fault,
+        setup.count_alerts,
+        std::vector<int>(agents.size(), 0),
+        std::vector<int>(agents.size(), 0)});
     if (runtimes_.back().cas != nullptr) runtimes_.back().cas->reset();
   }
   positions_.resize(runtimes_.size());
+  comms_down_.resize(runtimes_.size(), false);
+}
+
+void Simulation::receive_track(AgentRuntime& me, std::size_t target) {
+  const UavState& truth = runtimes_[target].agent.state();
+  if (!me.fault.degrades_surveillance()) {
+    // The pre-fault seed path, draw for draw.
+    auto received = sensor_.observe(truth, me.rng_adsb);
+    if (received.has_value()) me.last_track_of[target] = *received;
+    return;
+  }
+
+  auto received = observe_degraded(sensor_, truth, me.fault, me.rng_adsb, me.rng_fault,
+                                   &me.burst_cycles_left[target]);
+  if (received.has_value()) {
+    me.last_track_of[target] = *received;
+    me.track_age_cycles[target] = 0;
+  } else {
+    ++me.track_age_cycles[target];
+    // Track-staleness horizon: a coasted track older than the horizon is
+    // dropped — the aircraft un-sees that traffic until it hears it again
+    // — instead of being trusted forever.
+    if (me.last_track_of[target].has_value() &&
+        static_cast<double>(me.track_age_cycles[target]) * config_.decision_period_s >
+            me.fault.track_staleness_horizon_s) {
+      me.last_track_of[target].reset();
+    }
+  }
 }
 
 void Simulation::decide_for(AgentRuntime& me, std::size_t my_id, double t_s) {
@@ -86,8 +119,7 @@ void Simulation::decide_for(AgentRuntime& me, std::size_t my_id, double t_s) {
   // the last track heard for an aircraft whose message was lost.
   for (std::size_t j = 0; j < runtimes_.size(); ++j) {
     if (j == my_id) continue;
-    auto received = sensor_.observe(runtimes_[j].agent.state(), me.rng_adsb);
-    if (received.has_value()) me.last_track_of[j] = *received;
+    receive_track(me, j);
   }
 
   // Multi-threat arbitration (ThreatPolicy::kCostFused / kJointTable):
@@ -154,11 +186,11 @@ void Simulation::decide_for(AgentRuntime& me, std::size_t my_id, double t_s) {
   me.current_label = decision.label;
 
   if (decision.maneuver || decision.turn) {
-    if (!me.report.ever_alerted) {
+    if (me.count_alerts && !me.report.ever_alerted) {
       me.report.ever_alerted = true;
       me.report.first_alert_time_s = t_s;
     }
-    ++me.report.alert_cycles;
+    if (me.count_alerts) ++me.report.alert_cycles;
     // Reversal monitor: compare against the last *issued* sense, which
     // survives COC coasting gaps — an RA -> COC -> opposite-RA sequence is
     // a reversal (the paper's reversal monitor), not a fresh alert.
@@ -175,13 +207,25 @@ void Simulation::decide_for(AgentRuntime& me, std::size_t my_id, double t_s) {
 }
 
 void Simulation::decide_all(double t_s) {
+  // Staleness clock + per-agent comms-blackout mask for this cycle.  The
+  // tick touches no RNG and, with the default infinite TTL, is never read
+  // — the fault-free path stays bit-identical to the seed engine.
+  coord_.tick();
+  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+    comms_down_[i] = runtimes_[i].fault.in_comms_blackout(t_s);
+  }
+
   // Sequential decisions: lower-index aircraft announce first, so a later
   // aircraft sees a fresh constraint (the paper's own-ship -> intruder
   // coordination command); earlier aircraft saw the later ones' previous
   // announcements, giving the one-cycle latency a real datalink has.
   for (std::size_t i = 0; i < runtimes_.size(); ++i) {
     decide_for(runtimes_[i], i, t_s);
-    coord_.post(static_cast<int>(i), runtimes_[i].last_sense, rng_coord_);
+    // A blacked-out or coordination-silent sender transmits nothing (its
+    // links make no draws this cycle); a blacked-out receiver's links
+    // still draw inside post(), but nothing is delivered to it.
+    if (comms_down_[i] || runtimes_[i].fault.coordination_silent) continue;
+    coord_.post(static_cast<int>(i), runtimes_[i].last_sense, rng_coord_, &comms_down_);
   }
 }
 

@@ -9,13 +9,16 @@
 // Structure per decision cycle (1 Hz by default), aircraft in index order:
 //   1. each equipped UAV receives every other aircraft's ADS-B broadcast
 //      (white sensor noise, optional dropout -> coast on the last track
-//      heard for that aircraft);
+//      heard for that aircraft; under a FaultProfile additionally dropout
+//      bursts, per-axis bias, and a staleness horizon that drops coasted
+//      tracks — faults.h);
 //   2. it turns the tracks it holds into one advisory under the configured
 //      ThreatPolicy — kNearest runs the (pairwise) collision avoidance
 //      system against the nearest track, constrained by the coordination
 //      sense that threat last delivered; kCostFused and kJointTable
 //      arbitrate every gated threat through sim::MultiThreatResolver —
-//      then broadcasts its own sense;
+//      then broadcasts its own sense (skipped while its comms are blacked
+//      out or the aircraft is coordination-silent);
 //   3. dynamics integrate at the (faster) physics rate with environment
 //      disturbance, while per-pair monitors watch every true separation.
 #pragma once
@@ -26,6 +29,7 @@
 
 #include "sim/cas.h"
 #include "sim/coordination.h"
+#include "sim/faults.h"
 #include "sim/monitors.h"
 #include "sim/multi_threat.h"
 #include "sim/sensors.h"
@@ -40,9 +44,17 @@ struct SimConfig {
   double decision_period_s = 1.0; ///< surveillance/decision cycle
   double max_time_s = 120.0;      ///< hard stop
   DisturbanceConfig disturbance;
-  AdsbConfig adsb;
+  AdsbConfig adsb;                ///< white noise + i.i.d. dropout (all links)
+  /// Loss model for the coordination datalink, including the per-link
+  /// Gilbert–Elliott burst states and the staleness TTL (coordination.h).
   CoordinationConfig coordination;
   AccidentConfig accident;
+  /// Fleet-wide fault profile (faults.h): comms blackout windows, ADS-B
+  /// dropout bursts / per-axis bias, and the track-staleness horizon.
+  /// Applied to every aircraft unless AgentSetup::fault overrides it.
+  /// The default none() profile injects nothing and keeps the engine
+  /// bit-identical to the pre-fault seed path.
+  FaultProfile fault;
   /// kNearest reproduces the PR 3 engine bit-identically (and is the
   /// paper's pairwise setup for two aircraft); kCostFused arbitrates all
   /// gated threats per cycle; kJointTable additionally prices the two
@@ -60,7 +72,10 @@ struct AgentReport {
   int reversals = 0;          ///< sense flips between issued advisories
                               ///< (counted across COC coasting gaps)
   std::string final_advisory = "COC";
-  ResolverStats resolver;     ///< multi-threat arbitration stats (kCostFused)
+  /// Multi-threat arbitration stats — populated under both kCostFused and
+  /// kJointTable (joint_cycles is nonzero only under the latter); zeroed
+  /// under kNearest, which never reaches the resolver.
+  ResolverStats resolver;
 };
 
 /// Monitor outcome for one unordered aircraft pair (a < b).
@@ -107,6 +122,14 @@ struct AgentSetup {
   UavState initial_state;
   std::unique_ptr<CollisionAvoidanceSystem> cas;  ///< may be null (unequipped)
   UavPerformance performance;
+  /// Per-aircraft fault profile; overrides SimConfig::fault for this
+  /// aircraft when set (mixed fleets: one degraded receiver, one
+  /// non-cooperative intruder, ...).
+  std::optional<FaultProfile> fault;
+  /// Whether this aircraft's maneuvers count in the alert statistics.
+  /// Scripted adversaries (ScriptedManeuverCas) set this false: their
+  /// maneuvers are attacks, not avoidance alerts.
+  bool count_alerts = true;
 };
 
 /// Per-aircraft bookkeeping during a run.
@@ -120,9 +143,17 @@ struct AgentRuntime {
   std::string current_label = "COC";
   RngStream rng_adsb;
   RngStream rng_disturbance;
+  /// Burst start/length draws for ADS-B dropout bursts — separate from
+  /// rng_adsb so a bias-only or burst-free profile leaves the noise draw
+  /// sequence untouched.
+  RngStream rng_fault;
   /// Scratch for the kCostFused threat list, reused across decision cycles
   /// so the Monte-Carlo hot path does not allocate per cycle.
   std::vector<ThreatObservation> threat_scratch;
+  FaultProfile fault;             ///< resolved profile (agent override or fleet)
+  bool count_alerts = true;
+  std::vector<int> track_age_cycles;  ///< decision cycles since last reception, per aircraft
+  std::vector<int> burst_cycles_left; ///< active ADS-B dropout burst, per aircraft
 };
 
 /// One N-aircraft encounter.  All stochastic draws derive from `seed` and
@@ -141,6 +172,7 @@ class Simulation {
  private:
   void decide_for(AgentRuntime& me, std::size_t my_id, double t_s);
   void decide_all(double t_s);
+  void receive_track(AgentRuntime& me, std::size_t target);
   void record_sample(double t_s, SimResult& result) const;
   void update_monitors(double t_s);
 
@@ -149,9 +181,10 @@ class Simulation {
   CoordinationChannel coord_;
   AdsbSensor sensor_;
   PairwiseMonitors monitors_;
-  MultiThreatResolver resolver_;  ///< arbitration layer (kCostFused)
+  MultiThreatResolver resolver_;  ///< arbitration layer (kCostFused/kJointTable)
   RngStream rng_coord_;
   std::vector<Vec3> positions_;  ///< scratch for monitor updates
+  std::vector<bool> comms_down_; ///< per-agent blackout mask, rebuilt per cycle
 };
 
 /// Run one two-aircraft encounter to completion (the paper's setup).

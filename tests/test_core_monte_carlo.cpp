@@ -182,6 +182,131 @@ TEST_F(MonteCarloTest, MultiIntruderEquippedBeatsUnequipped) {
   EXPECT_EQ(unequipped.alerts, 0U);
 }
 
+TEST_F(MonteCarloTest, FullEquipageFractionIsBitIdenticalToDefault) {
+  // 1.0 takes the pre-fault path without drawing: identical to an
+  // untouched config, bit for bit.
+  const encounter::StatisticalEncounterModel model;
+  MonteCarloConfig config = small_config();
+  config.encounters = 60;
+  config.intruders = 2;
+  const auto plain = estimate_rates(model, config, "plain", {}, baselines::TcasLikeCas::factory(),
+                                    pool_);
+  config.equipage_fraction = 1.0;
+  const auto full = estimate_rates(model, config, "full", {}, baselines::TcasLikeCas::factory(),
+                                   pool_);
+  EXPECT_EQ(plain.nmacs, full.nmacs);
+  EXPECT_EQ(plain.alerts, full.alerts);
+  EXPECT_DOUBLE_EQ(plain.mean_min_separation_m, full.mean_min_separation_m);
+}
+
+TEST_F(MonteCarloTest, ZeroEquipageFractionMatchesNullFactory) {
+  // 0.0 must strip every intruder's CAS — bit-identical to passing no
+  // intruder factory at all (and, like 1.0, it never draws).
+  const encounter::StatisticalEncounterModel model;
+  MonteCarloConfig config = small_config();
+  config.encounters = 60;
+  config.intruders = 2;
+  const auto null_factory = estimate_rates(model, config, "null", {}, {}, pool_);
+  config.equipage_fraction = 0.0;
+  const auto zero = estimate_rates(model, config, "zero", {},
+                                   baselines::TcasLikeCas::factory(), pool_);
+  EXPECT_EQ(null_factory.nmacs, zero.nmacs);
+  EXPECT_EQ(null_factory.alerts, zero.alerts);
+  EXPECT_DOUBLE_EQ(null_factory.mean_min_separation_m, zero.mean_min_separation_m);
+}
+
+TEST_F(MonteCarloTest, PartialEquipageLandsBetweenTheBoundaries) {
+  const encounter::StatisticalEncounterModel model;
+  MonteCarloConfig config = small_config();
+  config.encounters = 200;
+  config.intruders = 2;
+  config.sim.coordination.message_loss_prob = 0.0;
+  const auto own = sim::AcasXuCas::factory(*table_);
+  config.equipage_fraction = 0.0;
+  const auto none = estimate_rates(model, config, "0%", own, sim::AcasXuCas::factory(*table_),
+                                   pool_);
+  config.equipage_fraction = 1.0;
+  const auto full = estimate_rates(model, config, "100%", own, sim::AcasXuCas::factory(*table_),
+                                   pool_);
+  config.equipage_fraction = 0.5;
+  const auto half = estimate_rates(model, config, "50%", own, sim::AcasXuCas::factory(*table_),
+                                   pool_);
+  // Unequipped intruders still fly their plans, so half equipage cannot be
+  // safer than full or riskier than none on this paired traffic.
+  EXPECT_GE(half.nmac_rate(), full.nmac_rate());
+  EXPECT_LE(half.nmac_rate(), none.nmac_rate());
+}
+
+TEST_F(MonteCarloTest, DegradedRunInvariantAcrossThreadCounts) {
+  // The full fault stack — bursty comms, a blackout, ADS-B dropout bursts
+  // with a staleness horizon, mixed adversarial equipage — derives every
+  // draw from (seed, encounter, agent), so the campaign rates stay
+  // bit-identical for any thread count.
+  const encounter::StatisticalEncounterModel model;
+  MonteCarloConfig config = small_config();
+  config.encounters = 40;
+  config.intruders = 2;
+  config.equipage_fraction = 0.5;
+  config.unequipped_behavior = UnequippedBehavior::kManeuverAtCpa;
+  config.sim.coordination.message_loss_prob = 0.2;
+  config.sim.coordination.burst_enter_prob = 0.2;
+  config.sim.coordination.staleness_ttl_cycles = 4;
+  config.sim.fault.comms_blackouts.push_back({25.0, 40.0});
+  config.sim.fault.adsb_dropout_burst_prob = 0.15;
+  config.sim.fault.adsb_burst_continue_prob = 0.5;
+  config.sim.fault.track_staleness_horizon_s = 8.0;
+  const auto own = sim::AcasXuCas::factory(*table_);
+  const auto serial = estimate_rates(model, config, "serial", own,
+                                     sim::AcasXuCas::factory(*table_));
+  for (const std::size_t threads : {2U, 5U}) {
+    ThreadPool pool(threads);
+    const auto parallel = estimate_rates(model, config, "parallel", own,
+                                         sim::AcasXuCas::factory(*table_), &pool);
+    EXPECT_EQ(parallel.nmacs, serial.nmacs) << threads << " threads";
+    EXPECT_EQ(parallel.alerts, serial.alerts) << threads << " threads";
+    EXPECT_DOUBLE_EQ(parallel.mean_min_separation_m, serial.mean_min_separation_m)
+        << threads << " threads";
+  }
+}
+
+TEST_F(MonteCarloTest, AdversarialUnequippedIntrudersRaiseRisk) {
+  // Maneuver-at-CPA unequipped intruders chase the own-ship's altitude;
+  // against an equipped own-ship they must be at least as dangerous as
+  // passive unequipped ones on the same paired traffic.
+  const encounter::StatisticalEncounterModel model;
+  MonteCarloConfig config = small_config();
+  config.encounters = 200;
+  config.intruders = 2;
+  config.equipage_fraction = 0.0;
+  const auto own = sim::AcasXuCas::factory(*table_);
+  const auto passive = estimate_rates(model, config, "passive", own, {}, pool_);
+  config.unequipped_behavior = UnequippedBehavior::kManeuverAtCpa;
+  const auto hostile = estimate_rates(model, config, "hostile", own, {}, pool_);
+  EXPECT_GE(hostile.nmac_rate(), passive.nmac_rate());
+  // The scripted maneuvers must not pollute the alert statistics.
+  EXPECT_EQ(hostile.alerts == 0U, passive.alerts == 0U);
+}
+
+TEST_F(MonteCarloTest, PerAgentFaultProfilesOverrideFleetProfile) {
+  // A crippling fleet-wide profile overridden per agent by none() must
+  // reproduce the clean run bit for bit.
+  const encounter::StatisticalEncounterModel model;
+  MonteCarloConfig clean = small_config();
+  clean.encounters = 60;
+  MonteCarloConfig overridden = clean;
+  overridden.sim.fault.adsb_dropout_burst_prob = 1.0;
+  overridden.sim.fault.adsb_burst_continue_prob = 1.0;
+  overridden.own_fault = sim::FaultProfile::none();
+  overridden.intruder_fault = sim::FaultProfile::none();
+  const auto a = estimate_rates(model, clean, "clean", {}, baselines::TcasLikeCas::factory(),
+                                pool_);
+  const auto b = estimate_rates(model, overridden, "override", {},
+                                baselines::TcasLikeCas::factory(), pool_);
+  EXPECT_EQ(a.nmacs, b.nmacs);
+  EXPECT_EQ(a.alerts, b.alerts);
+  EXPECT_DOUBLE_EQ(a.mean_min_separation_m, b.mean_min_separation_m);
+}
+
 TEST_F(MonteCarloTest, TcasLikeAlsoReducesRisk) {
   const encounter::StatisticalEncounterModel model;
   const auto config = small_config();

@@ -198,5 +198,110 @@ TEST_F(SearchTest, MultiIntruderSearchIsDeterministicPerSeed) {
   EXPECT_EQ(a.ga.best.genome, b.ga.best.genome);
 }
 
+TEST(DegradedGenomeSpec, AppendsFaultGenesAfterGeometry) {
+  const encounter::ParamRanges ranges;
+  const DegradedGeneRanges fault_ranges;
+  const ga::GenomeSpec spec = make_degraded_genome_spec(ranges, 2, fault_ranges);
+  const std::size_t geometry =
+      encounter::kOwnParams + 2 * encounter::kIntruderParams;
+  ASSERT_EQ(spec.size(), geometry + DegradedConditions::kNumGenes);
+  // Geometry genes match the plain multi spec.
+  const ga::GenomeSpec multi = make_multi_genome_spec(ranges, 2);
+  for (std::size_t i = 0; i < geometry; ++i) {
+    EXPECT_DOUBLE_EQ(spec.bound(i).lo, multi.bound(i).lo) << i;
+    EXPECT_DOUBLE_EQ(spec.bound(i).hi, multi.bound(i).hi) << i;
+  }
+  // Fault genes: lows all 0 (the benign corner stays in the space), highs
+  // from the configured ranges, in DegradedConditions::to_vector order.
+  const double his[] = {fault_ranges.message_loss_hi, fault_ranges.burst_enter_hi,
+                        fault_ranges.blackout_start_hi, fault_ranges.blackout_duration_hi,
+                        fault_ranges.dropout_burst_hi};
+  for (std::size_t g = 0; g < DegradedConditions::kNumGenes; ++g) {
+    EXPECT_DOUBLE_EQ(spec.bound(geometry + g).lo, 0.0) << g;
+    EXPECT_DOUBLE_EQ(spec.bound(geometry + g).hi, his[g]) << g;
+  }
+}
+
+TEST(DegradedConditions, GenomeTailRoundTrip) {
+  DegradedConditions conditions;
+  conditions.message_loss_prob = 0.3;
+  conditions.burst_enter_prob = 0.2;
+  conditions.blackout_start_s = 25.0;
+  conditions.blackout_duration_s = 12.0;
+  conditions.adsb_dropout_burst_prob = 0.15;
+  std::vector<double> genome = {1.0, 2.0, 3.0};  // fake geometry prefix
+  const auto tail = conditions.to_vector();
+  genome.insert(genome.end(), tail.begin(), tail.end());
+  const DegradedConditions back = DegradedConditions::from_genome_tail(genome);
+  EXPECT_DOUBLE_EQ(back.message_loss_prob, 0.3);
+  EXPECT_DOUBLE_EQ(back.burst_enter_prob, 0.2);
+  EXPECT_DOUBLE_EQ(back.blackout_start_s, 25.0);
+  EXPECT_DOUBLE_EQ(back.blackout_duration_s, 12.0);
+  EXPECT_DOUBLE_EQ(back.adsb_dropout_burst_prob, 0.15);
+}
+
+TEST(DegradedConditions, ApplyWritesTheSimConfig) {
+  DegradedConditions conditions;
+  conditions.message_loss_prob = 0.4;
+  conditions.burst_enter_prob = 0.25;
+  conditions.blackout_start_s = 30.0;
+  conditions.blackout_duration_s = 10.0;
+  conditions.adsb_dropout_burst_prob = 0.2;
+  sim::SimConfig config;
+  conditions.apply(&config);
+  EXPECT_DOUBLE_EQ(config.coordination.message_loss_prob, 0.4);
+  EXPECT_DOUBLE_EQ(config.coordination.burst_enter_prob, 0.25);
+  ASSERT_EQ(config.fault.comms_blackouts.size(), 1U);
+  EXPECT_DOUBLE_EQ(config.fault.comms_blackouts[0].start_s, 30.0);
+  EXPECT_DOUBLE_EQ(config.fault.comms_blackouts[0].end_s, 40.0);
+  EXPECT_DOUBLE_EQ(config.fault.adsb_dropout_burst_prob, 0.2);
+
+  // The benign corner leaves a default config untouched.
+  sim::SimConfig benign;
+  DegradedConditions{}.apply(&benign);
+  EXPECT_DOUBLE_EQ(benign.coordination.message_loss_prob, 0.0);
+  EXPECT_FALSE(benign.coordination.burst_model_active());
+  EXPECT_TRUE(benign.fault.comms_blackouts.empty());
+  EXPECT_FALSE(benign.fault.degrades_surveillance());
+}
+
+TEST_F(SearchTest, DegradedSearchFindsScenariosAndDecodesFaultGenes) {
+  MultiScenarioSearchConfig config;
+  config.ga.population_size = 10;
+  config.ga.generations = 2;
+  config.ga.seed = 13;
+  config.intruders = 2;
+  config.fitness.runs_per_encounter = 3;
+  config.keep_top = 3;
+  const DegradedGeneRanges fault_ranges;
+
+  const auto result =
+      search_degraded_multi_scenarios(config, fault_ranges, acas(), acas(), pool_);
+  EXPECT_GT(result.best_fitness(), 0.0);
+  ASSERT_FALSE(result.top.empty());
+  for (const auto& found : result.top) {
+    EXPECT_EQ(found.params.num_intruders(), 2U);
+    EXPECT_GE(found.faults.message_loss_prob, 0.0);
+    EXPECT_LE(found.faults.message_loss_prob, fault_ranges.message_loss_hi);
+    EXPECT_LE(found.faults.blackout_duration_s, fault_ranges.blackout_duration_hi);
+    EXPECT_EQ(found.detail.runs, 3U);
+  }
+}
+
+TEST_F(SearchTest, DegradedSearchIsDeterministicPerSeed) {
+  MultiScenarioSearchConfig config;
+  config.ga.population_size = 8;
+  config.ga.generations = 2;
+  config.ga.seed = 17;
+  config.intruders = 2;
+  config.fitness.runs_per_encounter = 2;
+  const DegradedGeneRanges fault_ranges;
+
+  const auto a = search_degraded_multi_scenarios(config, fault_ranges, acas(), acas(), pool_);
+  const auto b = search_degraded_multi_scenarios(config, fault_ranges, acas(), acas());
+  EXPECT_EQ(a.ga.fitness_by_evaluation, b.ga.fitness_by_evaluation);
+  EXPECT_EQ(a.ga.best.genome, b.ga.best.genome);
+}
+
 }  // namespace
 }  // namespace cav::core

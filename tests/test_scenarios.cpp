@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "encounter/multi_encounter.h"
 #include "util/angles.h"
@@ -88,6 +89,84 @@ TEST(ScenarioLibrary, HighDensityIsDeterministicInSeed) {
   const Scenario c = high_density_random(6, 43);
   EXPECT_EQ(a.params.to_vector(), b.params.to_vector());
   EXPECT_NE(a.params.to_vector(), c.params.to_vector());
+}
+
+TEST(ScenarioLibrary, DefaultEquipageIsBitIdenticalToPlainOverload) {
+  const Scenario ring = converging_ring(3);
+  sim::SimConfig config;
+  config.coordination.message_loss_prob = 0.2;  // exercise the lossy path too
+  const auto plain = run_scenario(ring, config, {}, {}, 7);
+  const auto with_equipage = run_scenario(ring, config, {}, {}, 7, ScenarioEquipage{});
+  EXPECT_EQ(plain.nmac, with_equipage.nmac);
+  EXPECT_DOUBLE_EQ(plain.proximity.min_distance_m, with_equipage.proximity.min_distance_m);
+  EXPECT_EQ(plain.own.alert_cycles, with_equipage.own.alert_cycles);
+}
+
+TEST(ScenarioLibrary, ZeroEquipageStripsEveryIntruderCas) {
+  // With fraction 0 the intruder factory must never be invoked — identical
+  // to passing no factory (and to the unequipped baseline result).
+  const Scenario ring = converging_ring(4);
+  int factory_calls = 0;
+  const sim::CasFactory counting = [&factory_calls]() {
+    ++factory_calls;
+    return std::unique_ptr<sim::CollisionAvoidanceSystem>();
+  };
+  ScenarioEquipage equipage;
+  equipage.equipage_fraction = 0.0;
+  const auto stripped = run_scenario(ring, quiet_config(), {}, counting, 1, equipage);
+  EXPECT_EQ(factory_calls, 0);
+  const auto unequipped = run_scenario(ring, quiet_config(), {}, {}, 1);
+  EXPECT_EQ(stripped.own_nmac(), unequipped.own_nmac());
+  EXPECT_DOUBLE_EQ(stripped.proximity.min_distance_m, unequipped.proximity.min_distance_m);
+}
+
+TEST(ScenarioLibrary, EquipageDrawIsDeterministicInSeed) {
+  // Same seed -> same equipage pattern -> identical results.
+  const Scenario dense = high_density_random(5, 11);
+  ScenarioEquipage equipage;
+  equipage.equipage_fraction = 0.5;
+  sim::SimConfig config = quiet_config();
+  const auto a = run_scenario(dense, config, {}, {}, 21, equipage);
+  const auto b = run_scenario(dense, config, {}, {}, 21, equipage);
+  EXPECT_EQ(a.nmac, b.nmac);
+  EXPECT_DOUBLE_EQ(a.proximity.min_distance_m, b.proximity.min_distance_m);
+}
+
+TEST(ScenarioLibrary, AdversarialUnequippedGetScriptedCas) {
+  // Fraction 0 + adversarial: every intruder flies the scripted maneuver
+  // (visible through the advisory labels) and counts no alerts.
+  const Scenario ring = converging_ring(3);
+  ScenarioEquipage equipage;
+  equipage.equipage_fraction = 0.0;
+  equipage.adversarial_unequipped = true;
+  const auto r = run_scenario(ring, quiet_config(), {}, {}, 5, equipage);
+  for (std::size_t i = 1; i < r.agents.size(); ++i) {
+    EXPECT_FALSE(r.agents[i].ever_alerted) << "agent " << i;
+    EXPECT_EQ(r.agents[i].alert_cycles, 0) << "agent " << i;
+  }
+}
+
+TEST(DegradedScenarios, NamesRoundTripThroughFactory) {
+  ASSERT_EQ(degraded_scenario_names().size(), 2U);
+  for (const std::string& name : degraded_scenario_names()) {
+    const DegradedScenario d = make_degraded_scenario(name);
+    EXPECT_EQ(d.scenario.name, name);
+    EXPECT_EQ(d.scenario.params.num_intruders(), 2U);
+    EXPECT_TRUE(d.fault.any() || d.coordination.message_loss_prob > 0.0 ||
+                d.coordination.burst_model_active())
+        << name << " must actually be degraded";
+  }
+  EXPECT_THROW(make_degraded_scenario("no-such-fixture"), ContractViolation);
+}
+
+TEST(DegradedScenarios, RunsAreDeterministic) {
+  for (const std::string& name : degraded_scenario_names()) {
+    const DegradedScenario d = make_degraded_scenario(name);
+    const auto a = run_degraded_scenario(d, sim::SimConfig{}, {}, {});
+    const auto b = run_degraded_scenario(d, sim::SimConfig{}, {}, {});
+    EXPECT_EQ(a.own_nmac(), b.own_nmac()) << name;
+    EXPECT_DOUBLE_EQ(a.proximity.min_distance_m, b.proximity.min_distance_m) << name;
+  }
 }
 
 TEST(MultiEncounterModel, PerIntruderStreamsAreIndependentOfK) {
