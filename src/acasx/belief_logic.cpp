@@ -1,5 +1,6 @@
 #include "acasx/belief_logic.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/expect.h"
@@ -32,14 +33,13 @@ BeliefAwareLogic::BeliefAwareLogic(std::shared_ptr<const LogicTable> table, Beli
   last_costs_.fill(0.0);
 }
 
-std::array<double, kNumAdvisories> BeliefAwareLogic::peek_costs(const AircraftTrack& own,
-                                                                const AircraftTrack& intruder,
-                                                                bool* active) const {
-  std::array<double, kNumAdvisories> averaged{};
+void BeliefAwareLogic::peek_costs(const AircraftTrack& own, const AircraftTrack& intruder,
+                                  bool* active, std::span<double, kNumAdvisories> out) const {
+  std::fill(out.begin(), out.end(), 0.0);
   const TauEstimate tau = AcasXuLogic::estimate_tau(own, intruder, online_);
   if (!tau.converging || tau.tau_s > online_.tau_alert_max_s) {
     *active = false;
-    return averaged;
+    return;
   }
   *active = true;
 
@@ -50,16 +50,16 @@ std::array<double, kNumAdvisories> BeliefAwareLogic::peek_costs(const AircraftTr
   const auto h_points = quadrature(h_ft, belief_.h_sigma_ft);
   const auto dhi_points = quadrature(dh_int_fps, belief_.dh_int_sigma_fps);
 
+  std::array<double, kNumAdvisories> costs{};
   for (const QuadPoint& hp : h_points) {
     if (hp.weight == 0.0) continue;
     for (const QuadPoint& vp : dhi_points) {
       if (vp.weight == 0.0) continue;
-      const auto costs = table_->action_costs(tau.tau_s, hp.value, dh_own_fps, vp.value, ra_);
+      table_->action_costs(tau.tau_s, hp.value, dh_own_fps, vp.value, ra_, costs);
       const double w = hp.weight * vp.weight;
-      for (std::size_t a = 0; a < kNumAdvisories; ++a) averaged[a] += w * costs[a];
+      for (std::size_t a = 0; a < kNumAdvisories; ++a) out[a] += w * costs[a];
     }
   }
-  return averaged;
 }
 
 Advisory BeliefAwareLogic::decide(const AircraftTrack& own, const AircraftTrack& intruder,

@@ -23,6 +23,7 @@
 
 #include <array>
 #include <memory>
+#include <span>
 
 #include "acasx/online_logic.h"
 
@@ -48,9 +49,16 @@ class BeliefAwareLogic {
 
   /// Belief-averaged per-advisory costs against one threat at the current
   /// advisory memory, without advancing it (see AcasXuLogic::peek_costs).
+  /// The span overload writes into caller storage; the array form wraps it.
+  void peek_costs(const AircraftTrack& own, const AircraftTrack& intruder, bool* active,
+                  std::span<double, kNumAdvisories> out) const;
   std::array<double, kNumAdvisories> peek_costs(const AircraftTrack& own,
                                                 const AircraftTrack& intruder,
-                                                bool* active) const;
+                                                bool* active) const {
+    std::array<double, kNumAdvisories> costs{};
+    peek_costs(own, intruder, active, costs);
+    return costs;
+  }
 
   /// Overwrite the advisory memory with the resolver's fused choice.
   void set_advisory(Advisory a) { ra_ = a; }

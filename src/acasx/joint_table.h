@@ -27,11 +27,18 @@
 // changes during an encounter under the model, so the solver runs one
 // 4-D tau recursion per slab (see mdp/joint_state.h for the indexing
 // convention).  Layout: q[slab][tau][grid4][ra][action], action fastest.
+//
+// Storage mirrors LogicTable: owning (solved / load()ed) or a zero-copy
+// view over an mmap-backed serving::TableImage (open_mapped()) — at
+// standard size the ~330 MB payload is the strongest case for sharing
+// one physical copy across processes.
 #pragma once
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,7 +46,12 @@
 #include "acasx/config.h"
 #include "acasx/online_logic.h"
 #include "mdp/joint_state.h"
+#include "serving/quantize.h"
 #include "util/grid.h"
+
+namespace cav::serving {
+class TableImage;
+}
 
 namespace cav::acasx {
 
@@ -145,7 +157,7 @@ class JointLogicTable {
   std::size_t num_tau_layers() const { return config_.space.tau_max + 1; }
   std::size_t num_grid_points() const { return grid_.size(); }
   /// Total stored Q entries (slabs x tau layers x grid x ra x action).
-  std::size_t num_entries() const { return q_.size(); }
+  std::size_t num_entries() const { return view_ != nullptr ? view_size_ : q_.size(); }
 
   /// Flat index of (slab, tau, grid point, ra, action), action fastest.
   std::size_t index(std::size_t slab, std::size_t tau, std::size_t grid_flat, Advisory ra,
@@ -157,8 +169,9 @@ class JointLogicTable {
 
   float at(std::size_t slab, std::size_t tau, std::size_t grid_flat, Advisory ra,
            Advisory action) const {
-    return q_[index(slab, tau, grid_flat, ra, action)];
+    return values()[index(slab, tau, grid_flat, ra, action)];
   }
+  /// Mutable access — owning tables only (the solver's write path).
   float& at(std::size_t slab, std::size_t tau, std::size_t grid_flat, Advisory ra,
             Advisory action) {
     return q_[index(slab, tau, grid_flat, ra, action)];
@@ -169,25 +182,64 @@ class JointLogicTable {
   /// secondary's offset; delta and the sense class snap to their bins
   /// (nearest), then the layer (tau1 + delta_bin_value) / dynamics.dt_s is
   /// interpolated linearly and (h1, dh_own, dh_int1, h2) multilinearly,
-  /// exactly like LogicTable::action_costs.
+  /// exactly like LogicTable::action_costs.  The span overload is the real
+  /// entry point (the shared serving kernel); the array form wraps it.
+  void action_costs(double tau1_s, double delta_s, double h1_ft, double dh_own_fps,
+                    double dh_int1_fps, double h2_ft, SecondarySense sense, Advisory ra,
+                    std::span<double, kNumAdvisories> out) const;
   std::array<double, kNumAdvisories> action_costs(double tau1_s, double delta_s, double h1_ft,
                                                   double dh_own_fps, double dh_int1_fps,
                                                   double h2_ft, SecondarySense sense,
-                                                  Advisory ra) const;
+                                                  Advisory ra) const {
+    std::array<double, kNumAdvisories> costs{};
+    action_costs(tau1_s, delta_s, h1_ft, dh_own_fps, dh_int1_fps, h2_ft, sense, ra, costs);
+    return costs;
+  }
 
-  /// Serialize to / from a versioned little-endian binary file (the joint
+  /// Serialize to a versioned serving::TableImage container (the joint
   /// solve is minutes-scale at standard size; cache it like LogicTable).
-  void save(const std::string& path) const;
+  /// `quant` selects the stored value precision; int8 cuts the standard
+  /// image to ~1/3 of the f32 bytes.
+  void save(const std::string& path, serving::Quantization quant) const;
+  void save(const std::string& path) const { save(path, serving::Quantization::kNone); }
+
+  /// Load into an OWNING table (copies / dequantizes the payload).  Files
+  /// in the pre-serving ad-hoc format (magic "JTX1") still load for one
+  /// release; saving always writes the image container.  Throws
+  /// serving::TableIoError (a std::runtime_error).
   static JointLogicTable load(const std::string& path);
 
-  /// Direct access for the solver.
-  std::vector<float>& raw() { return q_; }
-  const std::vector<float>& raw() const { return q_; }
+  /// Zero-copy load over an unquantized (f32) image: values alias the
+  /// shared mmap, so N processes pay one physical copy of the payload.
+  /// The shared_ptr overload adopts an already-opened image
+  /// (PolicyServer maps each file exactly once).
+  static JointLogicTable open_mapped(const std::string& path);
+  static JointLogicTable open_mapped(std::shared_ptr<const serving::TableImage> image);
+
+  /// True when this table is an mmap view (no owned payload).
+  bool is_mapped() const { return view_ != nullptr; }
+
+  /// Decode the config metadata of a "JNT2" image without touching its
+  /// value payload — how PolicyServer serves quantized images directly.
+  static JointConfig decode_config(const serving::TableImage& image);
+
+  /// The value payload, owning or mapped — the serving kernel's view.
+  const float* values() const { return view_ != nullptr ? view_ : q_.data(); }
+
+  /// Direct access for the solver (owning tables only; throws on a
+  /// mapped view).
+  std::vector<float>& raw();
+  const std::vector<float>& raw() const;
 
  private:
   JointConfig config_;
   GridN<4> grid_;
   std::vector<float> q_;
+  // Set only on mapped tables: the view pointer targets image_'s mapping,
+  // so default copy/move keep it valid (the image is shared).
+  const float* view_ = nullptr;
+  std::size_t view_size_ = 0;
+  std::shared_ptr<const serving::TableImage> image_;
 };
 
 /// Online joint query from surveillance tracks — the joint analogue of
@@ -199,7 +251,12 @@ class JointLogicTable {
 /// false — and the costs are all zero, carrying no preference — unless
 /// BOTH threats are converging within the alerting horizon
 /// (`online.tau_alert_max_s`); the caller then falls back to pairwise
-/// fusion.
+/// fusion.  The span overload writes into caller storage; the array form
+/// wraps it.
+void joint_action_costs(const JointLogicTable& table, const AircraftTrack& own,
+                        const AircraftTrack& a, const AircraftTrack& b, Advisory ra,
+                        const OnlineConfig& online, bool* active,
+                        std::span<double, kNumAdvisories> out);
 std::array<double, kNumAdvisories> joint_action_costs(const JointLogicTable& table,
                                                       const AircraftTrack& own,
                                                       const AircraftTrack& a,

@@ -4,25 +4,75 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
 
+#include "serving/kernel.h"
+#include "serving/table_codec.h"
+#include "serving/table_image.h"
 #include "util/expect.h"
 
 namespace cav::acasx {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x41435831;  // "ACX1"
+using serving::TableIoError;
 
-void write_axis(std::ofstream& out, const UniformAxis& axis) {
-  const double lo = axis.lo();
-  const double hi = axis.hi();
-  const std::uint64_t count = axis.count();
-  out.write(reinterpret_cast<const char*>(&lo), sizeof lo);
-  out.write(reinterpret_cast<const char*>(&hi), sizeof hi);
-  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+constexpr std::uint32_t kLegacyMagic = 0x41435831;  // "ACX1", the pre-serving format
+
+// meta_f64 layout: 3 axes x (lo, hi), dynamics x 4, costs x 8.
+constexpr std::size_t kMetaF64Count = 3 * 2 + 4 + 8;
+// meta_u64 layout: 3 axis counts, tau_max.
+constexpr std::size_t kMetaU64Count = 3 + 1;
+
+void encode_meta(const AcasXuConfig& c, double* f64, std::uint64_t* u64) {
+  const UniformAxis* axes[3] = {&c.space.h_ft, &c.space.dh_own_fps, &c.space.dh_int_fps};
+  for (std::size_t i = 0; i < 3; ++i) {
+    f64[2 * i] = axes[i]->lo();
+    f64[2 * i + 1] = axes[i]->hi();
+    u64[i] = axes[i]->count();
+  }
+  u64[3] = c.space.tau_max;
+  double* d = f64 + 6;
+  d[0] = c.dynamics.dt_s;
+  d[1] = c.dynamics.accel_initial_fps2;
+  d[2] = c.dynamics.accel_strength_fps2;
+  d[3] = c.dynamics.accel_noise_sigma_fps2;
+  double* k = f64 + 10;
+  k[0] = c.costs.nmac_cost;
+  k[1] = c.costs.nmac_h_ft;
+  k[2] = c.costs.maneuver_cost;
+  k[3] = c.costs.strengthened_maneuver_cost;
+  k[4] = c.costs.level_reward;
+  k[5] = c.costs.strengthen_cost;
+  k[6] = c.costs.reversal_cost;
+  k[7] = c.costs.termination_cost;
 }
 
-UniformAxis read_axis(std::ifstream& in) {
+AcasXuConfig decode_meta(const serving::TableImage& image) {
+  const auto f64 = image.slab_as<double>(serving::kSlabMetaF64);
+  const auto u64 = image.slab_as<std::uint64_t>(serving::kSlabMetaU64);
+  if (f64.size() != kMetaF64Count || u64.size() != kMetaU64Count) {
+    throw TableIoError("LogicTable::load", "bad meta slab", image.path());
+  }
+  AcasXuConfig c;
+  c.space.h_ft = UniformAxis(f64[0], f64[1], static_cast<std::size_t>(u64[0]));
+  c.space.dh_own_fps = UniformAxis(f64[2], f64[3], static_cast<std::size_t>(u64[1]));
+  c.space.dh_int_fps = UniformAxis(f64[4], f64[5], static_cast<std::size_t>(u64[2]));
+  c.space.tau_max = static_cast<std::size_t>(u64[3]);
+  c.dynamics.dt_s = f64[6];
+  c.dynamics.accel_initial_fps2 = f64[7];
+  c.dynamics.accel_strength_fps2 = f64[8];
+  c.dynamics.accel_noise_sigma_fps2 = f64[9];
+  c.costs.nmac_cost = f64[10];
+  c.costs.nmac_h_ft = f64[11];
+  c.costs.maneuver_cost = f64[12];
+  c.costs.strengthened_maneuver_cost = f64[13];
+  c.costs.level_reward = f64[14];
+  c.costs.strengthen_cost = f64[15];
+  c.costs.reversal_cost = f64[16];
+  c.costs.termination_cost = f64[17];
+  return c;
+}
+
+UniformAxis read_legacy_axis(std::ifstream& in) {
   double lo = 0.0;
   double hi = 0.0;
   std::uint64_t count = 0;
@@ -32,82 +82,21 @@ UniformAxis read_axis(std::ifstream& in) {
   return UniformAxis(lo, hi, static_cast<std::size_t>(count));
 }
 
-}  // namespace
-
-LogicTable::LogicTable(const AcasXuConfig& config)
-    : config_(config),
-      grid_(config.space.grid()) {
-  const std::size_t n =
-      num_tau_layers() * grid_.size() * kNumAdvisories * kNumAdvisories;
-  q_.assign(n, 0.0F);
-}
-
-std::array<double, kNumAdvisories> LogicTable::action_costs(double tau_s, double h_ft,
-                                                            double dh_own_fps, double dh_int_fps,
-                                                            Advisory ra) const {
-  expect(!q_.empty(), "logic table is solved/loaded");
-  const double tau_max = static_cast<double>(config_.space.tau_max);
-  const double tau = std::clamp(tau_s, 0.0, tau_max);
-  const auto t_lo = static_cast<std::size_t>(tau);
-  const std::size_t t_hi = std::min<std::size_t>(t_lo + 1, config_.space.tau_max);
-  const double t_frac = tau - static_cast<double>(t_lo);
-
-  const auto vertices = grid_.scatter({h_ft, dh_own_fps, dh_int_fps});
-
-  std::array<double, kNumAdvisories> costs{};
-  for (std::size_t ai = 0; ai < kNumAdvisories; ++ai) {
-    const auto action = static_cast<Advisory>(ai);
-    double lo = 0.0;
-    double hi = 0.0;
-    for (const auto& v : vertices) {
-      lo += v.weight * static_cast<double>(at(t_lo, v.flat, ra, action));
-      if (t_hi != t_lo) hi += v.weight * static_cast<double>(at(t_hi, v.flat, ra, action));
-    }
-    costs[ai] = (t_hi == t_lo) ? lo : lo * (1.0 - t_frac) + hi * t_frac;
-  }
-  return costs;
-}
-
-void LogicTable::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("LogicTable::save: cannot open " + path);
-
-  out.write(reinterpret_cast<const char*>(&kMagic), sizeof kMagic);
-  write_axis(out, config_.space.h_ft);
-  write_axis(out, config_.space.dh_own_fps);
-  write_axis(out, config_.space.dh_int_fps);
-  const std::uint64_t tau_max = config_.space.tau_max;
-  out.write(reinterpret_cast<const char*>(&tau_max), sizeof tau_max);
-
-  const double dyn[4] = {config_.dynamics.dt_s, config_.dynamics.accel_initial_fps2,
-                         config_.dynamics.accel_strength_fps2,
-                         config_.dynamics.accel_noise_sigma_fps2};
-  out.write(reinterpret_cast<const char*>(dyn), sizeof dyn);
-  const double costs[8] = {config_.costs.nmac_cost,      config_.costs.nmac_h_ft,
-                           config_.costs.maneuver_cost,  config_.costs.strengthened_maneuver_cost,
-                           config_.costs.level_reward,   config_.costs.strengthen_cost,
-                           config_.costs.reversal_cost,  config_.costs.termination_cost};
-  out.write(reinterpret_cast<const char*>(costs), sizeof costs);
-
-  const std::uint64_t n = q_.size();
-  out.write(reinterpret_cast<const char*>(&n), sizeof n);
-  out.write(reinterpret_cast<const char*>(q_.data()),
-            static_cast<std::streamsize>(n * sizeof(float)));
-  if (!out) throw std::runtime_error("LogicTable::save: write failed for " + path);
-}
-
-LogicTable LogicTable::load(const std::string& path) {
+// DEPRECATED read path for the pre-serving "ACX1" format; kept for one
+// release so cached tables survive the migration.  save() always writes
+// the TableImage container now.
+LogicTable load_legacy(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("LogicTable::load: cannot open " + path);
+  if (!in) throw TableIoError("LogicTable::load", "cannot open", path);
 
   std::uint32_t magic = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof magic);
-  if (magic != kMagic) throw std::runtime_error("LogicTable::load: bad magic in " + path);
+  if (magic != kLegacyMagic) throw TableIoError("LogicTable::load", "bad magic", path);
 
   AcasXuConfig config;
-  config.space.h_ft = read_axis(in);
-  config.space.dh_own_fps = read_axis(in);
-  config.space.dh_int_fps = read_axis(in);
+  config.space.h_ft = read_legacy_axis(in);
+  config.space.dh_own_fps = read_legacy_axis(in);
+  config.space.dh_int_fps = read_legacy_axis(in);
   std::uint64_t tau_max = 0;
   in.read(reinterpret_cast<char*>(&tau_max), sizeof tau_max);
   config.space.tau_max = static_cast<std::size_t>(tau_max);
@@ -132,10 +121,100 @@ LogicTable LogicTable::load(const std::string& path) {
   LogicTable table(config);
   std::uint64_t n = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof n);
-  if (n != table.q_.size()) throw std::runtime_error("LogicTable::load: size mismatch in " + path);
-  in.read(reinterpret_cast<char*>(table.q_.data()),
+  if (n != table.raw().size()) throw TableIoError("LogicTable::load", "size mismatch", path);
+  in.read(reinterpret_cast<char*>(table.raw().data()),
           static_cast<std::streamsize>(n * sizeof(float)));
-  if (!in) throw std::runtime_error("LogicTable::load: truncated file " + path);
+  if (!in) throw TableIoError("LogicTable::load", "truncated", path);
+  return table;
+}
+
+}  // namespace
+
+AcasXuConfig LogicTable::decode_config(const serving::TableImage& image) {
+  return decode_meta(image);
+}
+
+LogicTable::LogicTable(const AcasXuConfig& config)
+    : config_(config),
+      grid_(config.space.grid()) {
+  const std::size_t n =
+      num_tau_layers() * grid_.size() * kNumAdvisories * kNumAdvisories;
+  q_.assign(n, 0.0F);
+}
+
+void LogicTable::action_costs(double tau_s, double h_ft, double dh_own_fps, double dh_int_fps,
+                              Advisory ra, std::span<double, kNumAdvisories> out) const {
+  expect(num_entries() != 0, "logic table is solved/loaded");
+  const serving::TauBracket t = serving::bracket_tau(tau_s, config_.space.tau_max);
+  serving::grid_query<kNumAdvisories>(serving::F32View{values()}, grid_,
+                                      {h_ft, dh_own_fps, dh_int_fps}, 0, t,
+                                      static_cast<std::size_t>(ra), out.data());
+}
+
+std::vector<float>& LogicTable::raw() {
+  expect(view_ == nullptr, "owning table (mapped views are read-only)");
+  return q_;
+}
+
+const std::vector<float>& LogicTable::raw() const {
+  expect(view_ == nullptr, "owning table (mapped views have no vector)");
+  return q_;
+}
+
+void LogicTable::save(const std::string& path, serving::Quantization quant) const {
+  double meta_f64[kMetaF64Count];
+  std::uint64_t meta_u64[kMetaU64Count];
+  encode_meta(config_, meta_f64, meta_u64);
+
+  serving::TableImageWriter writer(path, serving::kKindPairwise);
+  writer.add_slab(serving::kSlabMetaF64, serving::SlabType::kF64, meta_f64, sizeof meta_f64);
+  writer.add_slab(serving::kSlabMetaU64, serving::SlabType::kU64, meta_u64, sizeof meta_u64);
+  serving::write_value_slabs(writer, {values(), num_entries()}, quant);
+  writer.finish();
+}
+
+LogicTable LogicTable::load(const std::string& path) {
+  if (serving::peek_magic(path) == kLegacyMagic) return load_legacy(path);
+
+  serving::TableImage image = serving::TableImage::open(path);
+  if (image.kind_name() != serving::kKindPairwise) {
+    throw TableIoError("LogicTable::load", "wrong table kind", path);
+  }
+  LogicTable table(decode_meta(image));
+  const serving::ValueSlabs values = serving::open_value_slabs(image);
+  if (values.count != table.q_.size()) {
+    throw TableIoError("LogicTable::load", "size mismatch", path);
+  }
+  table.q_ = serving::dequantize_values(values);
+  return table;
+}
+
+LogicTable LogicTable::open_mapped(const std::string& path) {
+  return open_mapped(
+      std::make_shared<const serving::TableImage>(serving::TableImage::open(path)));
+}
+
+LogicTable LogicTable::open_mapped(std::shared_ptr<const serving::TableImage> image) {
+  const std::string& path = image->path();
+  if (image->kind_name() != serving::kKindPairwise) {
+    throw TableIoError("LogicTable::open_mapped", "wrong table kind", path);
+  }
+  const serving::ValueSlabs values = serving::open_value_slabs(*image);
+  if (values.quant != serving::Quantization::kNone) {
+    throw TableIoError("LogicTable::open_mapped", "quantized image (use load())", path);
+  }
+
+  LogicTable table;
+  table.config_ = decode_meta(*image);
+  table.grid_ = table.config_.space.grid();
+  const std::size_t expected = table.num_tau_layers() * table.grid_.size() *
+                               kNumAdvisories * kNumAdvisories;
+  if (values.count != expected) {
+    throw TableIoError("LogicTable::open_mapped", "size mismatch", path);
+  }
+  table.view_ = values.f32;
+  table.view_size_ = values.count;
+  table.image_ = std::move(image);
   return table;
 }
 

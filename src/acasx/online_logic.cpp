@@ -77,20 +77,19 @@ Advisory select_advisory(std::array<double, kNumAdvisories> costs, Sense forbidd
   return Advisory::kCoc;  // unreachable: preference covers all advisories
 }
 
-std::array<double, kNumAdvisories> AcasXuLogic::peek_costs(const AircraftTrack& own,
-                                                           const AircraftTrack& intruder,
-                                                           bool* active) const {
-  std::array<double, kNumAdvisories> costs{};
+void AcasXuLogic::peek_costs(const AircraftTrack& own, const AircraftTrack& intruder,
+                             bool* active, std::span<double, kNumAdvisories> out) const {
   const TauEstimate tau = estimate_tau(own, intruder, config_);
   if (!tau.converging || tau.tau_s > config_.tau_alert_max_s) {
     *active = false;
-    return costs;
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
   }
   *active = true;
   const double h_ft = units::m_to_ft(intruder.position_m.z - own.position_m.z);
   const double dh_own_fps = units::m_to_ft(own.velocity_mps.z);
   const double dh_int_fps = units::m_to_ft(intruder.velocity_mps.z);
-  return table_->action_costs(tau.tau_s, h_ft, dh_own_fps, dh_int_fps, ra_);
+  table_->action_costs(tau.tau_s, h_ft, dh_own_fps, dh_int_fps, ra_, out);
 }
 
 Advisory AcasXuLogic::decide(const AircraftTrack& own, const AircraftTrack& intruder,

@@ -13,6 +13,7 @@
 #include <array>
 #include <limits>
 #include <memory>
+#include <span>
 
 #include "acasx/logic_table.h"
 #include "util/vec3.h"
@@ -71,11 +72,18 @@ class AcasXuLogic {
   /// cost fusion (sim/multi_threat.h), where several per-threat cost
   /// vectors are summed before one advisory is committed.  `active` is
   /// false when the threat is outside the alerting envelope (not
-  /// converging, or tau beyond the table horizon); the returned costs are
-  /// then all zero and carry no preference.
+  /// converging, or tau beyond the table horizon); the costs are then all
+  /// zero and carry no preference.  The span overload writes into caller
+  /// storage (the allocation-free serving path); the array form wraps it.
+  void peek_costs(const AircraftTrack& own, const AircraftTrack& intruder, bool* active,
+                  std::span<double, kNumAdvisories> out) const;
   std::array<double, kNumAdvisories> peek_costs(const AircraftTrack& own,
                                                 const AircraftTrack& intruder,
-                                                bool* active) const;
+                                                bool* active) const {
+    std::array<double, kNumAdvisories> costs{};
+    peek_costs(own, intruder, active, costs);
+    return costs;
+  }
 
   /// Overwrite the advisory memory with an externally selected advisory
   /// (the resolver's fused choice).  The next peek_costs/decide is then

@@ -1,0 +1,109 @@
+// The one multilinear-interpolation kernel behind every table query.
+//
+// LogicTable::action_costs, JointLogicTable::action_costs and
+// PolicyServer::query_batch are all thin entry points over grid_query():
+// batch-of-one is bit-identical to the single-query path by construction,
+// not by test luck.  The kernel is allocation-free (vertices scatter into
+// a stack array) and accumulates per-action sums in double in the exact
+// vertex order of the seed implementation, so replacing the old per-table
+// loops preserved every simulation pin bit for bit.
+//
+// Value access is a template View so quantized images are served without
+// expansion: F32View reads the solved floats (bit-identical), F16View and
+// Int8View dequantize at gather time (serving/quantize.h).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "serving/quantize.h"
+#include "util/grid.h"
+
+namespace cav::serving {
+
+struct F32View {
+  const float* q;
+  float operator()(std::size_t i) const { return q[i]; }
+};
+
+struct F16View {
+  const std::uint16_t* q;
+  float operator()(std::size_t i) const { return f16_decode(q[i]); }
+};
+
+struct Int8View {
+  const std::uint8_t* q;
+  const float* scale_offset;  ///< interleaved (scale, offset) per block
+  std::size_t block_elems;
+  float operator()(std::size_t i) const {
+    const float* so = scale_offset + 2 * (i / block_elems);
+    return so[1] + so[0] * static_cast<float>(q[i]);
+  }
+};
+
+/// The tau-layer bracketing every vertical table shares: clamp to
+/// [0, tau_max], interpolate linearly between integer layers (the seed
+/// LogicTable convention, preserved expression for expression).
+struct TauBracket {
+  std::size_t lo;
+  std::size_t hi;
+  double frac;
+};
+
+inline TauBracket bracket_tau(double tau, std::size_t tau_max) {
+  const double t = std::clamp(tau, 0.0, static_cast<double>(tau_max));
+  const auto lo = static_cast<std::size_t>(t);
+  const std::size_t hi = std::min<std::size_t>(lo + 1, tau_max);
+  return {lo, hi, t - static_cast<double>(lo)};
+}
+
+/// Accumulate the A per-action costs of one query.  Entry (layer, vertex,
+/// ra, action) lives at ((layer_offset + layer) * grid_size + vertex) *
+/// A^2 + ra * A + action — `layer_offset` is 0 for the pairwise table and
+/// slab * num_tau_layers for the joint table.
+///
+/// Accumulation order: per accumulator, vertices in scatter order — the
+/// same addition sequence as the seed per-action loops, hence
+/// bit-identical; actions are the contiguous inner loop (stride 1) so the
+/// compiler vectorizes the multiply-accumulate.
+template <std::size_t A, class View>
+inline void interpolate_costs(const View& q, std::size_t grid_size, std::size_t layer_offset,
+                              const TauBracket& t, const GridVertexWeight* verts,
+                              std::size_t nverts, std::size_t ra, double* out) {
+  double lo[A] = {};
+  const std::size_t ra_off = ra * A;
+  const std::size_t base_lo = (layer_offset + t.lo) * grid_size;
+  for (std::size_t v = 0; v < nverts; ++v) {
+    const double w = verts[v].weight;
+    const std::size_t cell = (base_lo + verts[v].flat) * (A * A) + ra_off;
+    for (std::size_t a = 0; a < A; ++a) lo[a] += w * static_cast<double>(q(cell + a));
+  }
+  if (t.hi == t.lo) {
+    for (std::size_t a = 0; a < A; ++a) out[a] = lo[a];
+    return;
+  }
+  double hi[A] = {};
+  const std::size_t base_hi = (layer_offset + t.hi) * grid_size;
+  for (std::size_t v = 0; v < nverts; ++v) {
+    const double w = verts[v].weight;
+    const std::size_t cell = (base_hi + verts[v].flat) * (A * A) + ra_off;
+    for (std::size_t a = 0; a < A; ++a) hi[a] += w * static_cast<double>(q(cell + a));
+  }
+  for (std::size_t a = 0; a < A; ++a) out[a] = lo[a] * (1.0 - t.frac) + hi[a] * t.frac;
+}
+
+/// Scatter a continuous point and interpolate: the complete per-query
+/// work after the caller has mapped its semantics (tau estimation, slab
+/// selection) onto (grid point, layer offset, tau bracket, ra).
+template <std::size_t A, std::size_t N, class View>
+inline void grid_query(const View& q, const GridN<N>& grid, const std::array<double, N>& x,
+                       std::size_t layer_offset, const TauBracket& t, std::size_t ra,
+                       double* out) {
+  GridVertexWeight verts[std::size_t{1} << N];
+  const std::size_t nverts = grid.scatter_into(x, verts);
+  interpolate_costs<A>(q, grid.size(), layer_offset, t, verts, nverts, ra, out);
+}
+
+}  // namespace cav::serving

@@ -1,0 +1,88 @@
+// Quantized value layers for the serving images — ROADMAP item 1's "table
+// compression for the edge".
+//
+// Three storage modes for a table's float32 Q payload, selected at dump
+// time and transparent to the query kernel (serving/kernel.h views
+// dequantize at gather time, so quantized images are served zero-copy
+// too, never expanded in memory):
+//
+//   kNone     float32 as solved; queries are bit-identical to the
+//             in-memory table.
+//   kFloat16  IEEE binary16, round-to-nearest-even.  2x smaller; the
+//             Q values (|q| <= ~1e4 after the offline solve) sit well
+//             inside half range, so the error is pure rounding (~2^-11
+//             relative).
+//   kInt8     affine uint8 per block of `block_elems` consecutive values:
+//             q ~= offset + scale * u8.  With the default block of one
+//             grid point's 25 (ra, action) values, payload+scales come to
+//             1.32 B/value = 33% of float32 — and the block never spans
+//             states, so the resolution adapts to each state's own cost
+//             spread (what the argmin actually compares).
+//
+// The policy-disagreement rate each lossy mode induces is measured (not
+// assumed) by bench_policy_server and pinned in tests.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cav::serving {
+
+enum class Quantization : std::uint64_t { kNone = 0, kFloat16 = 1, kInt8 = 2 };
+
+/// Short stable name for metrics / printouts ("f32", "f16", "int8").
+const char* quantization_name(Quantization q);
+
+// --- IEEE 754 binary16 codec (software; storage type uint16_t) ---
+
+/// float -> half, round-to-nearest-even, overflow to +-inf.
+std::uint16_t f16_encode(float value);
+
+/// half -> float, exact.
+inline float f16_decode(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000U) << 16;
+  std::uint32_t exp = (h >> 10) & 0x1FU;
+  std::uint32_t mant = h & 0x3FFU;
+  if (exp == 0) {
+    if (mant == 0) return std::bit_cast<float>(sign);
+    // Subnormal half: normalize into float.
+    while ((mant & 0x400U) == 0) {
+      mant <<= 1;
+      --exp;
+    }
+    mant &= 0x3FFU;
+    return std::bit_cast<float>(sign | ((exp + 113U) << 23) | (mant << 13));
+  }
+  if (exp == 31) return std::bit_cast<float>(sign | 0x7F800000U | (mant << 13));  // inf/nan
+  return std::bit_cast<float>(sign | ((exp + 112U) << 23) | (mant << 13));
+}
+
+// --- Block-affine int8 ---
+
+/// Per-block (scale, offset) pairs are stored interleaved in one float
+/// slab: block b dequantizes as offset[b] + scale[b] * u8.
+struct Int8Blocks {
+  std::vector<std::uint8_t> values;
+  std::vector<float> scale_offset;  ///< [scale0, offset0, scale1, offset1, ...]
+  std::size_t block_elems = 0;
+};
+
+/// Quantize `values` in blocks of `block_elems` consecutive elements (the
+/// last block may be short).  scale is (max-min)/255 over the block (0 for
+/// a constant block), offset is min.
+Int8Blocks int8_quantize(std::span<const float> values, std::size_t block_elems);
+
+/// Encode every value to binary16.
+std::vector<std::uint16_t> f16_quantize(std::span<const float> values);
+
+/// Expand a quantized payload back to float32 (the lossy load path for
+/// LogicTable::load on a quantized image).
+std::vector<float> f16_dequantize(std::span<const std::uint16_t> values);
+std::vector<float> int8_dequantize(std::span<const std::uint8_t> values,
+                                   std::span<const float> scale_offset,
+                                   std::size_t block_elems);
+
+}  // namespace cav::serving

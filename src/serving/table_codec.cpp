@@ -1,0 +1,106 @@
+#include "serving/table_codec.h"
+
+#include <cstring>
+
+namespace cav::serving {
+
+void write_value_slabs(TableImageWriter& writer, std::span<const float> values,
+                       Quantization quant, std::size_t block_elems) {
+  const std::uint64_t header[3] = {static_cast<std::uint64_t>(quant),
+                                   quant == Quantization::kInt8 ? block_elems : 0,
+                                   values.size()};
+  writer.add_slab(kSlabQuant, SlabType::kU64, header, sizeof header);
+  switch (quant) {
+    case Quantization::kNone:
+      writer.add_slab(kSlabValues, SlabType::kF32, values.data(), values.size_bytes());
+      break;
+    case Quantization::kFloat16: {
+      const std::vector<std::uint16_t> half = f16_quantize(values);
+      writer.add_slab(kSlabValues, SlabType::kF16, half.data(), half.size() * sizeof(half[0]));
+      break;
+    }
+    case Quantization::kInt8: {
+      const Int8Blocks blocks = int8_quantize(values, block_elems);
+      writer.add_slab(kSlabValues, SlabType::kU8, blocks.values.data(), blocks.values.size());
+      writer.add_slab(kSlabScales, SlabType::kF32, blocks.scale_offset.data(),
+                      blocks.scale_offset.size() * sizeof(float));
+      break;
+    }
+  }
+}
+
+std::size_t ValueSlabs::payload_bytes() const {
+  switch (quant) {
+    case Quantization::kNone: return count * sizeof(float);
+    case Quantization::kFloat16: return count * sizeof(std::uint16_t);
+    case Quantization::kInt8: {
+      const std::size_t blocks = block_elems == 0 ? 0 : (count + block_elems - 1) / block_elems;
+      return count + blocks * 2 * sizeof(float);
+    }
+  }
+  return 0;
+}
+
+ValueSlabs open_value_slabs(const TableImage& image) {
+  const auto quant_slab = image.slab_as<std::uint64_t>(kSlabQuant);
+  if (quant_slab.size() != 3) {
+    throw TableIoError("open_value_slabs", "bad quant slab", image.path());
+  }
+  ValueSlabs out;
+  out.quant = static_cast<Quantization>(quant_slab[0]);
+  out.block_elems = static_cast<std::size_t>(quant_slab[1]);
+  out.count = static_cast<std::size_t>(quant_slab[2]);
+  switch (out.quant) {
+    case Quantization::kNone: {
+      const auto v = image.slab_as<float>(kSlabValues);
+      if (v.size() != out.count) {
+        throw TableIoError("open_value_slabs", "size mismatch", image.path());
+      }
+      out.f32 = v.data();
+      break;
+    }
+    case Quantization::kFloat16: {
+      const auto v = image.slab_as<std::uint16_t>(kSlabValues);
+      if (v.size() != out.count) {
+        throw TableIoError("open_value_slabs", "size mismatch", image.path());
+      }
+      out.f16 = v.data();
+      break;
+    }
+    case Quantization::kInt8: {
+      const auto v = image.slab_as<std::uint8_t>(kSlabValues);
+      const auto so = image.slab_as<float>(kSlabScales);
+      const std::size_t blocks =
+          out.block_elems == 0 ? 0 : (out.count + out.block_elems - 1) / out.block_elems;
+      if (v.size() != out.count || out.block_elems == 0 || so.size() != 2 * blocks) {
+        throw TableIoError("open_value_slabs", "size mismatch", image.path());
+      }
+      out.u8 = v.data();
+      out.scale_offset = so.data();
+      break;
+    }
+    default:
+      throw TableIoError("open_value_slabs", "bad quantization mode", image.path());
+  }
+  return out;
+}
+
+std::vector<float> dequantize_values(const ValueSlabs& values) {
+  switch (values.quant) {
+    case Quantization::kNone: {
+      std::vector<float> out(values.count);
+      std::memcpy(out.data(), values.f32, values.count * sizeof(float));
+      return out;
+    }
+    case Quantization::kFloat16:
+      return f16_dequantize({values.f16, values.count});
+    case Quantization::kInt8:
+      return int8_dequantize({values.u8, values.count},
+                             {values.scale_offset,
+                              2 * ((values.count + values.block_elems - 1) / values.block_elems)},
+                             values.block_elems);
+  }
+  return {};
+}
+
+}  // namespace cav::serving

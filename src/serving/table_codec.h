@@ -1,0 +1,63 @@
+// Slab-name conventions and value-payload codec shared by every table
+// that dumps into a TableImage (acasx/logic_table.cpp, joint_table.cpp)
+// and by the PolicyServer that serves the images back.
+//
+// An image carries:
+//   meta_f64   table-kind-specific config doubles (axis bounds, dynamics,
+//              cost model) — encoded/decoded by the table class itself
+//   meta_u64   table-kind-specific config counts (axis sizes, tau_max)
+//   quant      [mode, block_elems, value_count] (u64)
+//   q          the value payload: f32, f16 or u8 per `quant`
+//   q_scale    interleaved (scale, offset) f32 per block (int8 only)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "serving/quantize.h"
+#include "serving/table_image.h"
+
+namespace cav::serving {
+
+inline constexpr std::string_view kKindPairwise = "PAIR";
+inline constexpr std::string_view kKindJoint = "JNT2";
+
+inline constexpr std::string_view kSlabMetaF64 = "meta_f64";
+inline constexpr std::string_view kSlabMetaU64 = "meta_u64";
+inline constexpr std::string_view kSlabQuant = "quant";
+inline constexpr std::string_view kSlabValues = "q";
+inline constexpr std::string_view kSlabScales = "q_scale";
+
+/// Default int8 block: one grid point's (ra, action) square — 25 values
+/// for the 5-advisory vertical tables — so quantization resolution adapts
+/// per state (see serving/quantize.h).
+inline constexpr std::size_t kDefaultInt8BlockElems = 25;
+
+/// Write the quant/q/q_scale slabs for `values` under the given mode.
+void write_value_slabs(TableImageWriter& writer, std::span<const float> values,
+                       Quantization quant, std::size_t block_elems = kDefaultInt8BlockElems);
+
+/// Zero-copy views of an image's value slabs (pointers into the mapping).
+struct ValueSlabs {
+  Quantization quant = Quantization::kNone;
+  std::size_t count = 0;        ///< number of logical values
+  std::size_t block_elems = 0;  ///< int8 block size (0 otherwise)
+  const float* f32 = nullptr;
+  const std::uint16_t* f16 = nullptr;
+  const std::uint8_t* u8 = nullptr;
+  const float* scale_offset = nullptr;
+
+  /// Bytes actually served per full table (payload + scales).
+  std::size_t payload_bytes() const;
+};
+
+/// Open and validate the value slabs; throws TableIoError on a malformed
+/// or inconsistent image.
+ValueSlabs open_value_slabs(const TableImage& image);
+
+/// Expand to float32 (lossy for f16/int8) — the owning load path.
+std::vector<float> dequantize_values(const ValueSlabs& values);
+
+}  // namespace cav::serving

@@ -1,0 +1,38 @@
+// Unified error type for table I/O across the serving layer and both
+// logic tables.
+//
+// Before the serving layer, LogicTable and JointLogicTable each threw six
+// hand-rolled std::runtime_error strings ("cannot open", "bad magic",
+// "size mismatch", ...).  TableIoError is the single replacement: it
+// derives from std::runtime_error (existing EXPECT_THROW sites keep
+// passing) and carries the offending path and a short machine-greppable
+// reason so tests can assert on the failure mode, not on prose.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cav::serving {
+
+class TableIoError : public std::runtime_error {
+ public:
+  /// `op` names the failing API ("LogicTable::load", "TableImage::open"),
+  /// `reason` the failure mode ("cannot open", "bad magic", "truncated",
+  /// "size mismatch", "checksum mismatch", "bad alignment", ...).
+  TableIoError(std::string op, std::string reason, std::string path)
+      : std::runtime_error(op + ": " + reason + " in " + path),
+        op_(std::move(op)),
+        reason_(std::move(reason)),
+        path_(std::move(path)) {}
+
+  const std::string& op() const { return op_; }
+  const std::string& reason() const { return reason_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string op_;
+  std::string reason_;
+  std::string path_;
+};
+
+}  // namespace cav::serving

@@ -34,7 +34,7 @@ bool AcasXuCas::evaluate_costs(const acasx::AircraftTrack& own, const ThreatObse
                                ThreatCosts* out) {
   const acasx::AircraftTrack smoothed =
       threat_smoothers_.smooth(threat.aircraft_id, threat.track, smoother_.config());
-  out->costs = logic_.peek_costs(own, smoothed, &out->active);
+  logic_.peek_costs(own, smoothed, &out->active, out->costs);
   return true;
 }
 
@@ -48,8 +48,8 @@ bool AcasXuCas::evaluate_joint_costs(const acasx::AircraftTrack& own,
                                                               primary.track);
   const acasx::AircraftTrack& b = threat_smoothers_.current_or(secondary.aircraft_id,
                                                               secondary.track);
-  out->costs = acasx::joint_action_costs(*joint_, own, a, b, logic_.current_advisory(),
-                                         logic_.config(), &out->active);
+  acasx::joint_action_costs(*joint_, own, a, b, logic_.current_advisory(), logic_.config(),
+                            &out->active, out->costs);
   return true;
 }
 

@@ -35,7 +35,7 @@ bool BeliefAcasXuCas::evaluate_costs(const acasx::AircraftTrack& own,
                                      const ThreatObservation& threat, ThreatCosts* out) {
   const acasx::AircraftTrack smoothed =
       threat_smoothers_.smooth(threat.aircraft_id, threat.track, smoother_.config());
-  out->costs = logic_.peek_costs(own, smoothed, &out->active);
+  logic_.peek_costs(own, smoothed, &out->active, out->costs);
   return true;
 }
 
@@ -50,8 +50,8 @@ bool BeliefAcasXuCas::evaluate_joint_costs(const acasx::AircraftTrack& own,
                                                               primary.track);
   const acasx::AircraftTrack& b = threat_smoothers_.current_or(secondary.aircraft_id,
                                                               secondary.track);
-  out->costs = acasx::joint_action_costs(*joint_, own, a, b, logic_.current_advisory(),
-                                         logic_.online_config(), &out->active);
+  acasx::joint_action_costs(*joint_, own, a, b, logic_.current_advisory(),
+                            logic_.online_config(), &out->active, out->costs);
   return true;
 }
 

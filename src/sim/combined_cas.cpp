@@ -48,7 +48,7 @@ bool CombinedCas::evaluate_costs(const acasx::AircraftTrack& own, const ThreatOb
                                  ThreatCosts* out) {
   const acasx::AircraftTrack smoothed =
       threat_smoothers_.smooth(threat.aircraft_id, threat.track, smoother_.config());
-  out->costs = vertical_.peek_costs(own, smoothed, &out->active);
+  vertical_.peek_costs(own, smoothed, &out->active, out->costs);
   return true;
 }
 
@@ -62,8 +62,8 @@ bool CombinedCas::evaluate_joint_costs(const acasx::AircraftTrack& own,
                                                               primary.track);
   const acasx::AircraftTrack& b = threat_smoothers_.current_or(secondary.aircraft_id,
                                                               secondary.track);
-  out->costs = acasx::joint_action_costs(*joint_, own, a, b, vertical_.current_advisory(),
-                                         vertical_.config(), &out->active);
+  acasx::joint_action_costs(*joint_, own, a, b, vertical_.current_advisory(),
+                            vertical_.config(), &out->active, out->costs);
   return true;
 }
 

@@ -119,11 +119,19 @@ class GridN {
   /// matches the table boundary behaviour of the ACAS X reports.
   /// Vertices with zero weight are omitted.
   std::vector<GridVertexWeight> scatter(const std::array<double, N>& x) const {
+    std::vector<GridVertexWeight> out(std::size_t{1} << N);
+    out.resize(scatter_into(x, out.data()));
+    return out;
+  }
+
+  /// Allocation-free scatter for hot query paths (serving/kernel.h):
+  /// writes the same vertex set as scatter(), in the same order, into
+  /// `out` (capacity >= 2^N) and returns the count.
+  std::size_t scatter_into(const std::array<double, N>& x, GridVertexWeight* out) const {
     std::array<UniformAxis::Bracket, N> br{};
     for (std::size_t d = 0; d < N; ++d) br[d] = axes_[d].bracket(x[d]);
 
-    std::vector<GridVertexWeight> out;
-    out.reserve(std::size_t{1} << N);
+    std::size_t n = 0;
     for (std::size_t corner = 0; corner < (std::size_t{1} << N); ++corner) {
       double w = 1.0;
       std::size_t flat = 0;
@@ -132,9 +140,17 @@ class GridN {
         w *= hi ? br[d].frac : (1.0 - br[d].frac);
         flat += (br[d].index + (hi ? 1 : 0)) * strides_[d];
       }
-      if (w > 0.0) out.push_back({flat, w});
+      if (w > 0.0) out[n++] = {flat, w};
     }
-    return out;
+    return n;
+  }
+
+  /// Flat index of the lower-corner cell containing x (clamped) — the
+  /// locality key PolicyServer buckets batched queries by.
+  std::size_t cell_index(const std::array<double, N>& x) const {
+    std::size_t flat = 0;
+    for (std::size_t d = 0; d < N; ++d) flat += axes_[d].bracket(x[d]).index * strides_[d];
+    return flat;
   }
 
   /// Multilinear interpolation of `values` (one value per vertex, flat

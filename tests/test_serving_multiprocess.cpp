@@ -1,0 +1,124 @@
+// Multi-process mmap smoke test: two forked processes open the same
+// TableImage, answer the same queries bit-identically, and share the
+// payload pages (each process's PSS share of the file mappings is well
+// below its RSS).  Linux-only — the fork/smaps machinery has no portable
+// equivalent; elsewhere the suite compiles to a skip.
+#include "serving/policy_server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#ifdef __linux__
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "acasx/offline_solver.h"
+#endif
+
+namespace cav::serving {
+namespace {
+
+#ifdef __linux__
+
+/// Sum an smaps field (kB) over mappings whose pathname contains `needle`.
+double smaps_mapped_kb(const char* needle, const char* field) {
+  std::ifstream in("/proc/self/smaps");
+  std::string line;
+  bool tracking = false;
+  double sum_kb = 0.0;
+  while (std::getline(in, line)) {
+    const bool header = !line.empty() &&
+                        std::isxdigit(static_cast<unsigned char>(line[0])) &&
+                        line.find('-') != std::string::npos &&
+                        line.find('-') < line.find(' ');
+    if (header) {
+      tracking = line.find(needle) != std::string::npos;
+    } else if (tracking && line.rfind(field, 0) == 0) {
+      std::istringstream row(line.substr(std::strlen(field)));
+      double kb = 0.0;
+      row >> kb;
+      sum_kb += kb;
+    }
+  }
+  return sum_kb;
+}
+
+TEST(ServingMultiprocess, TwoProcessesShareOnePhysicalCopy) {
+  const std::string path = ::testing::TempDir() + "serving_multiproc.img";
+  const auto table = acasx::solve_logic_table(acasx::AcasXuConfig::coarse());
+  table.save(path);
+
+  // Fixed probe queries; every process must produce these exact bits.
+  std::vector<TrackQuery> queries;
+  for (int i = 0; i < 64; ++i) {
+    queries.push_back({2.0 + 0.37 * i, -900.0 + 30.0 * i, -8.0 + 0.25 * i, 8.0 - 0.25 * i,
+                       static_cast<acasx::Advisory>(i % acasx::kNumAdvisories)});
+  }
+  std::vector<AdvisoryCosts> expected(queries.size());
+  const PolicyServer parent_server = PolicyServer::open(path);
+  parent_server.query_batch(queries, expected);
+
+  constexpr int kProcs = 2;
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  for (int p = 0; p < kProcs; ++p) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      const PolicyServer server = PolicyServer::open(path);
+      std::vector<AdvisoryCosts> got(queries.size());
+      server.query_batch(queries, got);
+      // Touch the whole payload so the mapping is fully resident.
+      double touch = 0.0;
+      const float* v = server.pairwise_table()->values();
+      for (std::size_t i = 0; i < server.pairwise_table()->num_entries(); i += 256) {
+        touch += v[i];
+      }
+      const double rss_kb = smaps_mapped_kb(".img", "Rss:");
+      const double pss_kb = smaps_mapped_kb(".img", "Pss:");
+      std::size_t mismatches = 0;
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        if (got[i].costs != expected[i].costs) ++mismatches;
+      }
+      double payload[4] = {static_cast<double>(mismatches), rss_kb, pss_kb, touch};
+      [[maybe_unused]] const ssize_t n = write(fds[1], payload, sizeof payload);
+      _exit(0);
+    }
+  }
+
+  const double payload_kb =
+      static_cast<double>(parent_server.pairwise_payload_bytes()) / 1024.0;
+  for (int p = 0; p < kProcs; ++p) {
+    double payload[4] = {};
+    ASSERT_EQ(read(fds[0], payload, sizeof payload), static_cast<ssize_t>(sizeof payload));
+    EXPECT_EQ(payload[0], 0.0) << "child " << p << " disagreed with the parent's results";
+    // The child touched every payload page: its RSS for the mapping spans
+    // the payload...
+    EXPECT_GT(payload[1], 0.5 * payload_kb) << "child " << p << " mapping not resident";
+    // ...but its *proportional* share is divided among the sharers
+    // (parent + children), which is the point of MAP_SHARED serving.
+    EXPECT_LT(payload[2], 0.8 * payload[1])
+        << "child " << p << " PSS ~ RSS: pages are not being shared";
+  }
+  for (int p = 0; p < kProcs; ++p) wait(nullptr);
+  close(fds[0]);
+  close(fds[1]);
+  std::remove(path.c_str());
+}
+
+#else
+
+TEST(ServingMultiprocess, SkippedOffLinux) { GTEST_SKIP() << "fork/smaps are Linux-only"; }
+
+#endif  // __linux__
+
+}  // namespace
+}  // namespace cav::serving

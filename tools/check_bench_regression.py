@@ -15,6 +15,15 @@ along in the artifact for the perf trajectory but are not gated.  A
 baselined bench or timing missing from the results is an error: renaming a
 metric must be accompanied by a baseline update.
 
+A bench entry may carry a "floors" map overriding the global floor for
+named timings — the way to gate sub-50 ms metrics that are stable enough
+to guard (e.g. a per-batch p99 latency measured over hundreds of batches):
+
+    "bench_policy_server": {
+        "metrics": {"e15.pair.batch_p99_s": 0.004},
+        "floors": {"e15.pair.batch_p99_s": 0.0}
+    }
+
 Usage:
     check_bench_regression.py --results build/bench_results.json \
         [--baselines bench/baselines.json] [--threshold 2.5] [--min-baseline-s 0.05]
@@ -69,10 +78,12 @@ def main() -> int:
         if result_entry.get("wall_s") is not None:
             result_metrics["wall_s"] = result_entry["wall_s"]
 
+        floors = base_entry.get("floors", {})
         for key, base_value in sorted(base_metrics.items()):
             if not is_timing(key):
                 continue
-            if base_value is None or base_value < args.min_baseline_s:
+            floor = floors.get(key, args.min_baseline_s)
+            if base_value is None or base_value < floor:
                 skipped += 1
                 continue
             current = result_metrics.get(key)
