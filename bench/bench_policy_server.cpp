@@ -262,11 +262,12 @@ int main(int argc, char** argv) {
   const double api_s = seconds_since(api_start);
 
   serving::BatchOptions unsorted;
-  unsorted.sort_by_cell = false;
+  unsorted.sort_by_cell = serving::CellSort::kOff;
   const auto [unsorted_s, unsorted_p99] =
       timed_batches(f32_server, queries, out, kBatch, unsorted);
 
   serving::BatchOptions sorted;
+  sorted.sort_by_cell = serving::CellSort::kOn;
   const auto [batch_s, batch_p99] = timed_batches(f32_server, queries, out, kBatch, sorted);
 
   // One mega-batch: cell-sorting the whole query set turns the table
@@ -275,6 +276,9 @@ int main(int argc, char** argv) {
   // query neighbourhood.
   const auto [mega_s, mega_p99] = timed_batches(f32_server, queries, out, kQueries, sorted);
 
+  // kAuto resolves from the pool size: sort on for >= 2 workers, off on a
+  // single-threaded pool (the measured break-even — the sequential sort
+  // only pays when it feeds perfectly-local parallel shards).
   serving::BatchOptions pooled;
   pooled.pool = &bench::pool();
   const auto [pooled_s, pooled_p99] = timed_batches(f32_server, queries, out, kBatch, pooled);
@@ -289,8 +293,9 @@ int main(int argc, char** argv) {
   std::printf("  batched, cell-sorted:         %10.0f advisories/s  (p99 %6.3f ms)\n",
               qps(kQueries, batch_s), batch_p99 * 1e3);
   std::printf("  batched, sorted mega-batch:   %10.0f advisories/s\n", qps(kQueries, mega_s));
-  std::printf("  batched, sorted + pool(%zu):   %10.0f advisories/s  (p99 %6.3f ms)\n",
-              bench::pool().thread_count(), qps(kQueries, pooled_s), pooled_p99 * 1e3);
+  std::printf("  batched, auto(%s) + pool(%zu): %10.0f advisories/s  (p99 %6.3f ms)\n",
+              pooled.should_sort() ? "sort" : "no-sort", bench::pool().thread_count(),
+              qps(kQueries, pooled_s), pooled_p99 * 1e3);
   // Headline: the best batched configuration (and its p99) vs the seed
   // single-query baseline.
   const struct {

@@ -3,6 +3,7 @@
 // per-pair outcome table, and render the converging-ring geometry.
 //
 //   ./multi_intruder_demo [intruders]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -29,16 +30,22 @@ int main(int argc, char** argv) {
               "global minsep", "ownNMAC", "anyNMAC", "alerts");
   for (const std::string& name : scenarios::scenario_names()) {
     // overtake is a fixed single-intruder geometry; keep its default.
-    const std::size_t k = (name == "overtake") ? 0 : intruders;
+    // city-corridors counts whole aircraft and is demoed at a small fleet
+    // (bench_airspace_scale owns the hundreds-of-aircraft sweep).
+    const bool city = (name == "city-corridors");
+    const std::size_t k = (name == "overtake") ? 0
+                          : city ? std::max<std::size_t>(2, intruders == 0 ? 24 : intruders)
+                                 : intruders;
     const scenarios::Scenario scenario = scenarios::make_scenario(name, k);
     sim::SimConfig config;
     config.record_trajectory = true;
+    if (city) config.airspace.interaction_radius_m = 2000.0;
     const auto result = scenarios::run_scenario(scenario, config, equipped, equipped, 7);
 
     int alerted = 0;
     for (const auto& agent : result.agents) alerted += agent.ever_alerted ? 1 : 0;
     std::printf("%-16s %-4zu %-14.1f %-14.1f %-8s %-8s %-6d\n", scenario.name.c_str(),
-                scenario.params.num_intruders(), result.own_min_separation_m(),
+                scenario.num_aircraft() - 1, result.own_min_separation_m(),
                 result.proximity.min_distance_m, result.own_nmac() ? "yes" : "no",
                 result.nmac ? "yes" : "no", alerted);
   }

@@ -75,6 +75,7 @@ EncounterEvaluation EncounterEvaluator::evaluate(const encounter::EncounterParam
     eval.min_miss_m = std::min(eval.min_miss_m, d_k);
     if (result.nmac) ++eval.nmac_count;
     if (result.own.ever_alerted) ++own_alerts;
+    eval.wall_s += result.wall_time_s;
   }
 
   const auto n = static_cast<double>(config_.runs_per_encounter);
@@ -137,6 +138,7 @@ MultiEncounterEvaluation MultiEncounterEvaluator::evaluate(
     eval.min_miss_m = std::min(eval.min_miss_m, d_k);
     if (result.own_nmac()) ++eval.own_nmac_count;
     if (result.own.ever_alerted) ++own_alerts;
+    eval.wall_s += result.wall_time_s;
   }
 
   const auto n = static_cast<double>(config_.runs_per_encounter);

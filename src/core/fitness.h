@@ -52,6 +52,9 @@ struct EncounterEvaluation {
   double mean_miss_m = 0.0;          ///< mean of d_k
   double min_miss_m = 0.0;           ///< best (smallest) d_k seen
   double alert_fraction_own = 0.0;   ///< runs where the own-ship ever alerted
+  /// Summed SimResult::wall_time_s across the runs — what this encounter
+  /// cost to evaluate.  Host timing, not deterministic.
+  double wall_s = 0.0;
 
   double nmac_rate() const {
     return runs ? static_cast<double>(nmac_count) / static_cast<double>(runs) : 0.0;
@@ -92,6 +95,9 @@ struct MultiEncounterEvaluation {
   double mean_miss_m = 0.0;          ///< mean of d_k
   double min_miss_m = 0.0;           ///< best (smallest) d_k seen
   double alert_fraction_own = 0.0;   ///< runs where the own-ship ever alerted
+  /// Summed SimResult::wall_time_s across the runs — what this encounter
+  /// cost to evaluate.  Host timing, not deterministic.
+  double wall_s = 0.0;
 
   double nmac_rate() const {
     return runs ? static_cast<double>(own_nmac_count) / static_cast<double>(runs) : 0.0;

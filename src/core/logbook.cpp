@@ -22,12 +22,12 @@ void Logbook::save_csv(const std::string& path) const {
   CsvWriter csv(path);
   std::vector<std::string> header{"evaluation", "generation"};
   for (const auto& name : encounter::param_names()) header.emplace_back(name);
-  header.insert(header.end(), {"fitness", "nmac_rate", "alert_fraction"});
+  header.insert(header.end(), {"fitness", "nmac_rate", "alert_fraction", "eval_wall_s"});
   csv.header(header);
   for (const auto& e : entries_) {
     csv.cell(e.evaluation_index).cell(e.generation);
     for (const double v : e.params.to_array()) csv.cell(v);
-    csv.cell(e.fitness).cell(e.nmac_rate).cell(e.alert_fraction);
+    csv.cell(e.fitness).cell(e.nmac_rate).cell(e.alert_fraction).cell(e.eval_wall_s);
     csv.end_row();
   }
 }
@@ -46,8 +46,9 @@ Logbook Logbook::load_csv(const std::string& path) {
     std::string cell;
     std::vector<double> values;
     while (std::getline(row, cell, ',')) values.push_back(std::stod(cell));
+    // 3 trailing metrics historically; +1 for eval_wall_s (newer files).
     constexpr std::size_t expected = 2 + encounter::kNumParams + 3;
-    if (values.size() != expected) {
+    if (values.size() != expected && values.size() != expected + 1) {
       throw std::runtime_error("Logbook::load_csv: malformed row in " + path);
     }
     LogEntry e;
@@ -59,6 +60,9 @@ Logbook Logbook::load_csv(const std::string& path) {
     e.fitness = values[2 + encounter::kNumParams];
     e.nmac_rate = values[3 + encounter::kNumParams];
     e.alert_fraction = values[4 + encounter::kNumParams];
+    if (values.size() > 5 + encounter::kNumParams) {
+      e.eval_wall_s = values[5 + encounter::kNumParams];
+    }
     entries.push_back(e);
   }
   return Logbook(std::move(entries));

@@ -30,6 +30,10 @@ struct LogEntry {
   double fitness = 0.0;
   double nmac_rate = 0.0;
   double alert_fraction = 0.0;
+  /// Wall-clock seconds the evaluation's simulations cost (summed
+  /// SimResult::wall_time_s).  Host timing — varies run to run; 0 in
+  /// logbooks written before the column existed.
+  double eval_wall_s = 0.0;
 };
 
 class Logbook {
@@ -46,7 +50,8 @@ class Logbook {
   std::vector<LogEntry> above(double fitness_threshold) const;
 
   /// Save/load as CSV (header: evaluation, generation, the 9 parameters,
-  /// fitness, nmac_rate, alert_fraction).
+  /// fitness, nmac_rate, alert_fraction, eval_wall_s).  load_csv accepts
+  /// files without the trailing eval_wall_s column (older logbooks).
   void save_csv(const std::string& path) const;
   static Logbook load_csv(const std::string& path);
 

@@ -71,6 +71,7 @@ SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
     std::size_t nmacs = 0;
     std::size_t alerts = 0;
     double sep_sum = 0.0;
+    double wall_s = 0.0;
   };
   const std::size_t num_stripes = std::min<std::size_t>(config.encounters, 64);
   std::vector<Partial> partials(num_stripes);
@@ -102,6 +103,7 @@ SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
     if (result.nmac) ++local.nmacs;
     if (result.own.ever_alerted || result.intruder.ever_alerted) ++local.alerts;
     local.sep_sum += result.proximity.min_distance_m;
+    local.wall_s += result.wall_time_s;
   };
 
   const auto run_multi = [&](std::size_t i, Partial& local) {
@@ -133,6 +135,7 @@ SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
     for (const sim::AgentReport& r : result.agents) any_alert = any_alert || r.ever_alerted;
     if (any_alert) ++local.alerts;
     local.sep_sum += result.own_min_separation_m();
+    local.wall_s += result.wall_time_s;
   };
 
   const auto run_one = [&](std::size_t i, Partial& local) {
@@ -162,6 +165,7 @@ SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
     rates.nmacs += p.nmacs;
     rates.alerts += p.alerts;
     sep_sum += p.sep_sum;
+    rates.sim_wall_s += p.wall_s;
   }
   rates.mean_min_separation_m =
       config.encounters ? sep_sum / static_cast<double>(config.encounters) : 0.0;

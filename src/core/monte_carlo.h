@@ -68,6 +68,15 @@ struct SystemRates {
   std::size_t nmacs = 0;
   std::size_t alerts = 0;            ///< encounters where either aircraft alerted
   double mean_min_separation_m = 0.0;
+  /// Summed SimResult::wall_time_s over all encounters — the measured
+  /// per-encounter cost sharded validation splits on (ROADMAP item 2) and
+  /// the E16 scaling curve plots.  Host timing: reproducible rates, not a
+  /// reproducible number.
+  double sim_wall_s = 0.0;
+
+  double mean_encounter_wall_s() const {
+    return encounters ? sim_wall_s / static_cast<double>(encounters) : 0.0;
+  }
 
   double nmac_rate() const {
     return encounters ? static_cast<double>(nmacs) / static_cast<double>(encounters) : 0.0;

@@ -110,6 +110,7 @@ ga::FitnessFunction make_fitness(const EncounterEvaluator& evaluator,
       entry.fitness = eval.fitness;
       entry.nmac_rate = eval.nmac_rate();
       entry.alert_fraction = eval.alert_fraction_own;
+      entry.eval_wall_s = eval.wall_s;
     }
     return eval.fitness;
   };

@@ -1,6 +1,7 @@
 #include "scenarios/scenario_library.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "util/angles.h"
@@ -98,9 +99,49 @@ Scenario high_density_random(std::size_t intruders, std::uint64_t seed) {
   return s;
 }
 
+Scenario city_corridors(std::size_t aircraft, std::uint64_t seed) {
+  expect(aircraft >= 2, "at least two aircraft");
+  Scenario s;
+  s.name = "city-corridors";
+  s.horizon_s = 120.0;
+  // Manhattan grid of one-way corridors.  Eastbound lanes fly 1000 m,
+  // northbound lanes 1015 m — inside the NMAC vertical band, so every
+  // lane crossing is a conflict the CAS must price.  Lane count scales
+  // with sqrt(K/2) per axis so per-lane headway and crossing density stay
+  // roughly constant as the fleet grows; the 2 km lane spacing matches
+  // the interaction radius city configs use.
+  constexpr double kLaneSpacingM = 2000.0;
+  const auto lanes_per_axis = static_cast<std::size_t>(
+      std::max(2.0, std::ceil(std::sqrt(static_cast<double>(aircraft) / 2.0))));
+  const double extent_m = kLaneSpacingM * static_cast<double>(lanes_per_axis);
+  s.explicit_states.reserve(aircraft);
+  for (std::size_t k = 0; k < aircraft; ++k) {
+    // One stream per aircraft: aircraft k's draws never depend on how many
+    // other aircraft exist (lane geometry does scale with the fleet).
+    RngStream rng = RngStream::derive(seed, "city", k);
+    const bool eastbound = (k % 2 == 0);
+    const std::size_t lane = (k / 2) % lanes_per_axis;
+    const double cross_m = kLaneSpacingM * static_cast<double>(lane);
+    const double along_m = extent_m * rng.uniform(0.0, 1.0);
+    sim::UavState state;
+    state.ground_speed_mps = rng.uniform(30.0, 45.0);
+    state.vertical_speed_mps = 0.0;
+    if (eastbound) {
+      state.position_m = {along_m, cross_m, 1000.0};
+      state.bearing_rad = 0.0;
+    } else {
+      state.position_m = {cross_m, along_m, 1015.0};
+      state.bearing_rad = kPi / 2.0;
+    }
+    s.explicit_states.push_back(state);
+  }
+  return s;
+}
+
 const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> names = {
-      "head-on", "crossing", "overtake", "converging-ring", "high-density"};
+      "head-on", "crossing", "overtake", "converging-ring", "high-density",
+      "city-corridors"};
   return names;
 }
 
@@ -115,6 +156,7 @@ Scenario make_scenario(std::string_view name, std::size_t intruders, std::uint64
   }
   if (name == "converging-ring") return converging_ring(intruders == 0 ? 4 : intruders);
   if (name == "high-density") return high_density_random(intruders == 0 ? 8 : intruders, seed);
+  if (name == "city-corridors") return city_corridors(intruders == 0 ? 256 : intruders, seed);
   expect(false, "unknown scenario family name");
   return {};  // unreachable
 }
@@ -153,7 +195,12 @@ sim::SimResult run_scenario(const Scenario& scenario, sim::SimConfig config,
       if (intruder_cas) agents[i].cas = intruder_cas();
     } else if (equipage.adversarial_unequipped) {
       sim::ScriptedManeuverConfig maneuver;
-      maneuver.start_s = std::max(0.0, scenario.params.intruders[i - 1].t_cpa_s - 10.0);
+      // Explicit-state scenarios carry no per-intruder CPA time; bust
+      // through mid-horizon instead.
+      const double t_cpa_s = i - 1 < scenario.params.intruders.size()
+                                 ? scenario.params.intruders[i - 1].t_cpa_s
+                                 : scenario.suggested_time_s() / 2.0;
+      maneuver.start_s = std::max(0.0, t_cpa_s - 10.0);
       maneuver.duration_s = 20.0;
       maneuver.decision_period_s = config.decision_period_s;
       agents[i].cas = std::make_unique<sim::ScriptedManeuverCas>(maneuver);

@@ -36,13 +36,27 @@ namespace cav::scenarios {
 struct Scenario {
   std::string name;  ///< family name ("head-on", "converging-ring", ...)
   encounter::MultiEncounterParams params;  ///< the full (2 + 7K)-gene geometry
+  /// When non-empty these states ARE the scenario: initial_states()
+  /// returns them verbatim and the CPA parameterization is ignored.
+  /// City-scale traffic (city_corridors) uses this — hundreds of aircraft
+  /// have no own-ship-centric (2 + 7K)-gene encoding.
+  std::vector<sim::UavState> explicit_states;
+  /// Simulation horizon for explicit-state scenarios (ignored when
+  /// explicit_states is empty).
+  double horizon_s = 0.0;
 
-  std::size_t num_aircraft() const { return params.num_intruders() + 1; }
-  /// Simulation horizon covering every intruder's CPA plus settle time.
-  double suggested_time_s() const { return params.max_t_cpa_s() + 45.0; }
-  /// Initial states [own, intruder 1..K].
+  std::size_t num_aircraft() const {
+    return explicit_states.empty() ? params.num_intruders() + 1 : explicit_states.size();
+  }
+  /// Simulation horizon: every intruder's CPA plus settle time, or the
+  /// explicit horizon for explicit-state scenarios.
+  double suggested_time_s() const {
+    return explicit_states.empty() ? params.max_t_cpa_s() + 45.0 : horizon_s;
+  }
+  /// Initial states [own, intruder 1..K] (or the explicit states).
   std::vector<sim::UavState> initial_states() const {
-    return encounter::generate_multi_initial_states(params);
+    return explicit_states.empty() ? encounter::generate_multi_initial_states(params)
+                                   : explicit_states;
   }
 };
 
@@ -52,11 +66,26 @@ Scenario overtake();
 Scenario converging_ring(std::size_t intruders = 4, double t_cpa_s = 40.0);
 Scenario high_density_random(std::size_t intruders = 8, std::uint64_t seed = 2016);
 
+/// City-scale corridor traffic: `aircraft` UAVs on a Manhattan grid of
+/// one-way corridors (2 km lane spacing), eastbound lanes at 1000 m and
+/// northbound lanes 15 m above — inside the NMAC vertical band, so every
+/// lane crossing is a live conflict.  Lane count scales with sqrt(K) to
+/// hold crossing density roughly constant as the scenario grows; spawn
+/// positions and speeds jitter from per-aircraft (seed, "city", k)
+/// streams.  The workload behind bench_airspace_scale (E16): pair
+/// interactions are local, so the spatial index should keep the cost of a
+/// decision cycle O(near pairs), not O(K^2).  Pair with an
+/// AirspaceConfig whose interaction_radius_m matches the 2 km lane
+/// spacing — the 25 km default degrades the index to all-pairs here.
+Scenario city_corridors(std::size_t aircraft = 256, std::uint64_t seed = 2016);
+
 /// The family names accepted by make_scenario, in presentation order.
 const std::vector<std::string>& scenario_names();
 
 /// Build a scenario by family name.  `intruders == 0` means the family
-/// default (1, 1, 1, 4, 8 respectively); `seed` only affects high-density.
+/// default (1, 1, 1, 4, 8, 256 respectively); `seed` affects high-density
+/// and city-corridors (for city-corridors, `intruders` counts the whole
+/// fleet, not intruders).
 /// `overtake` is a fixed single-intruder geometry and rejects K > 1.
 Scenario make_scenario(std::string_view name, std::size_t intruders = 0,
                        std::uint64_t seed = 2016);

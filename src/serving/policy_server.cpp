@@ -209,7 +209,7 @@ void PolicyServer::query_batch(std::span<const TrackQuery> queries, std::span<Ad
   if (n == 0) return;
 
   std::vector<std::uint64_t> keys;
-  if (options.sort_by_cell && n > 1) {
+  if (options.should_sort() && n > 1) {
     keys.resize(n);
     const std::size_t grid_size = pair_grid_.size();
     for (std::size_t i = 0; i < n; ++i) {
@@ -237,7 +237,7 @@ void PolicyServer::query_batch(std::span<const JointTrackQuery> queries,
   if (n == 0) return;
 
   std::vector<std::uint64_t> keys;
-  if (options.sort_by_cell && n > 1) {
+  if (options.should_sort() && n > 1) {
     keys.resize(n);
     const std::size_t grid_size = joint_grid_.size();
     const std::size_t layers = joint_config_.space.tau_max + 1;

@@ -65,14 +65,32 @@ struct AdvisoryCosts {
   std::array<double, acasx::kNumAdvisories> costs{};
 };
 
+/// Whether to bucket queries by (tau layer, grid cell) before evaluation.
+enum class CellSort : std::uint8_t {
+  /// Decide from the pool size: the sequential sort only pays for itself
+  /// when the sorted layout feeds two or more workers perfectly-local
+  /// shards (ROADMAP item 1's measured break-even); single-threaded
+  /// evaluation is faster in input order.
+  kAuto,
+  kOn,
+  kOff,
+};
+
 struct BatchOptions {
-  /// Bucket queries by (tau layer, grid cell) before evaluation.  Off, the
-  /// batch is evaluated in input order (useful for measuring the locality
-  /// win, bench_policy_server --no-sort).
-  bool sort_by_cell = true;
+  /// Bucket queries by (tau layer, grid cell) before evaluation.  kOff
+  /// evaluates the batch in input order (useful for measuring the
+  /// locality win, bench_policy_server --no-sort); kAuto applies the
+  /// pool-size heuristic of `should_sort()`.
+  CellSort sort_by_cell = CellSort::kAuto;
   /// Shard the batch across a pool.  Results are identical with or
   /// without a pool (each query writes only its own output slot).
   ThreadPool* pool = nullptr;
+
+  /// The resolved sort decision — the heuristic tests pin.
+  bool should_sort() const {
+    if (sort_by_cell != CellSort::kAuto) return sort_by_cell == CellSort::kOn;
+    return pool != nullptr && pool->thread_count() >= 2;
+  }
 };
 
 class PolicyServer {

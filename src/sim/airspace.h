@@ -1,0 +1,167 @@
+// Airspace-scale machinery for the event-driven simulation core (ROADMAP
+// item 3): a uniform spatial hash grid over horizontal position so threat
+// gating and pair-monitor activation cost O(near pairs) instead of O(K²),
+// and a deterministic event queue that carries fault-profile transitions
+// (comms-blackout window edges) as first-class scheduled events.
+//
+// Equivalence contract (asserted by tests/test_sim_equivalence.cpp):
+//
+//   * `AirspaceConfig::legacy()` — index forced to all-pairs, adaptive
+//     timers off — reproduces the pre-refactor fixed-dt engine bit for
+//     bit: every RNG draw, monitor update, and coordination delivery
+//     happens in the same order with the same operands.
+//   * The default config (grid index, 25 km interaction radius, adaptive
+//     timers) is bit-identical to legacy() whenever every aircraft pair
+//     stays within the interaction radius for the whole run — true of
+//     every existing K≤8 scenario, whose geometry spans a few km.  Beyond
+//     the radius the model changes deliberately: ADS-B reception has a
+//     finite range, so far traffic is unseen (tracks drop), unseen
+//     aircraft fly their flight plan on coarse steps, and their pair
+//     monitors do not materialize.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/vec3.h"
+
+namespace cav::sim {
+
+enum class IndexMode : std::uint8_t {
+  kGrid,      ///< uniform hash grid; near = horizontal distance <= radius
+  kAllPairs,  ///< every pair is near (the pre-refactor dense engine)
+};
+
+struct AirspaceConfig {
+  IndexMode index_mode = IndexMode::kGrid;
+  /// Horizontal ADS-B reception / interaction radius.  Pairs farther apart
+  /// than this exchange no surveillance or coordination and are not
+  /// monitored.  The 25 km default exceeds the span of every legacy
+  /// scenario (encounter geometry tops out near 12 km), so the default
+  /// engine reproduces all existing results exactly; city-scale scenarios
+  /// override it downward to realistic reception ranges.
+  double interaction_radius_m = 25000.0;
+  /// Agents with no aircraft inside the interaction radius integrate one
+  /// coarse step per decision period instead of densifying to the physics
+  /// dt.  Their OU disturbance draws coarsen accordingly (the documented
+  /// divergence — only ever engaged beyond the interaction radius).
+  bool adaptive_timers = true;
+
+  /// The pre-refactor engine: dense pairing, fixed dt everywhere.
+  static AirspaceConfig legacy() {
+    return {IndexMode::kAllPairs, std::numeric_limits<double>::infinity(), false};
+  }
+};
+
+/// Uniform hash grid over horizontal (x, y) position with cell size equal
+/// to the query radius, so a 3×3 neighborhood bounds every near pair.
+/// All outputs are in deterministic index order regardless of hash-map
+/// iteration order: pairs are emitted lexicographically (i < j, i
+/// ascending, j ascending within i).
+class SpatialHashGrid {
+ public:
+  /// Rebuild the grid from scratch.  `cell_size_m` must be positive and
+  /// finite; callers with an infinite radius should not use the grid.
+  void build(const std::vector<Vec3>& positions, double cell_size_m);
+
+  /// Append every pair (i, j), i < j, with horizontal separation <=
+  /// `radius_m` to `out`, in lexicographic order.
+  void collect_near_pairs(const std::vector<Vec3>& positions, double radius_m,
+                          std::vector<std::pair<int, int>>* out) const;
+
+ private:
+  static std::uint64_t cell_key(std::int64_t ix, std::int64_t iy) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ix)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(iy));
+  }
+  std::int64_t cell_of(double coord_m) const;
+
+  double cell_size_m_ = 0.0;
+  std::unordered_map<std::uint64_t, std::vector<int>> cells_;
+};
+
+/// The airspace view the simulation consults once per decision cycle:
+/// which unordered pairs are near, and each agent's sorted neighbor list.
+/// In kAllPairs mode every pair is near and the grid is never built.
+class Airspace {
+ public:
+  Airspace(const AirspaceConfig& config, std::size_t num_agents);
+
+  /// Recompute near pairs and adjacency from current positions.
+  void rebuild(const std::vector<Vec3>& positions);
+
+  const AirspaceConfig& config() const { return config_; }
+  bool all_pairs() const { return config_.index_mode == IndexMode::kAllPairs; }
+
+  /// Near pairs (i < j) in lexicographic order.
+  const std::vector<std::pair<int, int>>& near_pairs() const { return near_pairs_; }
+
+  /// Ascending ids of the aircraft within the interaction radius of `i`.
+  const std::vector<int>& neighbors_of(std::size_t i) const { return neighbors_[i]; }
+
+ private:
+  AirspaceConfig config_;
+  std::size_t num_agents_;
+  SpatialHashGrid grid_;
+  std::vector<std::pair<int, int>> near_pairs_;
+  std::vector<std::vector<int>> neighbors_;
+  bool built_ = false;
+};
+
+/// Scheduled simulation events.  Today these are the fault-profile comms
+/// transitions; the queue ordering key (time, type, agent, seq) is the
+/// contract new event types must slot into.
+enum class EventType : std::uint8_t {
+  kCommsBlackoutStart = 0,
+  kCommsBlackoutEnd = 1,
+};
+
+struct Event {
+  double t_s = 0.0;
+  EventType type = EventType::kCommsBlackoutStart;
+  int agent = 0;
+  std::uint64_t seq = 0;  ///< insertion order; final determinism tiebreak
+};
+
+/// Deterministic min-queue over (t_s, type, agent, seq).  Events are
+/// drained against the simulation's accumulated clock (`pop_due`), which
+/// is what makes event-driven blackout toggles reproduce the legacy
+/// per-cycle `TimeWindow::contains` comparisons exactly: an event with
+/// t_e fires at the first decision time t >= t_e, the same half-open
+/// boundary the window test evaluated.
+class EventQueue {
+ public:
+  void push(double t_s, EventType type, int agent) {
+    heap_.push(Event{t_s, type, agent, next_seq_++});
+  }
+
+  bool has_due(double t_s) const { return !heap_.empty() && heap_.top().t_s <= t_s; }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t_s != b.t_s) return a.t_s > b.t_s;
+      if (a.type != b.type) return a.type > b.type;
+      if (a.agent != b.agent) return a.agent > b.agent;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace cav::sim

@@ -79,20 +79,21 @@ class CoordinationChannel {
     if (!config_.enabled) return;
     for (std::size_t receiver = 0; receiver < num_agents_; ++receiver) {
       if (receiver == static_cast<std::size_t>(sender)) continue;
-      const std::size_t link = receiver * num_agents_ + static_cast<std::size_t>(sender);
-      double loss = config_.message_loss_prob;
-      if (config_.burst_model_active()) {
-        if (link_bad_[link]) {
-          if (rng.chance(config_.burst_exit_prob)) link_bad_[link] = 0;
-        } else if (rng.chance(config_.burst_enter_prob)) {
-          link_bad_[link] = 1;
-        }
-        if (link_bad_[link]) loss = config_.burst_loss_prob;
-      }
-      if (loss > 0.0 && rng.chance(loss)) continue;
-      if (deaf != nullptr && (*deaf)[receiver]) continue;
-      delivered_[link] = sense;
-      age_cycles_[link] = 0;
+      post_to(sender, static_cast<int>(receiver), sense, rng, deaf);
+    }
+  }
+
+  /// Range-limited broadcast: deliver only to `receivers` (ascending agent
+  /// ids, the sender's airspace neighbors).  Links to out-of-range
+  /// aircraft make no draws — a datalink has finite reach, so only
+  /// in-range links exist this cycle.  With `receivers` equal to every
+  /// other aircraft this is draw-for-draw the full broadcast above.
+  void post(int sender, acasx::Sense sense, RngStream& rng, const std::vector<bool>* deaf,
+            const std::vector<int>& receivers) {
+    if (!config_.enabled) return;
+    for (const int receiver : receivers) {
+      if (receiver == sender) continue;
+      post_to(sender, receiver, sense, rng, deaf);
     }
   }
 
@@ -141,6 +142,25 @@ class CoordinationChannel {
   }
 
  private:
+  void post_to(int sender, int receiver, acasx::Sense sense, RngStream& rng,
+               const std::vector<bool>* deaf) {
+    const std::size_t link =
+        static_cast<std::size_t>(receiver) * num_agents_ + static_cast<std::size_t>(sender);
+    double loss = config_.message_loss_prob;
+    if (config_.burst_model_active()) {
+      if (link_bad_[link]) {
+        if (rng.chance(config_.burst_exit_prob)) link_bad_[link] = 0;
+      } else if (rng.chance(config_.burst_enter_prob)) {
+        link_bad_[link] = 1;
+      }
+      if (link_bad_[link]) loss = config_.burst_loss_prob;
+    }
+    if (loss > 0.0 && rng.chance(loss)) return;
+    if (deaf != nullptr && (*deaf)[static_cast<std::size_t>(receiver)]) return;
+    delivered_[link] = sense;
+    age_cycles_[link] = 0;
+  }
+
   static constexpr int kMaxAge = 1 << 28;  ///< saturation bound for ages
 
   CoordinationConfig config_;

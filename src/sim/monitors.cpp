@@ -1,5 +1,9 @@
 #include "sim/monitors.h"
 
+#include <algorithm>
+
+#include "util/expect.h"
+
 namespace cav::sim {
 
 void ProximityMeasurer::update(double t_s, const Vec3& a, const Vec3& b) {
@@ -27,39 +31,102 @@ void AccidentDetector::update(double t_s, const Vec3& a, const Vec3& b) {
 }
 
 PairwiseMonitors::PairwiseMonitors(std::size_t num_agents, const AccidentConfig& config)
-    : num_agents_(num_agents) {
-  const std::size_t pairs = num_agents * (num_agents - 1) / 2;
-  proximity_.resize(pairs);
-  accidents_.assign(pairs, AccidentDetector(config));
+    : num_agents_(num_agents), config_(config) {}
+
+std::size_t PairwiseMonitors::find_or_create(std::size_t i, std::size_t j) {
+  const auto [it, created] = index_.try_emplace(slot_key(i, j), slots_.size());
+  if (created) {
+    PairSlot slot;
+    slot.a = static_cast<std::uint32_t>(i);
+    slot.b = static_cast<std::uint32_t>(j);
+    slot.accidents = AccidentDetector(config_);
+    slots_.push_back(std::move(slot));
+    sorted_valid_ = false;
+  }
+  return it->second;
 }
 
-std::size_t PairwiseMonitors::pair_index(std::size_t i, std::size_t j) const {
-  // Lexicographic order over (i, j) with i < j: pairs before row i, plus
-  // the offset of j within row i.
-  return i * num_agents_ - i * (i + 1) / 2 + (j - i - 1);
-}
-
-std::pair<std::size_t, std::size_t> PairwiseMonitors::pair_agents(std::size_t pair) const {
-  std::size_t i = 0;
-  while (pair_index(i, num_agents_ - 1) < pair) ++i;
-  const std::size_t j = pair - pair_index(i, i + 1) + i + 1;
-  return {i, j};
-}
-
-void PairwiseMonitors::update(double t_s, const std::vector<Vec3>& positions) {
-  std::size_t pair = 0;
+void PairwiseMonitors::activate_all_pairs() {
+  active_.clear();
   for (std::size_t i = 0; i + 1 < num_agents_; ++i) {
-    for (std::size_t j = i + 1; j < num_agents_; ++j, ++pair) {
-      proximity_[pair].update(t_s, positions[i], positions[j]);
-      accidents_[pair].update(t_s, positions[i], positions[j]);
+    for (std::size_t j = i + 1; j < num_agents_; ++j) {
+      active_.push_back(find_or_create(i, j));
     }
   }
 }
 
+std::size_t PairwiseMonitors::set_active_pairs(const std::vector<std::pair<int, int>>& pairs) {
+  const std::size_t before = slots_.size();
+  active_.clear();
+  for (const auto& [i, j] : pairs) {
+    active_.push_back(find_or_create(static_cast<std::size_t>(i), static_cast<std::size_t>(j)));
+  }
+  return slots_.size() - before;
+}
+
+void PairwiseMonitors::update(double t_s, const std::vector<Vec3>& positions) {
+  for (const std::size_t s : active_) {
+    PairSlot& slot = slots_[s];
+    slot.proximity.update(t_s, positions[slot.a], positions[slot.b]);
+    slot.accidents.update(t_s, positions[slot.a], positions[slot.b]);
+  }
+}
+
+void PairwiseMonitors::update_new(double t_s, const std::vector<Vec3>& positions,
+                                  std::size_t count) {
+  for (std::size_t s = slots_.size() - count; s < slots_.size(); ++s) {
+    PairSlot& slot = slots_[s];
+    slot.proximity.update(t_s, positions[slot.a], positions[slot.b]);
+    slot.accidents.update(t_s, positions[slot.a], positions[slot.b]);
+  }
+}
+
+bool PairwiseMonitors::monitored(std::size_t i, std::size_t j) const {
+  return index_.find(slot_key(i, j)) != index_.end();
+}
+
+const ProximityMeasurer& PairwiseMonitors::proximity(std::size_t i, std::size_t j) const {
+  const auto it = index_.find(slot_key(i, j));
+  expect(it != index_.end(), "pair was never monitored");
+  return slots_[it->second].proximity;
+}
+
+const AccidentDetector& PairwiseMonitors::accidents(std::size_t i, std::size_t j) const {
+  const auto it = index_.find(slot_key(i, j));
+  expect(it != index_.end(), "pair was never monitored");
+  return slots_[it->second].accidents;
+}
+
+const std::vector<std::size_t>& PairwiseMonitors::sorted_order() const {
+  if (!sorted_valid_) {
+    sorted_.resize(slots_.size());
+    for (std::size_t s = 0; s < slots_.size(); ++s) sorted_[s] = s;
+    std::sort(sorted_.begin(), sorted_.end(), [this](std::size_t x, std::size_t y) {
+      if (slots_[x].a != slots_[y].a) return slots_[x].a < slots_[y].a;
+      return slots_[x].b < slots_[y].b;
+    });
+    sorted_valid_ = true;
+  }
+  return sorted_;
+}
+
+const ProximityMeasurer& PairwiseMonitors::proximity_at(std::size_t pair) const {
+  return slots_[sorted_order()[pair]].proximity;
+}
+
+const AccidentDetector& PairwiseMonitors::accidents_at(std::size_t pair) const {
+  return slots_[sorted_order()[pair]].accidents;
+}
+
+std::pair<std::size_t, std::size_t> PairwiseMonitors::pair_agents(std::size_t pair) const {
+  const PairSlot& slot = slots_[sorted_order()[pair]];
+  return {slot.a, slot.b};
+}
+
 ProximityReport PairwiseMonitors::aggregate_proximity() const {
   ProximityReport out;
-  for (const ProximityMeasurer& m : proximity_) {
-    const ProximityReport& r = m.report();
+  for (const std::size_t s : sorted_order()) {
+    const ProximityReport& r = slots_[s].proximity.report();
     if (r.min_distance_m < out.min_distance_m) {
       out.min_distance_m = r.min_distance_m;
       out.time_of_min_distance_s = r.time_of_min_distance_s;
@@ -71,24 +138,26 @@ ProximityReport PairwiseMonitors::aggregate_proximity() const {
 }
 
 bool PairwiseMonitors::any_nmac() const {
-  for (const AccidentDetector& d : accidents_) {
-    if (d.nmac()) return true;
+  for (const PairSlot& slot : slots_) {
+    if (slot.accidents.nmac()) return true;
   }
   return false;
 }
 
 double PairwiseMonitors::earliest_nmac_time_s() const {
   double earliest = -1.0;
-  for (const AccidentDetector& d : accidents_) {
-    if (!d.nmac()) continue;
-    if (earliest < 0.0 || d.nmac_time_s() < earliest) earliest = d.nmac_time_s();
+  for (const PairSlot& slot : slots_) {
+    if (!slot.accidents.nmac()) continue;
+    if (earliest < 0.0 || slot.accidents.nmac_time_s() < earliest) {
+      earliest = slot.accidents.nmac_time_s();
+    }
   }
   return earliest;
 }
 
 bool PairwiseMonitors::any_hard_collision() const {
-  for (const AccidentDetector& d : accidents_) {
-    if (d.hard_collision()) return true;
+  for (const PairSlot& slot : slots_) {
+    if (slot.accidents.hard_collision()) return true;
   }
   return false;
 }

@@ -12,7 +12,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/units.h"
@@ -83,36 +86,59 @@ class AccidentDetector {
 };
 
 /// Per-pair monitor bank for N-aircraft runs: one ProximityMeasurer and one
-/// AccidentDetector per unordered aircraft pair (i < j), updated together
-/// from the full position vector.  For two aircraft this is exactly the
-/// original single proximity/accident pair.
+/// AccidentDetector per *monitored* unordered aircraft pair (i < j).
+///
+/// Monitor slots materialize lazily: the simulation declares each decision
+/// cycle's near-pair set (`set_active_pairs`, from the spatial index) and
+/// only those pairs are allocated and updated, so memory and per-step cost
+/// follow the near-pair count instead of K².  `activate_all_pairs()`
+/// restores the dense pre-refactor bank: every pair is materialized in
+/// lexicographic order, which also fixes the float-aggregation order of
+/// `aggregate_proximity` to the legacy one (first pair wins ties).
+/// Aggregates and `pair_agents` iterate slots sorted by (i, j), so results
+/// are deterministic regardless of activation chronology.
 class PairwiseMonitors {
  public:
   PairwiseMonitors(std::size_t num_agents, const AccidentConfig& config);
 
-  /// Update every pair; `positions` must have `num_agents()` entries.
+  /// Materialize every pair (i < j, lexicographic) and mark them active.
+  void activate_all_pairs();
+
+  /// Declare this cycle's update set.  Unseen pairs are materialized (the
+  /// caller should `update_new` them at the activation time); pairs that
+  /// drop out keep their slot and minima but stop being updated.
+  /// Returns the number of newly materialized slots, which are the tail
+  /// of the update set passed here.
+  std::size_t set_active_pairs(const std::vector<std::pair<int, int>>& pairs);
+
+  /// Update every active pair; `positions` must have `num_agents()` entries
+  /// (only the active pairs' entries are read).
   void update(double t_s, const std::vector<Vec3>& positions);
 
+  /// Update only the `count` most recently materialized slots — the pairs
+  /// a `set_active_pairs` call just created, which missed the update at
+  /// the end of the previous physics step.
+  void update_new(double t_s, const std::vector<Vec3>& positions, std::size_t count);
+
   std::size_t num_agents() const { return num_agents_; }
-  std::size_t num_pairs() const { return proximity_.size(); }
+  /// Materialized (ever-monitored) pair count — K(K-1)/2 only in dense mode.
+  std::size_t num_pairs() const { return slots_.size(); }
+  std::size_t num_active_pairs() const { return active_.size(); }
 
-  /// Index of pair (i, j), i < j, in lexicographic pair order.
-  std::size_t pair_index(std::size_t i, std::size_t j) const;
+  /// Whether pair (i, j) has ever been monitored.
+  bool monitored(std::size_t i, std::size_t j) const;
 
-  const ProximityMeasurer& proximity(std::size_t i, std::size_t j) const {
-    return proximity_[pair_index(i, j)];
-  }
-  const AccidentDetector& accidents(std::size_t i, std::size_t j) const {
-    return accidents_[pair_index(i, j)];
-  }
-  const ProximityMeasurer& proximity_at(std::size_t pair) const { return proximity_[pair]; }
-  const AccidentDetector& accidents_at(std::size_t pair) const { return accidents_[pair]; }
+  const ProximityMeasurer& proximity(std::size_t i, std::size_t j) const;
+  const AccidentDetector& accidents(std::size_t i, std::size_t j) const;
 
-  /// Pair (i, j) for a lexicographic pair index.
+  /// Slot access in (i, j)-sorted order, for result assembly.
+  const ProximityMeasurer& proximity_at(std::size_t pair) const;
+  const AccidentDetector& accidents_at(std::size_t pair) const;
   std::pair<std::size_t, std::size_t> pair_agents(std::size_t pair) const;
 
-  /// Minimum separations over all pairs; the time-of-minimum comes from the
-  /// pair achieving the smallest 3-D distance (first pair wins ties).
+  /// Minimum separations over all monitored pairs; the time-of-minimum
+  /// comes from the pair achieving the smallest 3-D distance (first pair
+  /// in (i, j) order wins ties).
   ProximityReport aggregate_proximity() const;
   bool any_nmac() const;
   /// Earliest NMAC penetration time across pairs; -1 when none occurred.
@@ -120,9 +146,26 @@ class PairwiseMonitors {
   bool any_hard_collision() const;
 
  private:
+  struct PairSlot {
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    ProximityMeasurer proximity;
+    AccidentDetector accidents;
+  };
+
+  static std::uint64_t slot_key(std::size_t i, std::size_t j) {
+    return (static_cast<std::uint64_t>(i) << 32) | static_cast<std::uint64_t>(j);
+  }
+  std::size_t find_or_create(std::size_t i, std::size_t j);
+  const std::vector<std::size_t>& sorted_order() const;
+
   std::size_t num_agents_;
-  std::vector<ProximityMeasurer> proximity_;
-  std::vector<AccidentDetector> accidents_;
+  AccidentConfig config_;
+  std::vector<PairSlot> slots_;                         ///< creation order
+  std::unordered_map<std::uint64_t, std::size_t> index_;  ///< (i, j) -> slot
+  std::vector<std::size_t> active_;                     ///< this cycle's update set
+  mutable std::vector<std::size_t> sorted_;             ///< slot ids by (a, b); lazy
+  mutable bool sorted_valid_ = false;
 };
 
 }  // namespace cav::sim

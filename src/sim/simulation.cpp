@@ -1,5 +1,7 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -48,11 +50,13 @@ Simulation::Simulation(const SimConfig& config, std::vector<AgentSetup> agents,
       sensor_(config.adsb),
       monitors_(agents.size(), config.accident),
       resolver_(config.threat_gate),
-      rng_coord_(RngStream::derive(seed, "coordination")) {
+      rng_coord_(RngStream::derive(seed, "coordination")),
+      airspace_(config.airspace, agents.size()) {
   expect(config.dt_dynamics_s > 0.0, "dt_dynamics_s > 0");
   expect(config.decision_period_s >= config.dt_dynamics_s,
          "decision period is at least one physics step");
   expect(config.max_time_s > 0.0, "max_time_s > 0");
+  expect(config.record_every_n >= 1, "record_every_n >= 1");
   expect(agents.size() >= 2, "a simulation needs at least two aircraft");
 
   runtimes_.reserve(agents.size());
@@ -65,7 +69,7 @@ Simulation::Simulation(const SimConfig& config, std::vector<AgentSetup> agents,
     runtimes_.push_back(AgentRuntime{
         UavAgent(static_cast<int>(i), setup.initial_state, setup.performance),
         std::move(setup.cas),
-        std::vector<std::optional<acasx::AircraftTrack>>(agents.size()),
+        {},
         {},
         acasx::Sense::kNone,
         acasx::Sense::kNone,
@@ -74,52 +78,105 @@ Simulation::Simulation(const SimConfig& config, std::vector<AgentSetup> agents,
         RngStream::derive(seed, "disturbance", i),
         RngStream::derive(seed, "fault", i),
         {},
+        {},
         setup.fault.has_value() ? *setup.fault : config.fault,
         setup.count_alerts,
-        std::vector<int>(agents.size(), 0),
-        std::vector<int>(agents.size(), 0)});
+        true,
+        0.0});
     if (runtimes_.back().cas != nullptr) runtimes_.back().cas->reset();
   }
   positions_.resize(runtimes_.size());
   comms_down_.resize(runtimes_.size(), false);
-}
+  blackout_depth_.resize(runtimes_.size(), 0);
 
-void Simulation::receive_track(AgentRuntime& me, std::size_t target) {
-  const UavState& truth = runtimes_[target].agent.state();
-  if (!me.fault.degrades_surveillance()) {
-    // The pre-fault seed path, draw for draw.
-    auto received = sensor_.observe(truth, me.rng_adsb);
-    if (received.has_value()) me.last_track_of[target] = *received;
-    return;
-  }
-
-  auto received = observe_degraded(sensor_, truth, me.fault, me.rng_adsb, me.rng_fault,
-                                   &me.burst_cycles_left[target]);
-  if (received.has_value()) {
-    me.last_track_of[target] = *received;
-    me.track_age_cycles[target] = 0;
-  } else {
-    ++me.track_age_cycles[target];
-    // Track-staleness horizon: a coasted track older than the horizon is
-    // dropped — the aircraft un-sees that traffic until it hears it again
-    // — instead of being trusted forever.
-    if (me.last_track_of[target].has_value() &&
-        static_cast<double>(me.track_age_cycles[target]) * config_.decision_period_s >
-            me.fault.track_staleness_horizon_s) {
-      me.last_track_of[target].reset();
+  // Comms-blackout window edges become first-class scheduled events.  An
+  // edge at t_e fires at the first decision time t >= t_e — the same
+  // boundary TimeWindow::contains evaluated each cycle, so the
+  // event-driven mask is bit-identical to the per-cycle scan.  Degenerate
+  // windows (end <= start), which contains() never satisfied, schedule
+  // nothing.
+  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+    for (const TimeWindow& w : runtimes_[i].fault.comms_blackouts) {
+      if (w.end_s <= w.start_s) continue;
+      events_.push(w.start_s, EventType::kCommsBlackoutStart, static_cast<int>(i));
+      events_.push(w.end_s, EventType::kCommsBlackoutEnd, static_cast<int>(i));
     }
   }
 }
 
-void Simulation::decide_for(AgentRuntime& me, std::size_t my_id, double t_s) {
+void Simulation::receive_track(AgentRuntime& me, TrackSlot& slot) {
+  const UavState& truth = runtimes_[static_cast<std::size_t>(slot.target)].agent.state();
+  if (!me.fault.degrades_surveillance()) {
+    // The pre-fault seed path, draw for draw.
+    auto received = sensor_.observe(truth, me.rng_adsb);
+    if (received.has_value()) slot.track = *received;
+    return;
+  }
+
+  auto received = observe_degraded(sensor_, truth, me.fault, me.rng_adsb, me.rng_fault,
+                                   &slot.burst_cycles_left);
+  if (received.has_value()) {
+    slot.track = *received;
+    slot.age_cycles = 0;
+  } else {
+    ++slot.age_cycles;
+    // Track-staleness horizon: a coasted track older than the horizon is
+    // dropped — the aircraft un-sees that traffic until it hears it again
+    // — instead of being trusted forever.
+    if (slot.track.has_value() &&
+        static_cast<double>(slot.age_cycles) * config_.decision_period_s >
+            me.fault.track_staleness_horizon_s) {
+      slot.track.reset();
+    }
+  }
+}
+
+void Simulation::refresh_tracks(AgentRuntime& me, const std::vector<int>& neighbors) {
+  // Merge the sorted track set against the sorted neighbor list: keep the
+  // slot (and its burst/age state) for targets still in radius, create
+  // slots for new arrivals, drop the rest — the aircraft un-sees traffic
+  // that left its reception range.  Each kept or new slot receives this
+  // cycle's broadcast in ascending target order, which is exactly the
+  // dense engine's 0..K reception loop when `neighbors` is everyone.
+  std::vector<TrackSlot>& next = me.tracks_scratch;
+  next.clear();
+  std::size_t k = 0;
+  for (const int j : neighbors) {
+    while (k < me.tracks.size() && me.tracks[k].target < j) ++k;
+    if (k < me.tracks.size() && me.tracks[k].target == j) {
+      next.push_back(std::move(me.tracks[k]));
+      ++k;
+    } else {
+      TrackSlot fresh;
+      fresh.target = j;
+      next.push_back(std::move(fresh));
+    }
+    receive_track(me, next.back());
+  }
+  std::swap(me.tracks, next);
+}
+
+void Simulation::decide_for(AgentRuntime& me, std::size_t my_id, double t_s,
+                            const std::vector<int>& neighbors) {
   if (me.cas == nullptr) return;
 
-  // Receive every other aircraft's broadcast, in index order (so the draw
-  // sequence on this aircraft's ADS-B stream is deterministic); coast on
-  // the last track heard for an aircraft whose message was lost.
-  for (std::size_t j = 0; j < runtimes_.size(); ++j) {
-    if (j == my_id) continue;
-    receive_track(me, j);
+  // Receive every in-radius aircraft's broadcast, in index order (so the
+  // draw sequence on this aircraft's ADS-B stream is deterministic); coast
+  // on the last track heard for an aircraft whose message was lost.
+  refresh_tracks(me, neighbors);
+
+  if (me.tracks.empty()) {
+    // All traffic left the interaction radius: no surveillance picture
+    // remains, so resume the flight plan rather than flying a frozen
+    // advisory forever.  Unreachable under the dense index (K >= 2 keeps
+    // every slot alive) and in any run whose geometry stays inside the
+    // radius.
+    me.agent.set_command(VerticalCommand{});
+    me.agent.set_turn_command(TurnCommand{});
+    me.current_label = "COC";
+    me.last_sense = acasx::Sense::kNone;
+    me.report.final_advisory = "COC";
+    return;
   }
 
   // Multi-threat arbitration (ThreatPolicy::kCostFused / kJointTable):
@@ -133,12 +190,12 @@ void Simulation::decide_for(AgentRuntime& me, std::size_t my_id, double t_s) {
     const acasx::AircraftTrack own_track = self_track(me.agent.state());
     std::vector<ThreatObservation>& threats = me.threat_scratch;
     threats.clear();
-    for (std::size_t j = 0; j < runtimes_.size(); ++j) {
-      if (j == my_id || !me.last_track_of[j].has_value()) continue;
+    for (const TrackSlot& slot : me.tracks) {
+      if (!slot.track.has_value()) continue;
       ThreatObservation obs;
-      obs.aircraft_id = static_cast<int>(j);
-      obs.track = *me.last_track_of[j];
-      obs.forbidden_sense = coord_.forbidden_for(static_cast<int>(my_id), static_cast<int>(j));
+      obs.aircraft_id = slot.target;
+      obs.track = *slot.track;
+      obs.forbidden_sense = coord_.forbidden_for(static_cast<int>(my_id), slot.target);
       obs.range_m = distance(obs.track.position_m, own_track.position_m);
       threats.push_back(std::move(obs));
     }
@@ -155,21 +212,20 @@ void Simulation::decide_for(AgentRuntime& me, std::size_t my_id, double t_s) {
     // so the engine feeds them the closest track currently held (lowest
     // index on ties).  Stay passive if nothing has ever been heard.
     const Vec3 my_position = me.agent.state().position_m;
-    std::size_t threat = runtimes_.size();
+    const TrackSlot* threat = nullptr;
     double threat_distance = std::numeric_limits<double>::infinity();
-    for (std::size_t j = 0; j < runtimes_.size(); ++j) {
-      if (j == my_id || !me.last_track_of[j].has_value()) continue;
-      const double d = distance(me.last_track_of[j]->position_m, my_position);
+    for (const TrackSlot& slot : me.tracks) {
+      if (!slot.track.has_value()) continue;
+      const double d = distance(slot.track->position_m, my_position);
       if (d < threat_distance) {
         threat_distance = d;
-        threat = j;
+        threat = &slot;
       }
     }
-    if (threat == runtimes_.size()) return;
+    if (threat == nullptr) return;
 
-    decision = me.cas->decide(
-        self_track(me.agent.state()), *me.last_track_of[threat],
-        coord_.forbidden_for(static_cast<int>(my_id), static_cast<int>(threat)));
+    decision = me.cas->decide(self_track(me.agent.state()), *threat->track,
+                              coord_.forbidden_for(static_cast<int>(my_id), threat->target));
   }
 
   VerticalCommand command;
@@ -208,11 +264,12 @@ void Simulation::decide_for(AgentRuntime& me, std::size_t my_id, double t_s) {
 
 void Simulation::decide_all(double t_s) {
   // Staleness clock + per-agent comms-blackout mask for this cycle.  The
-  // tick touches no RNG and, with the default infinite TTL, is never read
-  // — the fault-free path stays bit-identical to the seed engine.
+  // tick touches no RNG; the mask comes from the event queue (blackout
+  // window edges drained by begin_decision_cycle), which reproduces the
+  // per-cycle window scan exactly.
   coord_.tick();
   for (std::size_t i = 0; i < runtimes_.size(); ++i) {
-    comms_down_[i] = runtimes_[i].fault.in_comms_blackout(t_s);
+    comms_down_[i] = blackout_depth_[i] > 0;
   }
 
   // Sequential decisions: lower-index aircraft announce first, so a later
@@ -220,12 +277,15 @@ void Simulation::decide_all(double t_s) {
   // coordination command); earlier aircraft saw the later ones' previous
   // announcements, giving the one-cycle latency a real datalink has.
   for (std::size_t i = 0; i < runtimes_.size(); ++i) {
-    decide_for(runtimes_[i], i, t_s);
+    decide_for(runtimes_[i], i, t_s, airspace_.neighbors_of(i));
     // A blacked-out or coordination-silent sender transmits nothing (its
     // links make no draws this cycle); a blacked-out receiver's links
-    // still draw inside post(), but nothing is delivered to it.
+    // still draw inside post(), but nothing is delivered to it.  Delivery
+    // reaches in-radius receivers only — with the dense index that is
+    // every other aircraft, draw for draw the legacy broadcast.
     if (comms_down_[i] || runtimes_[i].fault.coordination_silent) continue;
-    coord_.post(static_cast<int>(i), runtimes_[i].last_sense, rng_coord_, &comms_down_);
+    coord_.post(static_cast<int>(i), runtimes_[i].last_sense, rng_coord_, &comms_down_,
+                airspace_.neighbors_of(i));
   }
 }
 
@@ -256,14 +316,56 @@ void Simulation::record_sample(double t_s, SimResult& result) const {
   result.multi_trajectory.push_back(std::move(m));
 }
 
-void Simulation::update_monitors(double t_s) {
+void Simulation::refresh_positions(bool active_only) {
   for (std::size_t i = 0; i < runtimes_.size(); ++i) {
-    positions_[i] = runtimes_[i].agent.state().position_m;
+    if (!active_only || runtimes_[i].active) positions_[i] = runtimes_[i].agent.state().position_m;
   }
-  monitors_.update(t_s, positions_);
+}
+
+void Simulation::begin_decision_cycle(double t_s, SimStats* stats) {
+  // 1. Drain scheduled fault events up to the accumulated clock.  Each
+  //    blackout edge adjusts a per-agent depth counter; decide_all reads
+  //    depth > 0 as "comms down", matching the legacy window scan.
+  while (events_.has_due(t_s)) {
+    const Event e = events_.pop();
+    blackout_depth_[static_cast<std::size_t>(e.agent)] +=
+        e.type == EventType::kCommsBlackoutStart ? 1 : -1;
+    ++stats->fault_events;
+  }
+
+  // 2. Catch inactive agents up to the decision time with one coarse step
+  //    covering the whole period (one disturbance draw instead of ten).
+  for (AgentRuntime& r : runtimes_) {
+    if (r.active || r.last_step_t_s >= t_s) continue;
+    r.agent.step(t_s - r.last_step_t_s, config_.disturbance, r.rng_disturbance);
+    r.last_step_t_s = t_s;
+    ++stats->coarse_agent_steps;
+  }
+
+  // 3. Rebuild the spatial index at the now-synchronized positions.
+  refresh_positions(false);
+  airspace_.rebuild(positions_);
+
+  // 4. Refresh the monitor set from the near pairs.  Newly materialized
+  //    pairs are sampled at the activation time; pairs already active were
+  //    sampled at the end of the previous physics step.
+  const std::size_t fresh = monitors_.set_active_pairs(airspace_.near_pairs());
+  if (fresh > 0) {
+    monitors_.update_new(t_s, positions_, fresh);
+    stats->pair_updates += fresh;
+  }
+  stats->peak_active_pairs = std::max(stats->peak_active_pairs, monitors_.num_active_pairs());
+
+  // 5. Recompute the active set: an agent densifies to the physics dt
+  //    while anyone is inside its interaction radius.
+  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+    runtimes_[i].active =
+        !config_.airspace.adaptive_timers || !airspace_.neighbors_of(i).empty();
+  }
 }
 
 SimResult Simulation::run() {
+  const auto wall_start = std::chrono::steady_clock::now();
   SimResult result;
 
   const double dt = config_.dt_dynamics_s;
@@ -282,21 +384,30 @@ SimResult Simulation::run() {
   const std::size_t total_steps = full_steps + (tail_dt > 0.0 ? 1 : 0);
 
   double t = 0.0;
-  update_monitors(t);
-
   for (std::size_t step = 0; step < total_steps; ++step) {
     if (step % steps_per_decision == 0) {
+      begin_decision_cycle(t, &result.stats);
       decide_all(t);
-      if (config_.record_trajectory) record_sample(t, result);
+      if (config_.record_trajectory &&
+          result.stats.decision_cycles % static_cast<std::uint64_t>(config_.record_every_n) == 0) {
+        record_sample(t, result);
+      }
+      ++result.stats.decision_cycles;
     }
 
     const double step_dt = (tail_dt > 0.0 && step + 1 == total_steps) ? tail_dt : dt;
+    const double t_next = t + step_dt;
     for (AgentRuntime& r : runtimes_) {
+      if (!r.active) continue;
       r.agent.step(step_dt, config_.disturbance, r.rng_disturbance);
+      r.last_step_t_s = t_next;
+      ++result.stats.fine_agent_steps;
     }
-    t += step_dt;
+    t = t_next;
 
-    update_monitors(t);
+    refresh_positions(true);
+    monitors_.update(t, positions_);
+    result.stats.pair_updates += monitors_.num_active_pairs();
   }
 
   result.proximity = monitors_.aggregate_proximity();
@@ -320,6 +431,9 @@ SimResult Simulation::run() {
   result.own = result.agents[0];
   result.intruder = result.agents[1];
   result.elapsed_s = t;
+  result.stats.monitored_pairs = monitors_.num_pairs();
+  result.wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   return result;
 }
 

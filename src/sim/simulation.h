@@ -27,6 +27,7 @@
 #include <optional>
 #include <vector>
 
+#include "sim/airspace.h"
 #include "sim/cas.h"
 #include "sim/coordination.h"
 #include "sim/faults.h"
@@ -62,7 +63,29 @@ struct SimConfig {
   /// carries one (multi_threat.h).
   ThreatPolicy threat_policy = ThreatPolicy::kNearest;
   ThreatGateConfig threat_gate;   ///< only read under kCostFused/kJointTable
+  /// Spatial index + adaptive-timer configuration (airspace.h).  The
+  /// default (grid, 25 km radius, adaptive) reproduces every legacy
+  /// scenario exactly because their geometry never spans the radius;
+  /// `AirspaceConfig::legacy()` forces the dense fixed-dt engine.
+  AirspaceConfig airspace;
   bool record_trajectory = false; ///< keep per-decision-cycle samples
+  /// Record every Nth decision-cycle sample (1 = every cycle, the
+  /// pre-decimation behavior).  City-scale runs set this higher so a
+  /// recorded trajectory of 1000 aircraft stays bounded.
+  int record_every_n = 1;
+};
+
+/// Event-core accounting for one run — what the adaptive engine actually
+/// did, so benches and tests can assert O(near pairs) behavior instead of
+/// inferring it from wall clock alone.
+struct SimStats {
+  std::uint64_t decision_cycles = 0;
+  std::uint64_t fine_agent_steps = 0;    ///< UavAgent::step calls at the physics dt
+  std::uint64_t coarse_agent_steps = 0;  ///< one-per-decision-period catch-up steps
+  std::uint64_t fault_events = 0;        ///< blackout toggles popped off the event queue
+  std::uint64_t pair_updates = 0;        ///< per-pair monitor updates
+  std::size_t monitored_pairs = 0;       ///< pair-monitor slots materialized
+  std::size_t peak_active_pairs = 0;     ///< largest per-cycle near-pair set
 };
 
 struct AgentReport {
@@ -96,8 +119,14 @@ struct SimResult {
   AgentReport own;            ///< agents[0], mirrored for the pairwise API
   AgentReport intruder;       ///< agents[1], mirrored for the pairwise API
   std::vector<AgentReport> agents;  ///< one per aircraft, in setup order
-  std::vector<PairReport> pairs;    ///< lexicographic (a < b)
+  /// Monitored pairs, sorted by (a, b).  Under the dense/legacy index this
+  /// is every pair; under the grid index only pairs that ever came within
+  /// the interaction radius materialize.
+  std::vector<PairReport> pairs;
   double elapsed_s = 0.0;
+  double wall_time_s = 0.0;  ///< host wall clock consumed by run(); not
+                             ///< part of the determinism contract
+  SimStats stats;
   Trajectory trajectory;            ///< own vs first intruder (legacy view);
                                     ///< empty unless record_trajectory
   MultiTrajectory multi_trajectory; ///< all aircraft; same sampling
@@ -132,11 +161,23 @@ struct AgentSetup {
   bool count_alerts = true;
 };
 
+/// Surveillance state one aircraft holds about one other aircraft.  Slots
+/// exist only for aircraft inside the interaction radius (every other
+/// aircraft under the dense index), kept sorted by target id so the
+/// per-cycle reception order — and therefore the ADS-B draw sequence — is
+/// ascending, exactly as the dense engine's 0..K loop drew it.
+struct TrackSlot {
+  int target = -1;
+  std::optional<acasx::AircraftTrack> track;  ///< nullopt: never heard / dropped stale
+  int age_cycles = 0;        ///< decision cycles since last reception
+  int burst_cycles_left = 0; ///< active ADS-B dropout burst
+};
+
 /// Per-aircraft bookkeeping during a run.
 struct AgentRuntime {
   UavAgent agent;
   std::unique_ptr<CollisionAvoidanceSystem> cas;  ///< may be null
-  std::vector<std::optional<acasx::AircraftTrack>> last_track_of;  ///< per aircraft id
+  std::vector<TrackSlot> tracks;  ///< sorted by target id; in-radius targets only
   AgentReport report;
   acasx::Sense last_sense = acasx::Sense::kNone;  ///< announced sense (COC clears it)
   acasx::Sense last_issued_sense = acasx::Sense::kNone;  ///< survives COC gaps
@@ -150,10 +191,15 @@ struct AgentRuntime {
   /// Scratch for the kCostFused threat list, reused across decision cycles
   /// so the Monte-Carlo hot path does not allocate per cycle.
   std::vector<ThreatObservation> threat_scratch;
+  std::vector<TrackSlot> tracks_scratch;  ///< merge buffer for the track set
   FaultProfile fault;             ///< resolved profile (agent override or fleet)
   bool count_alerts = true;
-  std::vector<int> track_age_cycles;  ///< decision cycles since last reception, per aircraft
-  std::vector<int> burst_cycles_left; ///< active ADS-B dropout burst, per aircraft
+  /// Adaptive-timer state: an active agent (some aircraft inside its
+  /// interaction radius) integrates at the physics dt; an inactive one
+  /// takes a single catch-up step per decision period.  Always active
+  /// when adaptive timers are off.
+  bool active = true;
+  double last_step_t_s = 0.0;  ///< simulation time this agent is integrated to
 };
 
 /// One N-aircraft encounter.  All stochastic draws derive from `seed` and
@@ -170,11 +216,17 @@ class Simulation {
   SimResult run();
 
  private:
-  void decide_for(AgentRuntime& me, std::size_t my_id, double t_s);
+  void decide_for(AgentRuntime& me, std::size_t my_id, double t_s,
+                  const std::vector<int>& neighbors);
   void decide_all(double t_s);
-  void receive_track(AgentRuntime& me, std::size_t target);
+  void receive_track(AgentRuntime& me, TrackSlot& slot);
+  void refresh_tracks(AgentRuntime& me, const std::vector<int>& neighbors);
   void record_sample(double t_s, SimResult& result) const;
-  void update_monitors(double t_s);
+  void refresh_positions(bool active_only);
+  /// Drain due fault events, catch up coarse agents, rebuild the spatial
+  /// index, refresh the monitor set, and recompute the active set — the
+  /// per-decision-cycle event-core work, before the decisions themselves.
+  void begin_decision_cycle(double t_s, SimStats* stats);
 
   SimConfig config_;
   std::vector<AgentRuntime> runtimes_;
@@ -183,8 +235,11 @@ class Simulation {
   PairwiseMonitors monitors_;
   MultiThreatResolver resolver_;  ///< arbitration layer (kCostFused/kJointTable)
   RngStream rng_coord_;
-  std::vector<Vec3> positions_;  ///< scratch for monitor updates
-  std::vector<bool> comms_down_; ///< per-agent blackout mask, rebuilt per cycle
+  Airspace airspace_;             ///< spatial index + adjacency, rebuilt per cycle
+  EventQueue events_;             ///< scheduled fault transitions
+  std::vector<Vec3> positions_;   ///< scratch for index/monitor updates
+  std::vector<bool> comms_down_;  ///< per-agent blackout mask, event-driven
+  std::vector<int> blackout_depth_;  ///< active blackout windows per agent
 };
 
 /// Run one two-aircraft encounter to completion (the paper's setup).

@@ -24,13 +24,20 @@ sim::SimConfig quiet_config() {
 }
 
 TEST(ScenarioLibrary, NamesRoundTripThroughMakeScenario) {
-  ASSERT_EQ(scenario_names().size(), 5U);
+  ASSERT_EQ(scenario_names().size(), 6U);
   for (const std::string& name : scenario_names()) {
     const Scenario s = make_scenario(name);
     EXPECT_EQ(s.name, name);
-    EXPECT_GE(s.params.num_intruders(), 1U);
     EXPECT_EQ(s.initial_states().size(), s.num_aircraft());
-    EXPECT_GT(s.suggested_time_s(), s.params.max_t_cpa_s());
+    if (s.explicit_states.empty()) {
+      EXPECT_GE(s.params.num_intruders(), 1U);
+      EXPECT_GT(s.suggested_time_s(), s.params.max_t_cpa_s());
+    } else {
+      // Explicit-state family (city-corridors): the states are the
+      // scenario and the horizon is explicit.
+      EXPECT_GE(s.num_aircraft(), 2U);
+      EXPECT_GT(s.suggested_time_s(), 0.0);
+    }
   }
   EXPECT_THROW(make_scenario("no-such-family"), ContractViolation);
 }

@@ -1,0 +1,212 @@
+// Airspace-core unit tests: the spatial hash grid against a brute-force
+// reference on random clouds, deterministic adjacency, the event queue's
+// ordering contract, and the lazily-materialized pair-monitor bank.
+#include "sim/airspace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "sim/monitors.h"
+#include "util/rng.h"
+#include "util/vec3.h"
+
+namespace cav::sim {
+namespace {
+
+std::vector<Vec3> random_cloud(std::size_t n, double extent_m, std::uint64_t seed) {
+  RngStream rng = RngStream::derive(seed, "cloud");
+  std::vector<Vec3> positions(n);
+  for (auto& p : positions) {
+    p = {rng.uniform(-extent_m, extent_m), rng.uniform(-extent_m, extent_m),
+         rng.uniform(900.0, 1100.0)};
+  }
+  return positions;
+}
+
+std::vector<std::pair<int, int>> brute_force_pairs(const std::vector<Vec3>& positions,
+                                                   double radius_m) {
+  std::vector<std::pair<int, int>> pairs;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      const double dx = positions[i].x - positions[j].x;
+      const double dy = positions[i].y - positions[j].y;
+      if (dx * dx + dy * dy <= radius_m * radius_m) {
+        pairs.emplace_back(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return pairs;
+}
+
+TEST(SpatialHashGrid, MatchesBruteForceOnRandomClouds) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    for (const double radius : {500.0, 2000.0, 8000.0}) {
+      const auto positions = random_cloud(120, 10000.0, seed);
+      SpatialHashGrid grid;
+      grid.build(positions, radius);
+      std::vector<std::pair<int, int>> pairs;
+      grid.collect_near_pairs(positions, radius, &pairs);
+      EXPECT_EQ(pairs, brute_force_pairs(positions, radius))
+          << "seed " << seed << " radius " << radius;
+    }
+  }
+}
+
+TEST(SpatialHashGrid, PairsAreLexicographic) {
+  const auto positions = random_cloud(80, 3000.0, 7);
+  SpatialHashGrid grid;
+  grid.build(positions, 1500.0);
+  std::vector<std::pair<int, int>> pairs;
+  grid.collect_near_pairs(positions, 1500.0, &pairs);
+  ASSERT_FALSE(pairs.empty());
+  EXPECT_TRUE(std::is_sorted(pairs.begin(), pairs.end()));
+  for (const auto& [i, j] : pairs) EXPECT_LT(i, j);
+}
+
+TEST(SpatialHashGrid, RadiusBoundaryIsInclusive) {
+  // Exactly radius apart: <= keeps the pair (the dense engine has no
+  // boundary at all, so ties erring toward inclusion is the safe side).
+  const std::vector<Vec3> positions = {{0.0, 0.0, 1000.0}, {1000.0, 0.0, 1000.0}};
+  SpatialHashGrid grid;
+  grid.build(positions, 1000.0);
+  std::vector<std::pair<int, int>> pairs;
+  grid.collect_near_pairs(positions, 1000.0, &pairs);
+  ASSERT_EQ(pairs.size(), 1U);
+  EXPECT_EQ(pairs[0], std::make_pair(0, 1));
+}
+
+TEST(SpatialHashGrid, VerticalSeparationDoesNotExcludePairs) {
+  // The radius is horizontal-only: ADS-B reception does not care about
+  // altitude, and the vertical NMAC band is far smaller than any radius.
+  const std::vector<Vec3> positions = {{0.0, 0.0, 0.0}, {100.0, 0.0, 5000.0}};
+  SpatialHashGrid grid;
+  grid.build(positions, 1000.0);
+  std::vector<std::pair<int, int>> pairs;
+  grid.collect_near_pairs(positions, 1000.0, &pairs);
+  EXPECT_EQ(pairs.size(), 1U);
+}
+
+TEST(Airspace, AllPairsModeListsEveryPairWithoutPositions) {
+  Airspace airspace(AirspaceConfig::legacy(), 5);
+  airspace.rebuild(std::vector<Vec3>(5));
+  EXPECT_EQ(airspace.near_pairs().size(), 10U);
+  EXPECT_TRUE(std::is_sorted(airspace.near_pairs().begin(), airspace.near_pairs().end()));
+  EXPECT_EQ(airspace.neighbors_of(2), (std::vector<int>{0, 1, 3, 4}));
+}
+
+TEST(Airspace, GridAdjacencyMatchesPairList) {
+  AirspaceConfig config;
+  config.interaction_radius_m = 2000.0;
+  const auto positions = random_cloud(60, 5000.0, 11);
+  Airspace airspace(config, positions.size());
+  airspace.rebuild(positions);
+
+  std::vector<std::vector<int>> expected(positions.size());
+  for (const auto& [i, j] : airspace.near_pairs()) {
+    expected[static_cast<std::size_t>(i)].push_back(j);
+    expected[static_cast<std::size_t>(j)].push_back(i);
+  }
+  for (auto& adj : expected) std::sort(adj.begin(), adj.end());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    EXPECT_EQ(airspace.neighbors_of(i), expected[i]) << i;
+  }
+}
+
+TEST(Airspace, RebuildReflectsMotion) {
+  AirspaceConfig config;
+  config.interaction_radius_m = 1000.0;
+  Airspace airspace(config, 2);
+  airspace.rebuild({{0.0, 0.0, 0.0}, {5000.0, 0.0, 0.0}});
+  EXPECT_TRUE(airspace.near_pairs().empty());
+  EXPECT_TRUE(airspace.neighbors_of(0).empty());
+  airspace.rebuild({{0.0, 0.0, 0.0}, {800.0, 0.0, 0.0}});
+  EXPECT_EQ(airspace.near_pairs().size(), 1U);
+  EXPECT_EQ(airspace.neighbors_of(0), std::vector<int>{1});
+}
+
+TEST(EventQueue, OrdersByTimeTypeAgentSeq) {
+  EventQueue queue;
+  queue.push(10.0, EventType::kCommsBlackoutEnd, 1);
+  queue.push(5.0, EventType::kCommsBlackoutStart, 3);
+  queue.push(10.0, EventType::kCommsBlackoutStart, 2);
+  queue.push(10.0, EventType::kCommsBlackoutStart, 0);
+
+  EXPECT_FALSE(queue.has_due(4.9));
+  ASSERT_TRUE(queue.has_due(5.0));
+  EXPECT_EQ(queue.pop().agent, 3);
+  EXPECT_FALSE(queue.has_due(9.0));
+  ASSERT_TRUE(queue.has_due(30.0));
+  // Same time: starts before ends, lower agent first.
+  Event e = queue.pop();
+  EXPECT_EQ(e.type, EventType::kCommsBlackoutStart);
+  EXPECT_EQ(e.agent, 0);
+  EXPECT_EQ(queue.pop().agent, 2);
+  EXPECT_EQ(queue.pop().type, EventType::kCommsBlackoutEnd);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(PairwiseMonitors, LazyMaterializationFollowsTheActiveSet) {
+  PairwiseMonitors monitors(4, AccidentConfig{});
+  EXPECT_EQ(monitors.num_pairs(), 0U);
+
+  const std::vector<Vec3> positions = {
+      {0.0, 0.0, 0.0}, {100.0, 0.0, 0.0}, {200.0, 0.0, 0.0}, {300.0, 0.0, 0.0}};
+  EXPECT_EQ(monitors.set_active_pairs({{0, 1}, {2, 3}}), 2U);
+  monitors.update_new(0.0, positions, 2);
+  EXPECT_EQ(monitors.num_pairs(), 2U);
+  EXPECT_TRUE(monitors.monitored(0, 1));
+  EXPECT_FALSE(monitors.monitored(0, 2));
+
+  // A pair dropping out keeps its slot and minima but stops updating.
+  EXPECT_EQ(monitors.set_active_pairs({{0, 1}}), 0U);
+  EXPECT_EQ(monitors.num_pairs(), 2U);
+  EXPECT_EQ(monitors.num_active_pairs(), 1U);
+  const double frozen = monitors.proximity(2, 3).report().min_distance_m;
+  std::vector<Vec3> closer = positions;
+  closer[1] = {50.0, 0.0, 0.0};   // active pair tightens
+  closer[3] = positions[2];       // inactive pair would read 0 if updated
+  monitors.update(1.0, closer);
+  EXPECT_EQ(monitors.proximity(2, 3).report().min_distance_m, frozen);
+  EXPECT_EQ(monitors.proximity(0, 1).report().min_distance_m, 50.0);
+}
+
+TEST(PairwiseMonitors, DenseBankMatchesActivateAllPairs) {
+  PairwiseMonitors monitors(3, AccidentConfig{});
+  monitors.activate_all_pairs();
+  EXPECT_EQ(monitors.num_pairs(), 3U);
+  EXPECT_EQ(monitors.num_active_pairs(), 3U);
+  EXPECT_EQ(monitors.pair_agents(0), std::make_pair(std::size_t{0}, std::size_t{1}));
+  EXPECT_EQ(monitors.pair_agents(1), std::make_pair(std::size_t{0}, std::size_t{2}));
+  EXPECT_EQ(monitors.pair_agents(2), std::make_pair(std::size_t{1}, std::size_t{2}));
+}
+
+TEST(PairwiseMonitors, SortedViewIsStableAcrossActivationChronology) {
+  // Materialize pairs out of lexicographic order; the (i, j)-sorted view
+  // used for result assembly must not depend on activation chronology.
+  PairwiseMonitors monitors(4, AccidentConfig{});
+  const std::vector<Vec3> positions(4);
+  monitors.set_active_pairs({{1, 3}});
+  monitors.update_new(0.0, positions, 1);
+  monitors.set_active_pairs({{0, 2}, {1, 3}});
+  monitors.update_new(1.0, positions, 1);
+  ASSERT_EQ(monitors.num_pairs(), 2U);
+  EXPECT_EQ(monitors.pair_agents(0), std::make_pair(std::size_t{0}, std::size_t{2}));
+  EXPECT_EQ(monitors.pair_agents(1), std::make_pair(std::size_t{1}, std::size_t{3}));
+}
+
+TEST(PairwiseMonitors, AggregatesSpanOnlyMaterializedPairs) {
+  PairwiseMonitors monitors(3, AccidentConfig{});
+  const std::vector<Vec3> positions = {{0.0, 0.0, 0.0}, {10.0, 0.0, 0.0}, {5000.0, 0.0, 0.0}};
+  monitors.set_active_pairs({{0, 1}});
+  monitors.update_new(0.0, positions, 1);
+  const ProximityReport report = monitors.aggregate_proximity();
+  EXPECT_DOUBLE_EQ(report.min_distance_m, 10.0);
+  EXPECT_TRUE(monitors.any_nmac());  // 10 m separation is inside the cylinder
+  EXPECT_EQ(monitors.earliest_nmac_time_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace cav::sim

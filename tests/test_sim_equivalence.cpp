@@ -1,0 +1,196 @@
+// The event-core equivalence contract (airspace.h): AirspaceConfig::legacy()
+// must reproduce the pre-refactor dense fixed-dt engine bit for bit, and the
+// DEFAULT config (grid index, 25 km radius, adaptive timers) must reproduce
+// legacy() exactly on every geometry that stays inside the radius — which is
+// all of the existing scenario families.  Every comparison here is exact
+// double equality: one reordered RNG draw or float reduction fails it.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "acasx/offline_solver.h"
+#include "scenarios/scenario_library.h"
+#include "sim/acasx_cas.h"
+#include "sim/simulation.h"
+#include "util/angles.h"
+
+namespace cav::sim {
+namespace {
+
+UavState state_at(double x, double y, double z, double gs, double bearing, double vs) {
+  UavState s;
+  s.position_m = {x, y, z};
+  s.ground_speed_mps = gs;
+  s.bearing_rad = bearing;
+  s.vertical_speed_mps = vs;
+  return s;
+}
+
+void expect_bit_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.proximity.min_distance_m, b.proximity.min_distance_m);
+  EXPECT_EQ(a.proximity.min_horizontal_m, b.proximity.min_horizontal_m);
+  EXPECT_EQ(a.proximity.min_vertical_m, b.proximity.min_vertical_m);
+  EXPECT_EQ(a.proximity.time_of_min_distance_s, b.proximity.time_of_min_distance_s);
+  EXPECT_EQ(a.nmac, b.nmac);
+  EXPECT_EQ(a.nmac_time_s, b.nmac_time_s);
+  EXPECT_EQ(a.hard_collision, b.hard_collision);
+  EXPECT_EQ(a.elapsed_s, b.elapsed_s);
+
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  for (std::size_t p = 0; p < a.pairs.size(); ++p) {
+    EXPECT_EQ(a.pairs[p].a, b.pairs[p].a) << p;
+    EXPECT_EQ(a.pairs[p].b, b.pairs[p].b) << p;
+    EXPECT_EQ(a.pairs[p].proximity.min_distance_m, b.pairs[p].proximity.min_distance_m) << p;
+    EXPECT_EQ(a.pairs[p].proximity.time_of_min_distance_s,
+              b.pairs[p].proximity.time_of_min_distance_s)
+        << p;
+    EXPECT_EQ(a.pairs[p].nmac, b.pairs[p].nmac) << p;
+    EXPECT_EQ(a.pairs[p].nmac_time_s, b.pairs[p].nmac_time_s) << p;
+    EXPECT_EQ(a.pairs[p].hard_collision, b.pairs[p].hard_collision) << p;
+  }
+
+  ASSERT_EQ(a.agents.size(), b.agents.size());
+  for (std::size_t i = 0; i < a.agents.size(); ++i) {
+    EXPECT_EQ(a.agents[i].ever_alerted, b.agents[i].ever_alerted) << i;
+    EXPECT_EQ(a.agents[i].first_alert_time_s, b.agents[i].first_alert_time_s) << i;
+    EXPECT_EQ(a.agents[i].alert_cycles, b.agents[i].alert_cycles) << i;
+    EXPECT_EQ(a.agents[i].reversals, b.agents[i].reversals) << i;
+    EXPECT_EQ(a.agents[i].final_advisory, b.agents[i].final_advisory) << i;
+    EXPECT_EQ(a.agents[i].resolver.cycles, b.agents[i].resolver.cycles) << i;
+    EXPECT_EQ(a.agents[i].resolver.disagreements, b.agents[i].resolver.disagreements) << i;
+  }
+
+  ASSERT_EQ(a.multi_trajectory.size(), b.multi_trajectory.size());
+  for (std::size_t s = 0; s < a.multi_trajectory.size(); ++s) {
+    EXPECT_EQ(a.multi_trajectory[s].t_s, b.multi_trajectory[s].t_s) << s;
+    ASSERT_EQ(a.multi_trajectory[s].position_m.size(), b.multi_trajectory[s].position_m.size());
+    for (std::size_t i = 0; i < a.multi_trajectory[s].position_m.size(); ++i) {
+      EXPECT_EQ(a.multi_trajectory[s].position_m[i].x, b.multi_trajectory[s].position_m[i].x);
+      EXPECT_EQ(a.multi_trajectory[s].position_m[i].y, b.multi_trajectory[s].position_m[i].y);
+      EXPECT_EQ(a.multi_trajectory[s].position_m[i].z, b.multi_trajectory[s].position_m[i].z);
+    }
+  }
+}
+
+class EquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    table_ = new std::shared_ptr<const acasx::LogicTable>(
+        std::make_shared<const acasx::LogicTable>(
+            acasx::solve_logic_table(acasx::AcasXuConfig::coarse())));
+  }
+  static void TearDownTestSuite() {
+    delete table_;
+    table_ = nullptr;
+  }
+  static CasFactory equipped() { return AcasXuCas::factory(*table_); }
+  static std::shared_ptr<const acasx::LogicTable>* table_;
+};
+
+std::shared_ptr<const acasx::LogicTable>* EquivalenceTest::table_ = nullptr;
+
+SimResult run_family(const scenarios::Scenario& scenario, const AirspaceConfig& airspace,
+                     const CasFactory& cas, std::uint64_t seed,
+                     ThreatPolicy policy = ThreatPolicy::kNearest) {
+  SimConfig config;  // default noise, dropout, coordination — every draw live
+  config.airspace = airspace;
+  config.record_trajectory = true;
+  config.threat_policy = policy;
+  return scenarios::run_scenario(scenario, config, cas, cas, seed);
+}
+
+TEST_F(EquivalenceTest, ConvergingRingDefaultMatchesLegacyExactly) {
+  for (const std::size_t k : {4UL, 8UL}) {
+    const scenarios::Scenario ring = scenarios::converging_ring(k);
+    const SimResult dense = run_family(ring, AirspaceConfig::legacy(), equipped(), 5);
+    const SimResult adaptive = run_family(ring, AirspaceConfig{}, equipped(), 5);
+    expect_bit_identical(dense, adaptive);
+    // The default grid mode must also have materialized every pair — the
+    // ring never spans the 25 km radius.
+    EXPECT_EQ(adaptive.pairs.size(), (k + 1) * k / 2);
+    EXPECT_EQ(adaptive.stats.coarse_agent_steps, 0U);
+  }
+}
+
+TEST_F(EquivalenceTest, HighDensityStatisticalSampleMatchesExactly) {
+  const scenarios::Scenario dense_traffic = scenarios::high_density_random(8, 2016);
+  const SimResult dense = run_family(dense_traffic, AirspaceConfig::legacy(), equipped(), 9);
+  const SimResult adaptive = run_family(dense_traffic, AirspaceConfig{}, equipped(), 9);
+  expect_bit_identical(dense, adaptive);
+}
+
+TEST_F(EquivalenceTest, CostFusedArbitrationMatchesExactly) {
+  const scenarios::Scenario ring = scenarios::converging_ring(6);
+  const SimResult dense =
+      run_family(ring, AirspaceConfig::legacy(), equipped(), 3, ThreatPolicy::kCostFused);
+  const SimResult adaptive =
+      run_family(ring, AirspaceConfig{}, equipped(), 3, ThreatPolicy::kCostFused);
+  expect_bit_identical(dense, adaptive);
+}
+
+TEST_F(EquivalenceTest, DegradedFixturesMatchExactly) {
+  // The GA-found degraded fixtures exercise the event-driven blackout
+  // toggles, Gilbert–Elliott link bursts, and ADS-B dropout bursts — the
+  // draw-heaviest paths in the engine.
+  for (const std::string& name : scenarios::degraded_scenario_names()) {
+    const scenarios::DegradedScenario fixture = scenarios::make_degraded_scenario(name);
+    SimConfig dense_config;
+    dense_config.airspace = AirspaceConfig::legacy();
+    dense_config.record_trajectory = true;
+    SimConfig adaptive_config;
+    adaptive_config.record_trajectory = true;
+    const SimResult dense =
+        scenarios::run_degraded_scenario(fixture, dense_config, equipped(), equipped());
+    const SimResult adaptive =
+        scenarios::run_degraded_scenario(fixture, adaptive_config, equipped(), equipped());
+    expect_bit_identical(dense, adaptive);
+  }
+}
+
+TEST_F(EquivalenceTest, ForcedModeReproducesGoldenHeadOn) {
+  // The same golden numbers test_sim_multi.cpp pins for the default
+  // config, re-asserted under the forced dense fixed-dt mode: the legacy
+  // switch IS the pre-refactor engine, not merely close to it.
+  SimConfig config;
+  config.max_time_s = 90.0;
+  config.airspace = AirspaceConfig::legacy();
+  AgentSetup own;
+  own.initial_state = state_at(0, 0, 1000, 40, 0, 0);
+  own.cas = std::make_unique<AcasXuCas>(*table_);
+  AgentSetup intruder;
+  intruder.initial_state = state_at(3200, 0, 1000, 40, kPi, 0);
+  intruder.cas = std::make_unique<AcasXuCas>(*table_);
+  const auto r = run_encounter(config, std::move(own), std::move(intruder), 11);
+  EXPECT_EQ(r.proximity.min_distance_m, 91.488145289202976);
+  EXPECT_EQ(r.proximity.min_horizontal_m, 0.99166033301457901);
+  EXPECT_EQ(r.proximity.min_vertical_m, 0.0);
+  EXPECT_EQ(r.proximity.time_of_min_distance_s, 40.000000000000298);
+  EXPECT_FALSE(r.nmac);
+  EXPECT_TRUE(r.own.ever_alerted);
+  EXPECT_EQ(r.own.first_alert_time_s, 25.000000000000085);
+  EXPECT_EQ(r.own.alert_cycles, 2);
+  EXPECT_EQ(r.intruder.alert_cycles, 3);
+  EXPECT_EQ(r.elapsed_s, 89.999999999999162);
+}
+
+TEST_F(EquivalenceTest, RecordEveryNDecimatesWithoutPerturbingTheRun) {
+  const scenarios::Scenario ring = scenarios::converging_ring(4);
+  SimConfig full;
+  full.record_trajectory = true;
+  SimConfig decimated = full;
+  decimated.record_every_n = 3;
+  const SimResult r_full = scenarios::run_scenario(ring, full, equipped(), equipped(), 5);
+  const SimResult r_dec = scenarios::run_scenario(ring, decimated, equipped(), equipped(), 5);
+
+  // Decimation only drops samples: the simulation itself is untouched.
+  EXPECT_EQ(r_full.proximity.min_distance_m, r_dec.proximity.min_distance_m);
+  EXPECT_EQ(r_full.elapsed_s, r_dec.elapsed_s);
+  ASSERT_FALSE(r_full.multi_trajectory.empty());
+  EXPECT_EQ(r_dec.multi_trajectory.size(), (r_full.multi_trajectory.size() + 2) / 3);
+  for (std::size_t s = 0; s < r_dec.multi_trajectory.size(); ++s) {
+    EXPECT_EQ(r_dec.multi_trajectory[s].t_s, r_full.multi_trajectory[3 * s].t_s) << s;
+  }
+}
+
+}  // namespace
+}  // namespace cav::sim
