@@ -13,7 +13,7 @@
 
 #include "acasx/joint_solver.h"
 #include "bench_common.h"
-#include "core/monte_carlo.h"
+#include "core/validation_campaign.h"
 #include "scenarios/scenario_library.h"
 #include "sim/acasx_cas.h"
 #include "util/csv.h"
@@ -90,9 +90,9 @@ int main(int argc, char** argv) {
       config.sim.threat_policy = policy;
 
       const auto t0 = std::chrono::steady_clock::now();
-      const auto rates = core::estimate_rates(model, config, policy_name(policy),
-                                              factory_for(policy), factory_for(policy),
-                                              &bench::pool());
+      const core::ValidationCampaign campaign(model, config, policy_name(policy),
+                                              factory_for(policy), factory_for(policy));
+      const auto rates = campaign.run(&bench::pool()).rates;
       const double wall_s =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
       const double enc_per_s = static_cast<double>(encounters) / wall_s;

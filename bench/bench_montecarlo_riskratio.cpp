@@ -11,7 +11,7 @@
 #include "baselines/svo.h"
 #include "baselines/tcas_like.h"
 #include "bench_common.h"
-#include "core/monte_carlo.h"
+#include "core/validation_campaign.h"
 #include "sim/acasx_cas.h"
 #include "util/csv.h"
 
@@ -48,29 +48,39 @@ int main(int argc, char** argv) {
       {"ACAS-XU", sim::AcasXuCas::factory(table)},
   };
 
+  // One ValidationCampaign per system (the primary validation surface —
+  // estimate_rates is its deprecated single-stripe wrapper).
   std::vector<core::SystemRates> results;
   for (const Row& row : rows) {
-    results.push_back(core::estimate_rates(model, config, row.name, row.factory, row.factory,
-                                           &bench::pool()));
+    const core::ValidationCampaign campaign(model, config, row.name, row.factory, row.factory);
+    results.push_back(campaign.run(&bench::pool()).rates);
   }
   const core::SystemRates& unequipped = results.front();
 
-  std::printf("%-12s %-22s %-22s %-12s %-14s\n", "system", "NMAC rate [95% CI]",
-              "alert rate [95% CI]", "risk ratio", "mean minsep[m]");
+  std::printf("%-12s %-22s %-22s %-24s %-14s\n", "system", "NMAC rate [95% CI]",
+              "alert rate [95% CI]", "risk ratio [95% CI]", "mean minsep[m]");
   const std::string csv_path = bench::output_dir() + "/montecarlo_riskratio.csv";
   CsvWriter csv(csv_path);
   csv.header({"system", "encounters", "nmacs", "nmac_rate", "nmac_lo", "nmac_hi", "alerts",
-              "alert_rate", "risk_ratio", "mean_min_sep_m"});
+              "alert_rate", "risk_ratio", "risk_lo", "risk_hi", "mean_min_sep_m"});
   for (const auto& r : results) {
     const auto nmac_ci = r.nmac_ci();
     const auto alert_ci = r.alert_ci();
-    const double rr = core::risk_ratio(r, unequipped);
-    std::printf("%-12s %.4f [%.4f,%.4f] %.4f [%.4f,%.4f] %-12.4f %-14.1f\n", r.system.c_str(),
-                r.nmac_rate(), nmac_ci.lo, nmac_ci.hi, r.alert_rate(), alert_ci.lo, alert_ci.hi,
-                rr, r.mean_min_separation_m);
+    // Wilson-aware ratio: a zero-NMAC baseline prints as undefined (the
+    // kRiskRatioUndefined sentinel) instead of the historical quiet NaN.
+    const core::RiskRatioEstimate rr = core::risk_ratio_wilson(r, unequipped);
+    if (rr.defined) {
+      std::printf("%-12s %.4f [%.4f,%.4f] %.4f [%.4f,%.4f] %.4f [%.4f,%.4f]  %-14.1f\n",
+                  r.system.c_str(), r.nmac_rate(), nmac_ci.lo, nmac_ci.hi, r.alert_rate(),
+                  alert_ci.lo, alert_ci.hi, rr.ratio, rr.lo, rr.hi, r.mean_min_separation_m);
+    } else {
+      std::printf("%-12s %.4f [%.4f,%.4f] %.4f [%.4f,%.4f] undefined (0-NMAC base)  %-14.1f\n",
+                  r.system.c_str(), r.nmac_rate(), nmac_ci.lo, nmac_ci.hi, r.alert_rate(),
+                  alert_ci.lo, alert_ci.hi, r.mean_min_separation_m);
+    }
     csv.cell(r.system).cell(r.encounters).cell(r.nmacs).cell(r.nmac_rate()).cell(nmac_ci.lo)
-        .cell(nmac_ci.hi).cell(r.alerts).cell(r.alert_rate()).cell(rr)
-        .cell(r.mean_min_separation_m);
+        .cell(nmac_ci.hi).cell(r.alerts).cell(r.alert_rate()).cell(rr.ratio).cell(rr.lo)
+        .cell(rr.hi).cell(r.mean_min_separation_m);
     csv.end_row();
   }
   std::printf("\nCSV: %s\n", csv_path.c_str());

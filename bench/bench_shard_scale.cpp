@@ -1,0 +1,141 @@
+// E17 — Sharded-campaign scaling: the same validation campaign run with
+// 1, 2, and 4 cav_worker processes (dist/campaign_driver.h) must produce
+// BIT-identical rates at every width, and the wall clock should drop as
+// workers are added.  Determinism is the hard gate (non-zero exit on any
+// mismatch); the >=1.5x speedup at 2 workers is an expectation printed as
+// a warning — single-core CI boxes can't honor it and must not fail.
+// A 2-way sharded offline solve rides along as a second determinism probe
+// of the dist layer (tau-layer sweeps reassembled across processes).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "acasx/offline_solver.h"
+#include "bench_common.h"
+#include "dist/campaign_driver.h"
+#include "dist/solve_driver.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+bool rates_identical(const cav::core::SystemRates& a, const cav::core::SystemRates& b) {
+  return a.encounters == b.encounters && a.nmacs == b.nmacs && a.alerts == b.alerts &&
+         a.mean_min_separation_m == b.mean_min_separation_m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cav;
+  bench::init(argc, argv);
+
+  std::size_t encounters = bench::smoke() ? 192 : 4000;
+  if (const char* env = std::getenv("CAV_E17_ENCOUNTERS")) {
+    encounters = static_cast<std::size_t>(std::atol(env));
+  }
+
+  bench::banner("E17: sharded-campaign scaling (1/2/4 worker processes)");
+
+  dist::CampaignSpec spec;
+  spec.config.encounters = encounters;
+  spec.config.seed = 171717;
+  spec.system_name = "tcas-sharded";
+  spec.own_cas = dist::CasSpec::tcas_like();
+  spec.intruder_cas = dist::CasSpec::tcas_like();
+
+  std::printf("workload: %zu encounters, TCAS-like both sides, stripes handed to\n"
+              "forked cav_worker processes over the dist/wire.h pipe protocol\n\n",
+              encounters);
+  std::printf("%-8s %-12s %-12s %-10s %-10s %-s\n", "workers", "NMAC rate", "wall [s]",
+              "enc/s", "requeues", "bit-identical");
+
+  bool determinism_ok = true;
+  std::vector<double> walls;
+  core::SystemRates reference;
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    dist::CampaignDriverOptions options;
+    options.num_workers = workers;
+    options.stripes_per_worker = 4;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::CampaignResult result = dist::run_sharded_campaign(spec, options);
+    const double wall_s = seconds_since(t0);
+    walls.push_back(wall_s);
+
+    if (workers == 1) reference = result.rates;
+    const bool identical = rates_identical(result.rates, reference);
+    determinism_ok = determinism_ok && identical;
+
+    std::printf("%-8zu %-12.4f %-12.3f %-10.1f %-10zu %s\n", workers,
+                result.rates.nmac_rate(), wall_s,
+                static_cast<double>(encounters) / wall_s, result.requeues,
+                identical ? "yes" : "NO  <-- FAILURE");
+    const std::string prefix = "e17.w" + std::to_string(workers) + ".";
+    bench::record_metric(prefix + "wall_s", wall_s);
+    bench::record_metric(prefix + "enc_per_s", static_cast<double>(encounters) / wall_s);
+  }
+
+  const double speedup2 = walls[0] / walls[1];
+  const double speedup4 = walls[0] / walls[2];
+  bench::record_metric("e17.speedup_2w", speedup2);
+  bench::record_metric("e17.speedup_4w", speedup4);
+  std::printf("\nspeedup vs 1 worker: 2w %.2fx, 4w %.2fx\n", speedup2, speedup4);
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores < 2) {
+    std::printf("single-core host (%u): the >=1.5x 2-worker expectation is not gated here\n",
+                cores);
+  } else if (bench::smoke()) {
+    std::printf("smoke mode: workloads are shrunken, timings meaningless — not gated\n");
+  } else if (speedup2 < 1.5) {
+    std::printf("WARNING: 2-worker speedup %.2fx below the 1.5x expectation on a %u-core "
+                "host (not a failure gate; determinism is)\n",
+                speedup2, cores);
+  } else {
+    std::printf("2-worker speedup meets the >=1.5x expectation on this %u-core host\n", cores);
+  }
+
+  // Second determinism probe: a 2-way sharded offline solve (tau layers
+  // swept by grid slice across the fleet) against the serial solver.  The
+  // coarse space keeps this bounded in every mode.
+  const acasx::AcasXuConfig solve_config = acasx::AcasXuConfig::coarse();
+  const auto serial_t0 = std::chrono::steady_clock::now();
+  const acasx::LogicTable serial = acasx::solve_logic_table(solve_config);
+  const double serial_s = seconds_since(serial_t0);
+
+  dist::SolveDriverOptions solve_options;
+  solve_options.num_workers = 2;
+  dist::ShardedSolveReport report;
+  const std::string image = bench::output_dir() + "/e17_pair_stencils.cavt";
+  const auto sharded_t0 = std::chrono::steady_clock::now();
+  const acasx::LogicTable sharded =
+      dist::solve_logic_table_sharded(solve_config, image, solve_options, &report);
+  const double sharded_s = seconds_since(sharded_t0);
+
+  bool solve_identical = sharded.num_entries() == serial.num_entries();
+  for (std::size_t i = 0; solve_identical && i < serial.num_entries(); ++i) {
+    solve_identical = sharded.values()[i] == serial.values()[i];
+  }
+  determinism_ok = determinism_ok && solve_identical;
+  std::printf("\n2-way sharded solve (coarse space): serial %.3f s, sharded %.3f s "
+              "(stencil compile %.3f s), bit-identical: %s\n",
+              serial_s, sharded_s, report.stencil_build_s,
+              solve_identical ? "yes" : "NO  <-- FAILURE");
+  bench::record_metric("e17.solve_serial_s", serial_s);
+  bench::record_metric("e17.solve_sharded_2w_s", sharded_s);
+  std::remove(image.c_str());
+
+  if (!determinism_ok) {
+    std::printf("\nFAIL: sharded execution perturbed the results — the bit-identity "
+                "contract is broken\n");
+    return 1;
+  }
+  std::printf("\nall widths bit-identical — determinism gate passed\n");
+  return 0;
+}

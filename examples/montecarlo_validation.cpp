@@ -9,7 +9,7 @@
 
 #include "acasx/offline_solver.h"
 #include "baselines/tcas_like.h"
-#include "core/monte_carlo.h"
+#include "core/validation_campaign.h"
 #include "sim/acasx_cas.h"
 #include "util/thread_pool.h"
 
@@ -28,17 +28,22 @@ int main(int argc, char** argv) {
               "with safe passes; every system sees the same paired traffic)\n\n",
               config.encounters);
 
-  const auto unequipped = core::estimate_rates(model, config, "unequipped", {}, {}, &pool);
-  const auto acas = core::estimate_rates(model, config, "ACAS-XU", sim::AcasXuCas::factory(table),
-                                         sim::AcasXuCas::factory(table), &pool);
-  const auto tcas = core::estimate_rates(model, config, "TCAS-like",
-                                         baselines::TcasLikeCas::factory(),
-                                         baselines::TcasLikeCas::factory(), &pool);
+  // ValidationCampaign is the primary entry: a run() here is one merged
+  // set of stripe work units, the same surface dist::run_sharded_campaign
+  // spreads over worker processes with bit-identical results.
+  const auto run = [&](const char* name, const sim::CasFactory& cas) {
+    return core::ValidationCampaign(model, config, name, cas, cas).run(&pool).rates;
+  };
+  const auto unequipped = run("unequipped", {});
+  const auto acas = run("ACAS-XU", sim::AcasXuCas::factory(table));
+  const auto tcas = run("TCAS-like", baselines::TcasLikeCas::factory());
 
   std::printf("%-12s %-10s %-24s %-10s %-12s\n", "system", "NMACs", "NMAC rate [95% CI]",
               "alerts", "risk ratio");
   for (const auto& r : {unequipped, tcas, acas}) {
     const auto ci = r.nmac_ci();
+    // risk_ratio reports the kRiskRatioUndefined sentinel (-1) when the
+    // unequipped baseline happened to record zero NMACs.
     std::printf("%-12s %-10zu %.4f [%.4f, %.4f]  %-10.3f %-12.3f\n", r.system.c_str(), r.nmacs,
                 r.nmac_rate(), ci.lo, ci.hi, r.alert_rate(), core::risk_ratio(r, unequipped));
   }

@@ -9,37 +9,10 @@
 #include <vector>
 
 #include "acasx/dynamics.h"
+#include "acasx/stencil_image.h"
 #include "util/expect.h"
 
 namespace cav::acasx {
-
-/// One sense class's precompiled successor stencils over the 4-D joint
-/// grid — the same two-level (noise group, interpolation entry) layout as
-/// the pairwise StencilSet (offline_solver.cpp), which keeps the sparse
-/// sweep's floating-point accumulation order fixed and therefore every
-/// re-solve bit-identical.
-struct JointStencilSet {
-  std::vector<std::size_t> group_offsets;  ///< row (g4, a) -> group range
-  std::vector<double> group_weight;        ///< per-group noise-pair probability
-  std::vector<std::size_t> entry_offsets;  ///< group -> entry range
-  std::vector<std::uint32_t> vertex;       ///< flat 4-D grid index of successor
-  std::vector<double> weight;              ///< multilinear interpolation weight
-
-  std::size_t num_entries() const { return vertex.size(); }
-};
-
-/// One stencil set per secondary sense class (the only thing the
-/// abstracted secondary changes about the transition kernel).
-struct JointStencilSets {
-  std::array<JointStencilSet, kNumSecondarySenses> per_sense;
-
-  std::size_t num_entries() const {
-    std::size_t n = 0;
-    for (const auto& s : per_sense) n += s.num_entries();
-    return n;
-  }
-};
-
 namespace {
 
 /// Value function for one tau layer of one slab:
@@ -91,9 +64,9 @@ StencilRow build_stencil_row(const GridN<4>& grid, double h1, double dh_own, dou
   return row;
 }
 
-JointStencilSet build_sense_stencils(const GridN<4>& grid, double dh2_rep,
-                                     const DynamicsConfig& dyn,
-                                     const std::array<NoiseSample, 3>& noise, ThreadPool* pool) {
+StencilArrays build_sense_stencils(const GridN<4>& grid, double dh2_rep,
+                                   const DynamicsConfig& dyn,
+                                   const std::array<NoiseSample, 3>& noise, ThreadPool* pool) {
   const std::size_t num_points = grid.size();
   const std::size_t num_rows = num_points * kNumAdvisories;
 
@@ -117,7 +90,7 @@ JointStencilSet build_sense_stencils(const GridN<4>& grid, double dh2_rep,
     build_range(0, num_points);
   }
 
-  JointStencilSet set;
+  StencilArrays set;
   set.group_offsets.assign(num_rows + 1, 0);
   std::size_t num_groups = 0;
   std::size_t num_entries = 0;
@@ -145,14 +118,68 @@ JointStencilSet build_sense_stencils(const GridN<4>& grid, double dh2_rep,
   return set;
 }
 
-/// Solve one (delta bin, sense class) slab's tau recursion into `table`.
-void solve_slab(JointLogicTable& table, const JointConfig& config,
-                const JointStencilSet& stencils, std::size_t delta_bin, SecondarySense sense,
-                ThreadPool* pool) {
-  const GridN<4>& grid = table.grid();
+JointStencilSets build_stencils_for(const JointConfig& config, ThreadPool* pool,
+                                    double& build_seconds) {
+  const auto build_start = std::chrono::steady_clock::now();
+  const GridN<4> grid = config.grid();
+  const auto noise = sigma_samples(config.dynamics.accel_noise_sigma_fps2);
+  JointStencilSets sets;
+  for (std::size_t s = 0; s < kNumSecondarySenses; ++s) {
+    const double dh2_rep =
+        config.secondary.representative_rate_fps(static_cast<SecondarySense>(s));
+    sets.per_sense[s] = StencilSet::adopt(
+        build_sense_stencils(grid, dh2_rep, config.dynamics, noise, pool));
+  }
+  build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - build_start).count();
+  return sets;
+}
+
+JointLogicTable run_joint_induction(const JointConfig& config, const JointStencilSets& stencils,
+                                    ThreadPool* pool, JointSolveStats* stats,
+                                    std::chrono::steady_clock::time_point start_time) {
+  JointLogicTable table(config);
+  for (std::size_t s = 0; s < kNumSecondarySenses; ++s) {
+    expect(stencils.per_sense[s].group_offsets.size() ==
+               table.grid().size() * kNumAdvisories + 1,
+           "joint stencils were built for this grid");
+  }
+  // Each slab is contiguous in the table (slab index slowest), so the
+  // per-slab kernel writes straight into the table's slab slice.
+  const std::size_t slab_floats =
+      table.num_tau_layers() * table.num_grid_points() * kNumAdvisories * kNumAdvisories;
+  const std::span<float> q{table.raw()};
+  for (std::size_t db = 0; db < config.secondary.num_delta_bins; ++db) {
+    for (std::size_t s = 0; s < kNumSecondarySenses; ++s) {
+      const std::size_t slab = config.slab_index(db, static_cast<SecondarySense>(s));
+      solve_joint_slab(config, stencils.per_sense[s], db, static_cast<SecondarySense>(s), pool,
+                       q.subspan(slab * slab_floats, slab_floats));
+    }
+  }
+  if (stats != nullptr) {
+    stats->states_per_layer = table.num_grid_points() * kNumAdvisories;
+    stats->layers = table.num_tau_layers();
+    stats->slabs = table.num_slabs();
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+  }
+  return table;
+}
+
+}  // namespace
+
+void solve_joint_slab(const JointConfig& config, const StencilSet& stencils,
+                      std::size_t delta_bin, SecondarySense sense, ThreadPool* pool,
+                      std::span<float> slab_out) {
+  const GridN<4> grid = config.grid();
   const std::size_t num_points = grid.size();
   const std::size_t tau_max = config.space.tau_max;
-  const std::size_t slab = config.slab_index(delta_bin, sense);
+  constexpr std::size_t kQPerPoint = kNumAdvisories * kNumAdvisories;
+  expect(stencils.group_offsets.size() == num_points * kNumAdvisories + 1,
+         "joint stencils were built for this grid");
+  expect(slab_out.size() == (tau_max + 1) * num_points * kQPerPoint,
+         "slab buffer matches [tau][grid][ra][action]");
+  (void)sense;  // the sense selects `stencils`; the recursion itself is sense-blind
 
   // The primary's CPA layer inside this slab: delta bin values must land
   // on integer tau layers (SecondaryAbstraction's contract) and inside the
@@ -183,7 +210,7 @@ void solve_slab(JointLogicTable& table, const JointConfig& config,
     for (std::size_t ra = 0; ra < kNumAdvisories; ++ra) {
       v_prev[g * kNumAdvisories + ra] = terminal_f;
       for (std::size_t a = 0; a < kNumAdvisories; ++a) {
-        table.at(slab, 0, g, static_cast<Advisory>(ra), static_cast<Advisory>(a)) = terminal_f;
+        slab_out[g * kQPerPoint + ra * kNumAdvisories + a] = terminal_f;
       }
     }
   }
@@ -195,6 +222,7 @@ void solve_slab(JointLogicTable& table, const JointConfig& config,
     // its |h1| NMAC charge on top of the Bellman backup, mirroring how the
     // terminal layer charges the secondary.
     const bool primary_cpa = (tau == delta_layers);
+    float* const q_layer = slab_out.data() + tau * num_points * kQPerPoint;
     const auto sweep_range = [&](std::size_t begin, std::size_t end) {
       for (std::size_t g = begin; g < end; ++g) {
         std::array<double, kNumAdvisories> next_value{};
@@ -221,8 +249,7 @@ void solve_slab(JointLogicTable& table, const JointConfig& config,
                              action_cost(static_cast<Advisory>(ra), static_cast<Advisory>(a),
                                          config.costs) +
                              next_value[a];
-            table.at(slab, tau, g, static_cast<Advisory>(ra), static_cast<Advisory>(a)) =
-                static_cast<float>(q);
+            q_layer[g * kQPerPoint + ra * kNumAdvisories + a] = static_cast<float>(q);
             best = std::min(best, q);
           }
           v_cur[g * kNumAdvisories + ra] = static_cast<float>(best);
@@ -238,60 +265,20 @@ void solve_slab(JointLogicTable& table, const JointConfig& config,
   }
 }
 
-JointStencilSets build_stencils_for(const JointConfig& config, ThreadPool* pool,
-                                    double& build_seconds) {
-  const auto build_start = std::chrono::steady_clock::now();
-  const GridN<4> grid = config.grid();
-  const auto noise = sigma_samples(config.dynamics.accel_noise_sigma_fps2);
-  JointStencilSets sets;
-  for (std::size_t s = 0; s < kNumSecondarySenses; ++s) {
-    const double dh2_rep =
-        config.secondary.representative_rate_fps(static_cast<SecondarySense>(s));
-    sets.per_sense[s] = build_sense_stencils(grid, dh2_rep, config.dynamics, noise, pool);
-  }
-  build_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - build_start).count();
-  return sets;
-}
-
-JointLogicTable run_joint_induction(const JointConfig& config, const JointStencilSets& stencils,
-                                    ThreadPool* pool, JointSolveStats* stats,
-                                    std::chrono::steady_clock::time_point start_time) {
-  JointLogicTable table(config);
-  for (std::size_t s = 0; s < kNumSecondarySenses; ++s) {
-    expect(stencils.per_sense[s].group_offsets.size() ==
-               table.grid().size() * kNumAdvisories + 1,
-           "joint stencils were built for this grid");
-  }
-  for (std::size_t db = 0; db < config.secondary.num_delta_bins; ++db) {
-    for (std::size_t s = 0; s < kNumSecondarySenses; ++s) {
-      solve_slab(table, config, stencils.per_sense[s], db, static_cast<SecondarySense>(s),
-                 pool);
-    }
-  }
-  if (stats != nullptr) {
-    stats->states_per_layer = table.num_grid_points() * kNumAdvisories;
-    stats->layers = table.num_tau_layers();
-    stats->slabs = table.num_slabs();
-    stats->wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
-  }
-  return table;
-}
-
-}  // namespace
-
 JointOfflineSolver::JointOfflineSolver(const JointConfig& config, ThreadPool* pool)
     : config_(config) {
-  stencils_ =
-      std::make_unique<const JointStencilSets>(build_stencils_for(config, pool, build_seconds_));
+  stencils_ = build_stencils_for(config, pool, build_seconds_);
 }
 
-JointOfflineSolver::~JointOfflineSolver() = default;
-JointOfflineSolver::JointOfflineSolver(JointOfflineSolver&&) noexcept = default;
-JointOfflineSolver& JointOfflineSolver::operator=(JointOfflineSolver&&) noexcept = default;
+void JointOfflineSolver::save_stencils(const std::string& path) const {
+  save_joint_stencil_image(path, config_, stencils_.per_sense);
+}
 
-std::size_t JointOfflineSolver::stencil_entries() const { return stencils_->num_entries(); }
+JointOfflineSolver JointOfflineSolver::open_stencils(const std::string& path) {
+  JointOfflineSolver solver;
+  solver.stencils_.per_sense = open_joint_stencil_image(path, &solver.config_);
+  return solver;
+}
 
 JointLogicTable JointOfflineSolver::solve(const CostModel& costs, ThreadPool* pool,
                                           JointSolveStats* stats) const {
@@ -299,10 +286,10 @@ JointLogicTable JointOfflineSolver::solve(const CostModel& costs, ThreadPool* po
   revised.costs = costs;
   const auto start_time = std::chrono::steady_clock::now();
   if (stats != nullptr) {
-    stats->stencil_entries = stencils_->num_entries();
+    stats->stencil_entries = stencils_.num_entries();
     stats->stencil_build_seconds = 0.0;  // amortized at construction
   }
-  return run_joint_induction(revised, *stencils_, pool, stats, start_time);
+  return run_joint_induction(revised, stencils_, pool, stats, start_time);
 }
 
 JointLogicTable JointOfflineSolver::solve(ThreadPool* pool, JointSolveStats* stats) const {

@@ -16,22 +16,40 @@
 // slab's representative sense rate, so the successor stencil of each
 // (grid point, action) depends on the sense class but not on tau or the
 // delta bin.  The solver therefore precompiles ONE stencil set per sense
-// class and reuses it across every delta bin and tau layer — and, like
-// CompiledAcasModel, across COST REVISIONS: JointOfflineSolver keeps the
-// stencils and re-solves per CostModel bit-identically (the PR 2
-// refresh_costs path, so revision loops never pay the stencil build
-// twice).
+// class (shared StencilSet layout, acasx/stencil_set.h) and reuses it
+// across every delta bin and tau layer — and, like CompiledAcasModel,
+// across COST REVISIONS: JointOfflineSolver keeps the stencils and
+// re-solves per CostModel bit-identically (the PR 2 refresh_costs path,
+// so revision loops never pay the stencil build twice).
+//
+// Slabs are mutually independent (each starts its own terminal layer), so
+// the whole-table solve is just a loop over solve_joint_slab — the same
+// per-slab kernel the distributed solve (dist/solve_driver.h) hands to
+// worker processes, whose outputs concatenate bit-identically.
 #pragma once
 
+#include <array>
 #include <cstddef>
-#include <memory>
+#include <span>
+#include <string>
 
 #include "acasx/joint_table.h"
+#include "acasx/stencil_set.h"
 #include "util/thread_pool.h"
 
 namespace cav::acasx {
 
-struct JointStencilSets;  // precompiled per-sense successor stencils
+/// One stencil set per secondary sense class (the only thing the
+/// abstracted secondary changes about the transition kernel).
+struct JointStencilSets {
+  std::array<StencilSet, kNumSecondarySenses> per_sense;
+
+  std::size_t num_entries() const {
+    std::size_t n = 0;
+    for (const auto& s : per_sense) n += s.num_entries();
+    return n;
+  }
+};
 
 struct JointSolveStats {
   std::size_t states_per_layer = 0;    ///< grid4 x advisory-memory states
@@ -41,6 +59,16 @@ struct JointSolveStats {
   std::size_t stencil_entries = 0;     ///< (vertex, weight) pairs, all sense sets
   double stencil_build_seconds = 0.0;  ///< time spent precompiling stencils
 };
+
+/// Solve one (delta bin, sense class) slab's full tau recursion into
+/// `slab_out`, a buffer of num_tau_layers * grid4 * kNumAdvisories^2
+/// floats laid out [tau][grid4][ra][action] — exactly the table's slab
+/// layout, so a slab computed in a worker process and memcpy'd into the
+/// table is bit-identical to the serial in-process solve.  `stencils`
+/// must be the set compiled for `sense`.
+void solve_joint_slab(const JointConfig& config, const StencilSet& stencils,
+                      std::size_t delta_bin, SecondarySense sense, ThreadPool* pool,
+                      std::span<float> slab_out);
 
 /// Compile-once / solve-per-revision joint solver.  The stencils depend
 /// only on the state-space discretization, the dynamics model, and the
@@ -54,9 +82,6 @@ class JointOfflineSolver {
   /// + config.dynamics; `pool` parallelizes the build.  config.costs is
   /// kept as the default cost model for the zero-argument solve().
   explicit JointOfflineSolver(const JointConfig& config, ThreadPool* pool = nullptr);
-  ~JointOfflineSolver();
-  JointOfflineSolver(JointOfflineSolver&&) noexcept;
-  JointOfflineSolver& operator=(JointOfflineSolver&&) noexcept;
 
   /// Solve every slab's tau recursion with a revised cost model
   /// (cost-only revision: space, abstraction, and dynamics stay as
@@ -67,13 +92,27 @@ class JointOfflineSolver {
   /// Solve with the cost model the structure was compiled with.
   JointLogicTable solve(ThreadPool* pool = nullptr, JointSolveStats* stats = nullptr) const;
 
+  /// Dump the compiled per-sense stencils (plus the config they were built
+  /// under) into a "STE2" serving::TableImage, and mmap one back — the
+  /// joint analogue of CompiledAcasModel::save_stencils, used by the
+  /// distributed solve to ship the transition structure to workers without
+  /// recompiling it per process.  open_stencils validates every sense
+  /// set's shape against the embedded config grid.
+  void save_stencils(const std::string& path) const;
+  static JointOfflineSolver open_stencils(const std::string& path);
+
   const JointConfig& config() const { return config_; }
-  std::size_t stencil_entries() const;
+  const StencilSet& sense_stencils(SecondarySense sense) const {
+    return stencils_.per_sense[static_cast<std::size_t>(sense)];
+  }
+  std::size_t stencil_entries() const { return stencils_.num_entries(); }
   double stencil_build_seconds() const { return build_seconds_; }
 
  private:
+  JointOfflineSolver() = default;
+
   JointConfig config_;
-  std::unique_ptr<const JointStencilSets> stencils_;
+  JointStencilSets stencils_;
   double build_seconds_ = 0.0;
 };
 

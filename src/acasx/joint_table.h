@@ -51,6 +51,7 @@
 
 namespace cav::serving {
 class TableImage;
+class TableImageWriter;
 }
 
 namespace cav::acasx {
@@ -222,6 +223,11 @@ class JointLogicTable {
   /// Decode the config metadata of a "JNT2" image without touching its
   /// value payload — how PolicyServer serves quantized images directly.
   static JointConfig decode_config(const serving::TableImage& image);
+
+  /// Append the config's meta_f64/meta_u64 slabs to `writer` — the one
+  /// JointConfig codec, shared by save() and by every artifact that
+  /// embeds a joint solver config (stencil images).
+  static void encode_config(const JointConfig& config, serving::TableImageWriter& writer);
 
   /// The value payload, owning or mapped — the serving kernel's view.
   const float* values() const { return view_ != nullptr ? view_ : q_.data(); }

@@ -161,14 +161,17 @@ const std::vector<float>& LogicTable::raw() const {
   return q_;
 }
 
-void LogicTable::save(const std::string& path, serving::Quantization quant) const {
+void LogicTable::encode_config(const AcasXuConfig& config, serving::TableImageWriter& writer) {
   double meta_f64[kMetaF64Count];
   std::uint64_t meta_u64[kMetaU64Count];
-  encode_meta(config_, meta_f64, meta_u64);
-
-  serving::TableImageWriter writer(path, serving::kKindPairwise);
+  encode_meta(config, meta_f64, meta_u64);
   writer.add_slab(serving::kSlabMetaF64, serving::SlabType::kF64, meta_f64, sizeof meta_f64);
   writer.add_slab(serving::kSlabMetaU64, serving::SlabType::kU64, meta_u64, sizeof meta_u64);
+}
+
+void LogicTable::save(const std::string& path, serving::Quantization quant) const {
+  serving::TableImageWriter writer(path, serving::kKindPairwise);
+  encode_config(config_, writer);
   serving::write_value_slabs(writer, {values(), num_entries()}, quant);
   writer.finish();
 }

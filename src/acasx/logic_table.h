@@ -27,6 +27,7 @@
 
 namespace cav::serving {
 class TableImage;
+class TableImageWriter;
 }
 
 namespace cav::acasx {
@@ -102,6 +103,12 @@ class LogicTable {
   /// Decode the config metadata of a "PAIR" image without touching its
   /// value payload — how PolicyServer serves quantized images directly.
   static AcasXuConfig decode_config(const serving::TableImage& image);
+
+  /// Append the config's meta_f64/meta_u64 slabs to `writer` — the one
+  /// AcasXuConfig codec, shared by save() and by every artifact that
+  /// embeds a solver config (stencil images, acasx/stencil_image.h).
+  /// decode_config reads the result back from any image kind.
+  static void encode_config(const AcasXuConfig& config, serving::TableImageWriter& writer);
 
   /// The value payload, owning or mapped — the serving kernel's view.
   const float* values() const { return view_ != nullptr ? view_ : q_.data(); }

@@ -9,34 +9,10 @@
 #include <vector>
 
 #include "acasx/dynamics.h"
+#include "acasx/stencil_image.h"
 #include "util/expect.h"
 
 namespace cav::acasx {
-
-/// Precompiled successor stencils.  For every (grid point, action) row we
-/// record the next-layer grid vertices that receive probability mass,
-/// grouped by noise-pair exactly as expected_next_value visits them:
-///
-///   row (g, a) -> groups [group_offsets[r], group_offsets[r+1])
-///   group j    -> pair weight group_weight[j] and interpolation entries
-///                 [entry_offsets[j], entry_offsets[j+1])  (vertex, weight)
-///
-/// Keeping the two-level accumulation (inner interpolation sum, then the
-/// pair-weighted outer sum) preserves the reference kernel's floating-
-/// point evaluation order, so the stencil sweep is BIT-IDENTICAL to the
-/// per-layer recomputation — only ~100x cheaper, because the dynamics,
-/// clamping, and scatter (with its per-call heap allocation) run once per
-/// row instead of once per row per tau layer.
-struct StencilSet {
-  std::vector<std::size_t> group_offsets;  ///< row r -> group range
-  std::vector<double> group_weight;        ///< per-group noise-pair probability
-  std::vector<std::size_t> entry_offsets;  ///< group -> entry range
-  std::vector<std::uint32_t> vertex;       ///< flat grid index of successor vertex
-  std::vector<double> weight;              ///< multilinear interpolation weight
-
-  std::size_t num_entries() const { return vertex.size(); }
-};
-
 namespace {
 
 /// Value function for one tau layer: v[grid_flat * kNumAdvisories + ra].
@@ -118,8 +94,8 @@ StencilRow build_stencil_row(const GridN<3>& grid, double h, double dh_own, doub
   return row;
 }
 
-StencilSet build_stencils(const GridN<3>& grid, const DynamicsConfig& dyn,
-                          const std::array<NoiseSample, 3>& noise, ThreadPool* pool) {
+StencilArrays build_stencils(const GridN<3>& grid, const DynamicsConfig& dyn,
+                             const std::array<NoiseSample, 3>& noise, ThreadPool* pool) {
   const std::size_t num_points = grid.size();
   const std::size_t num_rows = num_points * kNumAdvisories;
 
@@ -144,7 +120,7 @@ StencilSet build_stencils(const GridN<3>& grid, const DynamicsConfig& dyn,
     build_range(0, num_points);
   }
 
-  StencilSet set;
+  StencilArrays set;
   set.group_offsets.assign(num_rows + 1, 0);
   std::size_t num_groups = 0;
   std::size_t num_entries = 0;
@@ -191,18 +167,12 @@ LogicTable run_backward_induction(const AcasXuConfig& config, const StencilSet* 
   // that matters is whether vertical separation is an NMAC.  The value is
   // independent of rates and advisory memory.
   ValueLayer v_prev(num_points * kNumAdvisories, 0.0F);
+  fill_pair_terminal_layer(config, v_prev);
+  // Q at tau=0 equals the terminal value for every (ra, action) so that
+  // online interpolation near tau=0 degrades gracefully.
   for (std::size_t g = 0; g < num_points; ++g) {
-    const auto idx = grid.unflatten(g);
-    const double h = grid.axis(0).value(idx[0]);
-    const float terminal =
-        (std::abs(h) <= config.costs.nmac_h_ft) ? static_cast<float>(config.costs.nmac_cost)
-                                                : 0.0F;
     for (std::size_t ra = 0; ra < kNumAdvisories; ++ra) {
-      v_prev[g * kNumAdvisories + ra] = terminal;
-    }
-    // Q at tau=0 equals the terminal value for every (ra, action) so that
-    // online interpolation near tau=0 degrades gracefully.
-    for (std::size_t ra = 0; ra < kNumAdvisories; ++ra) {
+      const float terminal = v_prev[g * kNumAdvisories + ra];
       for (std::size_t a = 0; a < kNumAdvisories; ++a) {
         table.at(0, g, static_cast<Advisory>(ra), static_cast<Advisory>(a)) = terminal;
       }
@@ -220,9 +190,11 @@ LogicTable run_backward_induction(const AcasXuConfig& config, const StencilSet* 
 
   ValueLayer v_cur(num_points * kNumAdvisories, 0.0F);
 
-  // Per-point layer update: expected successor values per action (hoisted
-  // out of the ra loop — they depend on the advisory memory only through
-  // the successor's ra' = a), then the costed Bellman minimum.
+  // Per-point layer update for the reference mode: expected successor
+  // values per action (hoisted out of the ra loop — they depend on the
+  // advisory memory only through the successor's ra' = a), then the costed
+  // Bellman minimum.  The stencil mode runs the same epilogue inside
+  // sweep_pair_layer_range.
   const auto finish_point = [&](std::size_t tau, std::size_t g,
                                 const std::array<double, kNumAdvisories>& next_value) {
     for (std::size_t ra = 0; ra < kNumAdvisories; ++ra) {
@@ -239,25 +211,6 @@ LogicTable run_backward_induction(const AcasXuConfig& config, const StencilSet* 
     }
   };
 
-  const auto solve_point_stencil = [&](std::size_t tau, std::size_t g) {
-    const StencilSet& stencils = *stencil_set;
-    std::array<double, kNumAdvisories> next_value{};
-    for (std::size_t a = 0; a < kNumAdvisories; ++a) {
-      const std::size_t r = g * kNumAdvisories + a;
-      double acc = 0.0;
-      for (std::size_t j = stencils.group_offsets[r]; j < stencils.group_offsets[r + 1]; ++j) {
-        double value = 0.0;
-        for (std::size_t k = stencils.entry_offsets[j]; k < stencils.entry_offsets[j + 1]; ++k) {
-          value += stencils.weight[k] *
-                   static_cast<double>(v_prev[stencils.vertex[k] * kNumAdvisories + a]);
-        }
-        acc += stencils.group_weight[j] * value;
-      }
-      next_value[a] = acc;
-    }
-    finish_point(tau, g, next_value);
-  };
-
   const auto solve_point_reference = [&](std::size_t tau, std::size_t g) {
     const auto idx = grid.unflatten(g);
     const double h = grid.axis(0).value(idx[0]);
@@ -271,10 +224,19 @@ LogicTable run_backward_induction(const AcasXuConfig& config, const StencilSet* 
     finish_point(tau, g, next_value);
   };
 
+  // The tau layer is contiguous in the table (point index next-fastest
+  // after tau), so the stencil sweep writes its Q values straight into the
+  // layer's slice via the shared range kernel.
+  constexpr std::size_t kQPerPoint = kNumAdvisories * kNumAdvisories;
+  float* const q_base = table.raw().data();
+
   for (std::size_t tau = 1; tau <= tau_max; ++tau) {
+    float* const q_layer = q_base + tau * num_points * kQPerPoint;
     const auto sweep_range = [&](std::size_t begin, std::size_t end) {
       if (mode == SolverMode::kPrecompiledStencils) {
-        for (std::size_t g = begin; g < end; ++g) solve_point_stencil(tau, g);
+        sweep_pair_layer_range(config, *stencil_set, v_prev, begin, end,
+                               q_layer + begin * kQPerPoint,
+                               v_cur.data() + begin * kNumAdvisories);
       } else {
         for (std::size_t g = begin; g < end; ++g) solve_point_reference(tau, g);
       }
@@ -299,10 +261,10 @@ LogicTable run_backward_induction(const AcasXuConfig& config, const StencilSet* 
 /// The one stencil-build entry point (grid + noise + timing), shared by
 /// solve_logic_table's stencil mode and CompiledAcasModel so the two build
 /// paths cannot diverge.
-StencilSet build_stencils_for(const AcasXuConfig& config, ThreadPool* pool,
-                              double& build_seconds) {
+StencilArrays build_stencils_for(const AcasXuConfig& config, ThreadPool* pool,
+                                 double& build_seconds) {
   const auto build_start = std::chrono::steady_clock::now();
-  StencilSet stencils =
+  StencilArrays stencils =
       build_stencils(config.space.grid(), config.dynamics,
                      sigma_samples(config.dynamics.accel_noise_sigma_fps2), pool);
   build_seconds =
@@ -312,6 +274,55 @@ StencilSet build_stencils_for(const AcasXuConfig& config, ThreadPool* pool,
 
 }  // namespace
 
+void fill_pair_terminal_layer(const AcasXuConfig& config, std::span<float> out) {
+  const GridN<3> grid = config.space.grid();
+  expect(out.size() == grid.size() * kNumAdvisories, "terminal layer buffer matches grid");
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    const auto idx = grid.unflatten(g);
+    const double h = grid.axis(0).value(idx[0]);
+    const float terminal =
+        (std::abs(h) <= config.costs.nmac_h_ft) ? static_cast<float>(config.costs.nmac_cost)
+                                                : 0.0F;
+    for (std::size_t ra = 0; ra < kNumAdvisories; ++ra) {
+      out[g * kNumAdvisories + ra] = terminal;
+    }
+  }
+}
+
+void sweep_pair_layer_range(const AcasXuConfig& config, const StencilSet& stencils,
+                            std::span<const float> v_prev, std::size_t begin, std::size_t end,
+                            float* q_out, float* v_out) {
+  for (std::size_t g = begin; g < end; ++g) {
+    std::array<double, kNumAdvisories> next_value{};
+    for (std::size_t a = 0; a < kNumAdvisories; ++a) {
+      const std::size_t r = g * kNumAdvisories + a;
+      double acc = 0.0;
+      for (std::size_t j = stencils.group_offsets[r]; j < stencils.group_offsets[r + 1]; ++j) {
+        double value = 0.0;
+        for (std::size_t k = stencils.entry_offsets[j]; k < stencils.entry_offsets[j + 1]; ++k) {
+          value += stencils.weight[k] *
+                   static_cast<double>(v_prev[stencils.vertex[k] * kNumAdvisories + a]);
+        }
+        acc += stencils.group_weight[j] * value;
+      }
+      next_value[a] = acc;
+    }
+    float* const q_row = q_out + (g - begin) * kNumAdvisories * kNumAdvisories;
+    float* const v_row = v_out + (g - begin) * kNumAdvisories;
+    for (std::size_t ra = 0; ra < kNumAdvisories; ++ra) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t a = 0; a < kNumAdvisories; ++a) {
+        const double q = action_cost(static_cast<Advisory>(ra), static_cast<Advisory>(a),
+                                     config.costs) +
+                         next_value[a];
+        q_row[ra * kNumAdvisories + a] = static_cast<float>(q);
+        best = std::min(best, q);
+      }
+      v_row[ra] = static_cast<float>(best);
+    }
+  }
+}
+
 LogicTable solve_logic_table(const AcasXuConfig& config, ThreadPool* pool, SolveStats* stats,
                              SolverMode mode) {
   const auto start_time = std::chrono::steady_clock::now();
@@ -319,7 +330,7 @@ LogicTable solve_logic_table(const AcasXuConfig& config, ThreadPool* pool, Solve
   StencilSet stencils;
   if (mode == SolverMode::kPrecompiledStencils) {
     double build_seconds = 0.0;
-    stencils = build_stencils_for(config, pool, build_seconds);
+    stencils = StencilSet::adopt(build_stencils_for(config, pool, build_seconds));
     if (stats != nullptr) {
       stats->stencil_entries = stencils.num_entries();
       stats->stencil_build_seconds = build_seconds;
@@ -331,14 +342,18 @@ LogicTable solve_logic_table(const AcasXuConfig& config, ThreadPool* pool, Solve
 
 CompiledAcasModel::CompiledAcasModel(const AcasXuConfig& config, ThreadPool* pool)
     : config_(config) {
-  stencils_ = std::make_unique<const StencilSet>(build_stencils_for(config, pool, build_seconds_));
+  stencils_ = StencilSet::adopt(build_stencils_for(config, pool, build_seconds_));
 }
 
-CompiledAcasModel::~CompiledAcasModel() = default;
-CompiledAcasModel::CompiledAcasModel(CompiledAcasModel&&) noexcept = default;
-CompiledAcasModel& CompiledAcasModel::operator=(CompiledAcasModel&&) noexcept = default;
+void CompiledAcasModel::save_stencils(const std::string& path) const {
+  save_stencil_image(path, config_, stencils_);
+}
 
-std::size_t CompiledAcasModel::stencil_entries() const { return stencils_->num_entries(); }
+CompiledAcasModel CompiledAcasModel::open_stencils(const std::string& path) {
+  CompiledAcasModel model;
+  model.stencils_ = open_stencil_image(path, &model.config_);
+  return model;
+}
 
 LogicTable CompiledAcasModel::solve(const CostModel& costs, ThreadPool* pool,
                                     SolveStats* stats) const {
@@ -346,10 +361,10 @@ LogicTable CompiledAcasModel::solve(const CostModel& costs, ThreadPool* pool,
   revised.costs = costs;
   const auto start_time = std::chrono::steady_clock::now();
   if (stats != nullptr) {
-    stats->stencil_entries = stencils_->num_entries();
+    stats->stencil_entries = stencils_.num_entries();
     stats->stencil_build_seconds = 0.0;  // amortized at construction
   }
-  return run_backward_induction(revised, stencils_.get(), SolverMode::kPrecompiledStencils,
+  return run_backward_induction(revised, &stencils_, SolverMode::kPrecompiledStencils,
                                 pool, stats, start_time);
 }
 

@@ -16,10 +16,16 @@
 // The successor stencil of each (grid point, action) — which vertices of
 // the next layer receive probability mass, and with what weight — does not
 // depend on tau, so the default solver PRECOMPILES all stencils once
-// (noise pairs and interpolation weights folded together) and reduces each
-// layer's expected-value computation to a sparse dot product over the
-// previous layer, parallelized across grid points.  SolverMode::kReference
-// keeps the original per-layer recomputation as a cross-check.
+// (noise pairs and interpolation weights folded together; acasx/
+// stencil_set.h) and reduces each layer's expected-value computation to a
+// sparse dot product over the previous layer, parallelized across grid
+// points.  SolverMode::kReference keeps the original per-layer
+// recomputation as a cross-check.
+//
+// The per-layer sweep kernel is exposed (sweep_pair_layer_range) so the
+// distributed solve (dist/solve_driver.h) can hand grid-point slices of a
+// tau layer to worker processes and concatenate the results bit-
+// identically to the serial pass.
 //
 // This is the paper's "Optimization" box in Fig. 1 (MDP model -> logic
 // table); footnote 2 reports <5 min on a laptop for the real model — the
@@ -27,14 +33,14 @@
 #pragma once
 
 #include <cstddef>
-#include <memory>
+#include <span>
+#include <string>
 
 #include "acasx/logic_table.h"
+#include "acasx/stencil_set.h"
 #include "util/thread_pool.h"
 
 namespace cav::acasx {
-
-struct StencilSet;  // precompiled successor stencils (internal layout)
 
 struct SolveStats {
   std::size_t states_per_layer = 0;
@@ -58,6 +64,23 @@ LogicTable solve_logic_table(const AcasXuConfig& config, ThreadPool* pool = null
                              SolveStats* stats = nullptr,
                              SolverMode mode = SolverMode::kPrecompiledStencils);
 
+/// Fill the terminal (tau = 0) value layer: out[g * kNumAdvisories + ra],
+/// sized num_grid_points * kNumAdvisories.  Shared by the in-process
+/// induction and the distributed solve so both recursions start from
+/// bit-identical values.
+void fill_pair_terminal_layer(const AcasXuConfig& config, std::span<float> out);
+
+/// Apply one tau layer's stencil sweep to grid points [begin, end), given
+/// the full previous value layer.  Writes
+///   q_out[(g - begin) * kNumAdvisories^2 + ra * kNumAdvisories + a]
+///   v_out[(g - begin) * kNumAdvisories + ra]
+/// — exactly the per-point kernel the serial induction applies, exposed so
+/// worker processes can compute slices whose concatenation is
+/// bit-identical to the single-process solve.
+void sweep_pair_layer_range(const AcasXuConfig& config, const StencilSet& stencils,
+                            std::span<const float> v_prev, std::size_t begin, std::size_t end,
+                            float* q_out, float* v_out);
+
 /// The compiled transition structure of the ACAS XU MDP: the successor
 /// stencils depend only on the state-space discretization and the dynamics
 /// model, NOT on the cost ("preference") model.  Model-revision loops that
@@ -75,9 +98,6 @@ class CompiledAcasModel {
   /// parallelizes the build.  config.costs is kept as the default cost
   /// model for the zero-argument solve().
   explicit CompiledAcasModel(const AcasXuConfig& config, ThreadPool* pool = nullptr);
-  ~CompiledAcasModel();
-  CompiledAcasModel(CompiledAcasModel&&) noexcept;
-  CompiledAcasModel& operator=(CompiledAcasModel&&) noexcept;
 
   /// Solve the tau recursion with a revised cost model (cost-only revision:
   /// space and dynamics stay as compiled).  The returned table's config()
@@ -88,13 +108,26 @@ class CompiledAcasModel {
   /// Solve with the cost model the structure was compiled with.
   LogicTable solve(ThreadPool* pool = nullptr, SolveStats* stats = nullptr) const;
 
+  /// Dump the compiled stencils (plus the config they were built under)
+  /// into a "STEN" serving::TableImage, and mmap one back.  This is how
+  /// the distributed solve ships the transition structure to workers:
+  /// the driver compiles (or reuses) one image, every worker open_stencils
+  /// it, and the page cache shares a single physical copy.  open_stencils
+  /// validates the arrays against the embedded config grid and throws
+  /// serving::TableIoError on any shape mismatch.
+  void save_stencils(const std::string& path) const;
+  static CompiledAcasModel open_stencils(const std::string& path);
+
   const AcasXuConfig& config() const { return config_; }
-  std::size_t stencil_entries() const;
+  const StencilSet& stencils() const { return stencils_; }
+  std::size_t stencil_entries() const { return stencils_.num_entries(); }
   double stencil_build_seconds() const { return build_seconds_; }
 
  private:
+  CompiledAcasModel() = default;
+
   AcasXuConfig config_;
-  std::unique_ptr<const StencilSet> stencils_;
+  StencilSet stencils_;
   double build_seconds_ = 0.0;
 };
 

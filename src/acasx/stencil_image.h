@@ -1,0 +1,59 @@
+// Serialization of compiled successor stencils (acasx/stencil_set.h) as
+// serving::TableImage files — the distributed solve's transport for the
+// transition structure.
+//
+// A pairwise image (kind "STEN") holds the config meta slabs written by
+// LogicTable::encode_config plus one slab per stencil array:
+//
+//   group_offsets  u64[num_points * kNumAdvisories + 1]
+//   group_weight   f64[num_groups]
+//   entry_offsets  u64[num_groups + 1]
+//   vertex         u32[num_entries]
+//   weight         f64[num_entries]
+//
+// A joint image (kind "STE2") holds JointLogicTable::encode_config meta
+// plus the same five slabs per secondary sense class, prefixed "s0." /
+// "s1." / "s2." (15 + 2 slabs — comfortably inside the container's fixed
+// 32-entry directory).
+//
+// The open_* loaders return zero-copy views whose `storage` keeps the
+// mmap alive, and VALIDATE the arrays against the embedded config grid
+// (offset monotonicity, row count, vertex range) before handing them to
+// the sweep kernels — a stencil image for the wrong discretization, or a
+// corrupted one, throws serving::TableIoError instead of scattering onto
+// out-of-range vertices.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "acasx/config.h"
+#include "acasx/joint_table.h"
+#include "acasx/stencil_set.h"
+
+namespace cav::acasx {
+
+inline constexpr std::string_view kKindPairStencils = "STEN";
+inline constexpr std::string_view kKindJointStencils = "STE2";
+
+/// Write `stencils` (compiled for `config`) as a "STEN" image.
+void save_stencil_image(const std::string& path, const AcasXuConfig& config,
+                        const StencilSet& stencils);
+
+/// mmap a "STEN" image back.  Writes the embedded config to *config_out
+/// (must be non-null) and returns validated zero-copy views.
+StencilSet open_stencil_image(const std::string& path, AcasXuConfig* config_out);
+
+/// Write the per-sense stencil sets (compiled for `config`) as a "STE2"
+/// image.  `per_sense` must have kNumSecondarySenses elements, indexed by
+/// SecondarySense.
+void save_joint_stencil_image(const std::string& path, const JointConfig& config,
+                              std::span<const StencilSet> per_sense);
+
+/// mmap a "STE2" image back; every sense set is validated independently.
+std::array<StencilSet, kNumSecondarySenses> open_joint_stencil_image(const std::string& path,
+                                                                     JointConfig* config_out);
+
+}  // namespace cav::acasx

@@ -1,181 +1,43 @@
 #include "core/monte_carlo.h"
 
-#include <algorithm>
 #include <limits>
-#include <memory>
-#include <vector>
 
-#include "encounter/encounter.h"
-#include "encounter/multi_encounter.h"
-#include "sim/faults.h"
-#include "sim/simulation.h"
-#include "util/expect.h"
-#include "util/rng.h"
+#include "core/validation_campaign.h"
 
 namespace cav::core {
-namespace {
-
-/// Deterministic equipage draw for intruder k of encounter i: a dedicated
-/// stream per (seed, i, k), so the pattern is identical across policies,
-/// thread counts, and K growth, and no other draw shifts.  The boundary
-/// fractions never draw — 1.0 is the pre-fault equip-everyone path.
-bool intruder_equipped(const MonteCarloConfig& config, std::size_t encounter_index,
-                       std::size_t intruder_index) {
-  if (config.equipage_fraction >= 1.0) return true;
-  if (config.equipage_fraction <= 0.0) return false;
-  RngStream rng = RngStream::derive(config.seed, "mc-equipage", encounter_index, intruder_index);
-  return rng.chance(config.equipage_fraction);
-}
-
-/// Equip one intruder slot: the intruder CAS when the equipage draw says
-/// so, otherwise the configured unequipped behavior (passive, or the
-/// scripted adversary that maneuvers toward the own-ship around its CPA).
-void equip_intruder(const MonteCarloConfig& config, std::size_t encounter_index,
-                    std::size_t intruder_index, double t_cpa_s,
-                    const sim::CasFactory& intruder_cas, sim::AgentSetup* setup) {
-  if (intruder_equipped(config, encounter_index, intruder_index)) {
-    if (intruder_cas) setup->cas = intruder_cas();
-  } else if (config.unequipped_behavior == UnequippedBehavior::kManeuverAtCpa) {
-    sim::ScriptedManeuverConfig script;
-    script.start_s = std::max(0.0, t_cpa_s - 10.0);
-    script.duration_s = 20.0;
-    script.decision_period_s = config.sim.decision_period_s;
-    setup->cas = std::make_unique<sim::ScriptedManeuverCas>(script);
-    setup->count_alerts = false;  // attacks are not avoidance alerts
-  }
-  if (config.intruder_fault.has_value()) setup->fault = config.intruder_fault;
-}
-
-}  // namespace
 
 SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
                            const MonteCarloConfig& config, const std::string& system_name,
                            const sim::CasFactory& own_cas, const sim::CasFactory& intruder_cas,
                            ThreadPool* pool) {
-  expect(config.encounters >= 1, "encounters >= 1");
-  expect(config.intruders >= 1, "intruders >= 1");
-
-  SystemRates rates;
-  rates.system = system_name;
-  rates.encounters = config.encounters;
-
-  const encounter::MultiEncounterModel multi_model(config.intruders, model.config());
-
-  // Striped accumulators: each stripe owns a contiguous slice of the
-  // encounter indices and accumulates into its own slot, so the hot loop
-  // carries no lock or atomic and validation scales with cores.  Stripes
-  // are combined in index order afterwards, which makes the totals —
-  // including the floating-point separation sum — bit-identical for any
-  // thread count (and for the serial path, which walks the same stripes).
-  struct Partial {
-    std::size_t nmacs = 0;
-    std::size_t alerts = 0;
-    double sep_sum = 0.0;
-    double wall_s = 0.0;
-  };
-  const std::size_t num_stripes = std::min<std::size_t>(config.encounters, 64);
-  std::vector<Partial> partials(num_stripes);
-
-  constexpr std::uint64_t kMcTag = 0x4D43'4D43ULL;  // "MCMC"
-
-  const auto run_pairwise = [&](std::size_t i, Partial& local) {
-    // The geometry stream depends only on (seed, i): every system sees the
-    // same traffic sample.
-    RngStream geometry_rng = RngStream::derive(config.seed, "mc-geometry", i);
-    const encounter::EncounterParams params = model.sample(geometry_rng);
-    const encounter::InitialStates init = encounter::generate_initial_states(params);
-
-    sim::SimConfig sim_config = config.sim;
-    sim_config.max_time_s = params.t_cpa_s + config.sim_time_margin_s;
-
-    sim::AgentSetup own;
-    own.initial_state = init.own;
-    if (own_cas) own.cas = own_cas();
-    if (config.own_fault.has_value()) own.fault = config.own_fault;
-    sim::AgentSetup intruder;
-    intruder.initial_state = init.intruder;
-    equip_intruder(config, i, /*intruder_index=*/0, params.t_cpa_s, intruder_cas, &intruder);
-
-    const std::uint64_t sim_seed = mix64(config.seed ^ mix64(kMcTag ^ i));
-    const sim::SimResult result =
-        sim::run_encounter(sim_config, std::move(own), std::move(intruder), sim_seed);
-
-    if (result.nmac) ++local.nmacs;
-    if (result.own.ever_alerted || result.intruder.ever_alerted) ++local.alerts;
-    local.sep_sum += result.proximity.min_distance_m;
-    local.wall_s += result.wall_time_s;
-  };
-
-  const auto run_multi = [&](std::size_t i, Partial& local) {
-    // Per-intruder geometry streams depend only on (seed, i, k): the
-    // traffic sample is paired across systems and across thread counts,
-    // and intruder k's geometry does not change when K grows.
-    const encounter::MultiEncounterParams params = multi_model.sample(config.seed, i);
-    const std::vector<sim::UavState> states = encounter::generate_multi_initial_states(params);
-
-    sim::SimConfig sim_config = config.sim;
-    sim_config.max_time_s = params.max_t_cpa_s() + config.sim_time_margin_s;
-
-    std::vector<sim::AgentSetup> agents(states.size());
-    agents[0].initial_state = states[0];
-    if (own_cas) agents[0].cas = own_cas();
-    if (config.own_fault.has_value()) agents[0].fault = config.own_fault;
-    for (std::size_t a = 1; a < states.size(); ++a) {
-      agents[a].initial_state = states[a];
-      equip_intruder(config, i, a - 1, params.intruders[a - 1].t_cpa_s, intruder_cas,
-                     &agents[a]);
-    }
-
-    const std::uint64_t sim_seed = mix64(config.seed ^ mix64(kMcTag ^ i));
-    const sim::SimResult result =
-        sim::run_multi_encounter(sim_config, std::move(agents), sim_seed);
-
-    if (result.own_nmac()) ++local.nmacs;
-    bool any_alert = false;
-    for (const sim::AgentReport& r : result.agents) any_alert = any_alert || r.ever_alerted;
-    if (any_alert) ++local.alerts;
-    local.sep_sum += result.own_min_separation_m();
-    local.wall_s += result.wall_time_s;
-  };
-
-  const auto run_one = [&](std::size_t i, Partial& local) {
-    if (config.intruders == 1) {
-      run_pairwise(i, local);
-    } else {
-      run_multi(i, local);
-    }
-  };
-
-  const auto run_stripe = [&](std::size_t stripe) {
-    const std::size_t begin = stripe * config.encounters / num_stripes;
-    const std::size_t end = (stripe + 1) * config.encounters / num_stripes;
-    Partial local;  // accumulate on the stack; one write-back per stripe
-    for (std::size_t i = begin; i < end; ++i) run_one(i, local);
-    partials[stripe] = local;
-  };
-
-  if (pool != nullptr) {
-    pool->parallel_for(num_stripes, run_stripe);
-  } else {
-    for (std::size_t stripe = 0; stripe < num_stripes; ++stripe) run_stripe(stripe);
-  }
-
-  double sep_sum = 0.0;
-  for (const Partial& p : partials) {
-    rates.nmacs += p.nmacs;
-    rates.alerts += p.alerts;
-    sep_sum += p.sep_sum;
-    rates.sim_wall_s += p.wall_s;
-  }
-  rates.mean_min_separation_m =
-      config.encounters ? sep_sum / static_cast<double>(config.encounters) : 0.0;
-  return rates;
+  // A single-stripe campaign over the shared kernel — bit-identical to the
+  // pre-campaign implementation (asserted in tests/test_core_campaign).
+  return ValidationCampaign(model, config, system_name, own_cas, intruder_cas)
+      .run(pool)
+      .rates;
 }
 
 double risk_ratio(const SystemRates& system, const SystemRates& unequipped) {
   const double base = unequipped.nmac_rate();
-  if (base <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  if (base <= 0.0) return kRiskRatioUndefined;
   return system.nmac_rate() / base;
+}
+
+RiskRatioEstimate risk_ratio_wilson(const SystemRates& system, const SystemRates& unequipped) {
+  RiskRatioEstimate est;
+  est.defined = unequipped.nmac_rate() > 0.0;
+  est.ratio = est.defined ? system.nmac_rate() / unequipped.nmac_rate() : kRiskRatioUndefined;
+
+  const Interval sys_ci = system.nmac_ci();
+  const Interval base_ci = unequipped.nmac_ci();
+  // Conservative interval ratio: the smallest plausible numerator over the
+  // largest plausible denominator, and vice versa.  A baseline whose Wilson
+  // lower bound is 0 (always true at 0 observed NMACs) gives an unbounded
+  // upper limit — the honest answer when the baseline saw nothing.
+  est.lo = base_ci.hi > 0.0 ? sys_ci.lo / base_ci.hi : 0.0;
+  est.hi = base_ci.lo > 0.0 ? sys_ci.hi / base_ci.lo
+                            : std::numeric_limits<double>::infinity();
+  return est;
 }
 
 }  // namespace cav::core

@@ -96,13 +96,47 @@ struct SystemRates {
 /// fault draws depend only on (config.seed, encounter index, agent
 /// index), so different systems face exactly the same traffic — paired
 /// comparison.
+///
+/// DEPRECATED (7-argument free function): this is now a thin wrapper that
+/// runs a single-stripe core::ValidationCampaign (validation_campaign.h)
+/// — bit-identical to the historical implementation.  New code should
+/// construct a ValidationCampaign directly: it exposes the work-unit
+/// surface (make_stripes / run_stripe / merge) that sharded execution,
+/// the benches, and dist::CampaignDriver build on, and its
+/// CampaignResult carries the degraded-mode bookkeeping this signature
+/// cannot report.  The wrapper is kept for one release.
 SystemRates estimate_rates(const encounter::StatisticalEncounterModel& model,
                            const MonteCarloConfig& config, const std::string& system_name,
                            const sim::CasFactory& own_cas, const sim::CasFactory& intruder_cas,
                            ThreadPool* pool = nullptr);
 
+/// risk_ratio's return value when the ratio is undefined because the
+/// unequipped baseline recorded zero NMACs (0/0 traffic — nothing to
+/// normalize against).  A negative sentinel instead of the historical
+/// quiet NaN: it compares false against every threshold (NaN comparisons
+/// are silently false TOO, but also poison downstream arithmetic without
+/// a trace), prints recognizably, and round-trips through JSON.  Callers
+/// that need the uncertainty-aware answer should use risk_ratio_wilson().
+inline constexpr double kRiskRatioUndefined = -1.0;
+
 /// Risk ratio of `system` relative to `unequipped` (the standard headline
-/// metric: equipped NMAC rate / unequipped NMAC rate).
+/// metric: equipped NMAC rate / unequipped NMAC rate).  Returns
+/// kRiskRatioUndefined when the baseline NMAC rate is zero.
 double risk_ratio(const SystemRates& system, const SystemRates& unequipped);
+
+/// Risk ratio with Wilson-interval awareness: the point ratio plus a
+/// conservative 95% interval [lo, hi] formed from the two rates' Wilson
+/// bounds (lo = sys.lo / base.hi, hi = sys.hi / base.lo).  When the
+/// baseline recorded zero NMACs, `defined` is false, `ratio` is
+/// kRiskRatioUndefined, and the interval is the honest [sys.lo/base.hi,
+/// +inf) — the data bounds the ratio from below but not above.
+struct RiskRatioEstimate {
+  double ratio = kRiskRatioUndefined;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool defined = false;
+};
+
+RiskRatioEstimate risk_ratio_wilson(const SystemRates& system, const SystemRates& unequipped);
 
 }  // namespace cav::core

@@ -1,0 +1,139 @@
+#include "dist/process.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "dist/wire.h"
+
+namespace cav::dist {
+namespace {
+
+void close_quiet(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+}  // namespace
+
+WorkerProcess::WorkerProcess(WorkerProcess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      in_fd_(std::exchange(other.in_fd_, -1)),
+      out_fd_(std::exchange(other.out_fd_, -1)) {}
+
+WorkerProcess& WorkerProcess::operator=(WorkerProcess&& other) noexcept {
+  if (this != &other) {
+    kill();
+    pid_ = std::exchange(other.pid_, -1);
+    in_fd_ = std::exchange(other.in_fd_, -1);
+    out_fd_ = std::exchange(other.out_fd_, -1);
+  }
+  return *this;
+}
+
+WorkerProcess::~WorkerProcess() { kill(); }
+
+WorkerProcess WorkerProcess::spawn(const std::string& worker_path) {
+  // O_CLOEXEC on every end: a LATER spawn's child must not inherit THIS
+  // worker's pipe fds, or closing our in_fd would never deliver EOF while
+  // a sibling lives (shutdown would block in waitpid forever).  The child
+  // clears the flag on just the two fds it keeps across exec.
+  int to_worker[2];   // driver writes -> worker reads
+  int from_worker[2]; // worker writes -> driver reads
+  if (::pipe2(to_worker, O_CLOEXEC) != 0) throw ProtocolError("pipe() failed");
+  if (::pipe2(from_worker, O_CLOEXEC) != 0) {
+    ::close(to_worker[0]);
+    ::close(to_worker[1]);
+    throw ProtocolError("pipe() failed");
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (int fd : {to_worker[0], to_worker[1], from_worker[0], from_worker[1]}) ::close(fd);
+    throw ProtocolError(std::string("fork() failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: immediately exec (the parent may be threaded — nothing but
+    // async-signal-safe calls between fork and exec).
+    ::close(to_worker[1]);
+    ::close(from_worker[0]);
+    ::fcntl(to_worker[0], F_SETFD, 0);    // survive the exec below
+    ::fcntl(from_worker[1], F_SETFD, 0);
+    char in_arg[16];
+    char out_arg[16];
+    ::snprintf(in_arg, sizeof in_arg, "%d", to_worker[0]);
+    ::snprintf(out_arg, sizeof out_arg, "%d", from_worker[1]);
+    // execlp: a bare "cav_worker" fallback resolves via PATH; any path
+    // containing '/' execs directly.
+    ::execlp(worker_path.c_str(), worker_path.c_str(), in_arg, out_arg,
+             static_cast<char*>(nullptr));
+    // exec failed: exit without running atexit handlers of the forked image.
+    ::_exit(127);
+  }
+
+  // Parent.
+  ::close(to_worker[0]);
+  ::close(from_worker[1]);
+  WorkerProcess worker;
+  worker.pid_ = pid;
+  worker.in_fd_ = to_worker[1];
+  worker.out_fd_ = from_worker[0];
+  return worker;
+}
+
+void WorkerProcess::reap_and_close() {
+  if (pid_ > 0) {
+    int status = 0;
+    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+    }
+    pid_ = -1;
+  }
+  close_quiet(in_fd_);
+  close_quiet(out_fd_);
+}
+
+void WorkerProcess::kill() {
+  if (pid_ > 0) ::kill(pid_, SIGKILL);
+  reap_and_close();
+}
+
+void WorkerProcess::shutdown() {
+  close_quiet(in_fd_);  // worker's read_frame sees EOF and exits 0
+  reap_and_close();
+}
+
+std::string find_worker_binary(const std::string& override_path) {
+  if (!override_path.empty()) return override_path;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    std::string path(buf);
+    const std::size_t slash = path.find_last_of('/');
+    if (slash != std::string::npos) return path.substr(0, slash + 1) + "cav_worker";
+  }
+  return "cav_worker";
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  struct pollfd pfd{fd, POLLIN, 0};
+  for (;;) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError(std::string("poll failed: ") + std::strerror(errno));
+    }
+    // POLLHUP/POLLERR are "readable" for our purposes: read_frame will
+    // observe the EOF and report the dead worker.
+    return r > 0;
+  }
+}
+
+}  // namespace cav::dist

@@ -1,0 +1,62 @@
+// fork/exec plumbing for the cav_worker fleet.
+//
+// Drivers never bare-fork: the parent process usually carries a live
+// ThreadPool, and forking a threaded process leaves the child's heap and
+// locks in an undefined state.  Instead each worker is fork + immediate
+// exec of the separate `cav_worker` binary (tools/cav_worker.cpp), which
+// re-enters through dist::worker_main with two inherited pipe fds.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cav::dist {
+
+/// One spawned worker and its pipe endpoints (driver side).
+class WorkerProcess {
+ public:
+  WorkerProcess() = default;
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+  WorkerProcess(WorkerProcess&& other) noexcept;
+  WorkerProcess& operator=(WorkerProcess&& other) noexcept;
+  /// Kills (SIGKILL) and reaps any still-live child.
+  ~WorkerProcess();
+
+  /// fork + exec `worker_path` with the pipe fds as argv.  Throws
+  /// ProtocolError when the binary cannot be spawned.  The worker's
+  /// kHello frame is NOT consumed here — the driver reads it through the
+  /// normal poll loop.
+  static WorkerProcess spawn(const std::string& worker_path);
+
+  bool alive() const { return pid_ > 0; }
+  pid_t pid() const { return pid_; }
+  int in_fd() const { return in_fd_; }    ///< write requests here
+  int out_fd() const { return out_fd_; }  ///< read responses here
+
+  /// SIGKILL + waitpid + close fds.  Idempotent.
+  void kill();
+  /// Close the request pipe (worker sees EOF and exits) and reap.
+  void shutdown();
+
+ private:
+  void reap_and_close();
+
+  pid_t pid_ = -1;
+  int in_fd_ = -1;
+  int out_fd_ = -1;
+};
+
+/// Locate the cav_worker binary: `override` when non-empty, else
+/// "cav_worker" next to the running executable (/proc/self/exe), else a
+/// bare "cav_worker" left to PATH resolution.
+std::string find_worker_binary(const std::string& override_path);
+
+/// poll() `fd` for readability.  Returns true when readable, false on
+/// timeout; `timeout_ms < 0` blocks.  EINTR retries.
+bool wait_readable(int fd, int timeout_ms);
+
+}  // namespace cav::dist

@@ -1,0 +1,93 @@
+#include "dist/wire.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cav::dist {
+namespace {
+
+/// Full write with EINTR retry; throws on error or closed pipe.
+void write_all(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::byte*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError(std::string("write failed: ") + std::strerror(errno));
+    }
+    if (w == 0) throw ProtocolError("write returned 0");
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+/// Full read with EINTR retry.  Returns false on EOF before the first
+/// byte (a legal frame boundary); EOF after a partial read throws.
+bool read_all(int fd, void* out, std::size_t n) {
+  auto* p = static_cast<std::byte*>(out);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError(std::string("read failed: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      if (got == 0) return false;
+      throw ProtocolError("EOF inside frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+void write_frame(int fd, MsgType type, std::span<const std::byte> payload) {
+  if (payload.size() > kMaxPayloadBytes) throw ProtocolError("payload exceeds frame limit");
+  std::uint32_t head[2] = {kFrameMagic, static_cast<std::uint32_t>(type)};
+  const std::uint64_t len = payload.size();
+  write_all(fd, head, sizeof head);
+  write_all(fd, &len, sizeof len);
+  if (!payload.empty()) write_all(fd, payload.data(), payload.size());
+}
+
+std::optional<Frame> read_frame(int fd) {
+  std::uint32_t head[2];
+  if (!read_all(fd, head, sizeof head)) return std::nullopt;
+  if (head[0] != kFrameMagic) throw ProtocolError("bad frame magic");
+  std::uint64_t len = 0;
+  if (!read_all(fd, &len, sizeof len)) throw ProtocolError("EOF inside frame header");
+  if (len > kMaxPayloadBytes) throw ProtocolError("frame length exceeds limit");
+
+  Frame frame;
+  frame.type = static_cast<MsgType>(head[1]);
+  frame.payload.resize(static_cast<std::size_t>(len));
+  if (len > 0 && !read_all(fd, frame.payload.data(), frame.payload.size())) {
+    throw ProtocolError("EOF inside frame payload");
+  }
+  return frame;
+}
+
+void ByteWriter::raw(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::byte*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t n = u64();
+  if (n > remaining()) throw ProtocolError("string overruns payload");
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+void ByteReader::raw(void* out, std::size_t n) {
+  if (n > remaining()) throw ProtocolError("payload overrun");
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+}
+
+}  // namespace cav::dist

@@ -59,7 +59,13 @@ inline Interval wilson_interval(std::size_t successes, std::size_t trials, doubl
   const double denom = 1.0 + z2 / n;
   const double center = (p + z2 / (2.0 * n)) / denom;
   const double half = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
-  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+  // At 0 (or n) successes the exact bound IS the point estimate, but
+  // center and half travel different FP expression paths and their
+  // difference can be a ~1e-17 residue.  Downstream tests of "is the
+  // bound zero" (risk_ratio_wilson's unbounded-above case) need exactness.
+  const double lo = successes == 0 ? 0.0 : std::max(0.0, center - half);
+  const double hi = successes == trials ? 1.0 : std::min(1.0, center + half);
+  return {lo, hi};
 }
 
 /// Arithmetic mean of a vector; NaN when empty.

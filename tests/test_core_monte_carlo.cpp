@@ -119,7 +119,10 @@ TEST_F(MonteCarloTest, RiskRatioEdgeCases) {
   SystemRates some;
   some.encounters = 100;
   some.nmacs = 10;
-  EXPECT_TRUE(std::isnan(risk_ratio(some, zero)));
+  // A zero-NMAC baseline used to yield a silent quiet-NaN; the ratio is
+  // now the documented sentinel (and risk_ratio_wilson the uncertainty-
+  // aware variant — tests/test_core_campaign.cpp).
+  EXPECT_EQ(risk_ratio(some, zero), kRiskRatioUndefined);
   EXPECT_NEAR(risk_ratio(zero, some), 0.0, 1e-12);
 }
 
