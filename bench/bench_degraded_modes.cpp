@@ -19,6 +19,7 @@
 #include "baselines/tcas_like.h"
 #include "bench_common.h"
 #include "core/monte_carlo.h"
+#include "core/validation_campaign.h"
 #include "scenarios/scenario_library.h"
 #include "sim/acasx_cas.h"
 #include "util/csv.h"
@@ -161,8 +162,9 @@ int main(int argc, char** argv) {
     config.sim.threat_policy = policy;
 
     const auto t0 = std::chrono::steady_clock::now();
-    const auto rates =
-        core::estimate_rates(model, config, policy_label, own, intr, &bench::pool());
+    const auto rates = core::ValidationCampaign(model, config, policy_label, own, intr)
+                           .run(&bench::pool())
+                           .rates;
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 

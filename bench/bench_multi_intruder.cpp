@@ -1,6 +1,6 @@
 // E11 — Multi-intruder engine throughput: encounters/sec of the N-aircraft
 // simulation as the intruder count K grows, serial vs thread pool.  The
-// workload is the Monte-Carlo validation loop itself (estimate_rates with
+// workload is the Monte-Carlo validation loop itself (a ValidationCampaign with
 // K intruders per encounter, ACAS XU-equipped own-ship and intruders), so
 // the numbers bound real validation throughput, not a synthetic kernel.
 #include <chrono>
@@ -10,6 +10,7 @@
 
 #include "bench_common.h"
 #include "core/monte_carlo.h"
+#include "core/validation_campaign.h"
 #include "scenarios/scenario_library.h"
 #include "sim/acasx_cas.h"
 #include "util/csv.h"
@@ -46,10 +47,11 @@ int main(int argc, char** argv) {
     config.seed = 777;
 
     const auto t0 = std::chrono::steady_clock::now();
-    const auto serial = core::estimate_rates(model, config, "serial", equipped, equipped);
+    const core::ValidationCampaign campaign(model, config, "multi-intruder", equipped,
+                                            equipped);
+    const auto serial = campaign.run().rates;
     const auto t1 = std::chrono::steady_clock::now();
-    const auto pooled =
-        core::estimate_rates(model, config, "pooled", equipped, equipped, &bench::pool());
+    const auto pooled = campaign.run(&bench::pool()).rates;
     const auto t2 = std::chrono::steady_clock::now();
 
     const double serial_s = std::chrono::duration<double>(t1 - t0).count();

@@ -23,29 +23,51 @@ void SpatialHashGrid::build(const std::vector<Vec3>& positions, double cell_size
   }
 }
 
+void SpatialHashGrid::collect_pairs_for(std::size_t i, const std::vector<Vec3>& positions,
+                                        double radius_m, std::vector<int>* candidates,
+                                        std::vector<std::pair<int, int>>* out) const {
+  const std::int64_t cx = cell_of(positions[i].x);
+  const std::int64_t cy = cell_of(positions[i].y);
+  candidates->clear();
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      const auto it = cells_.find(cell_key(cx + dx, cy + dy));
+      if (it == cells_.end()) continue;
+      for (const int j : it->second) {
+        if (j <= static_cast<int>(i)) continue;
+        if (horizontal_distance(positions[i], positions[j]) <= radius_m) {
+          candidates->push_back(j);
+        }
+      }
+    }
+  }
+  // Cell visitation order is arbitrary; sorting restores the j-ascending
+  // order the determinism contract promises.
+  std::sort(candidates->begin(), candidates->end());
+  for (const int j : *candidates) out->emplace_back(static_cast<int>(i), j);
+}
+
 void SpatialHashGrid::collect_near_pairs(const std::vector<Vec3>& positions, double radius_m,
                                          std::vector<std::pair<int, int>>* out) const {
   std::vector<int> candidates;
   for (std::size_t i = 0; i < positions.size(); ++i) {
-    const std::int64_t cx = cell_of(positions[i].x);
-    const std::int64_t cy = cell_of(positions[i].y);
-    candidates.clear();
-    for (std::int64_t dx = -1; dx <= 1; ++dx) {
-      for (std::int64_t dy = -1; dy <= 1; ++dy) {
-        const auto it = cells_.find(cell_key(cx + dx, cy + dy));
-        if (it == cells_.end()) continue;
-        for (const int j : it->second) {
-          if (j <= static_cast<int>(i)) continue;
-          if (horizontal_distance(positions[i], positions[j]) <= radius_m) {
-            candidates.push_back(j);
-          }
-        }
-      }
-    }
-    // Cell visitation order is arbitrary; sorting restores the j-ascending
-    // order the determinism contract promises.
-    std::sort(candidates.begin(), candidates.end());
-    for (const int j : candidates) out->emplace_back(static_cast<int>(i), j);
+    collect_pairs_for(i, positions, radius_m, &candidates, out);
+  }
+}
+
+int SpatialHashGrid::stripe_of(const Vec3& position, int num_lps) const {
+  const std::int64_t cx = cell_of(position.x);
+  const std::int64_t m = cx % num_lps;
+  return static_cast<int>(m < 0 ? m + num_lps : m);
+}
+
+void SpatialHashGrid::collect_near_pairs_stripe(const std::vector<Vec3>& positions,
+                                                double radius_m, int lp, int num_lps,
+                                                std::vector<std::pair<int, int>>* out) const {
+  std::vector<int> candidates;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (stripe_of(positions[i], num_lps) != lp) continue;
+    collect_pairs_for(i, positions, radius_m, &candidates, out);
   }
 }
 
@@ -75,7 +97,28 @@ void Airspace::rebuild(const std::vector<Vec3>& positions) {
   near_pairs_.clear();
   for (std::vector<int>& n : neighbors_) n.clear();
   grid_.build(positions, config_.interaction_radius_m);
-  grid_.collect_near_pairs(positions, config_.interaction_radius_m, &near_pairs_);
+  const int num_lps = config_.parallel.num_lps;
+  expect(num_lps >= 1, "airspace num_lps >= 1");
+  if (num_lps == 1) {
+    grid_.collect_near_pairs(positions, config_.interaction_radius_m, &near_pairs_);
+  } else {
+    // Each logical process collects the pairs anchored in its grid-column
+    // stripe; the stripes partition the pair set, so sorting the
+    // concatenation by (i, j) reproduces the serial lexicographic list
+    // exactly — a canonical-order merge, independent of which LP (or
+    // thread) finished first.
+    lp_pairs_.resize(static_cast<std::size_t>(num_lps));
+    for_each_lp(config_.parallel, [&](int lp) {
+      std::vector<std::pair<int, int>>& mine = lp_pairs_[static_cast<std::size_t>(lp)];
+      mine.clear();
+      grid_.collect_near_pairs_stripe(positions, config_.interaction_radius_m, lp, num_lps,
+                                      &mine);
+    });
+    for (const auto& mine : lp_pairs_) {
+      near_pairs_.insert(near_pairs_.end(), mine.begin(), mine.end());
+    }
+    std::sort(near_pairs_.begin(), near_pairs_.end());
+  }
   // Lexicographic pair order yields ascending adjacency lists: for agent x
   // the (i, x) contributions (i < x, ascending) all precede the (x, j)
   // ones (j > x, ascending).

@@ -22,12 +22,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <queue>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "util/thread_pool.h"
 #include "util/vec3.h"
 
 namespace cav::sim {
@@ -36,6 +38,51 @@ enum class IndexMode : std::uint8_t {
   kGrid,      ///< uniform hash grid; near = horizontal distance <= radius
   kAllPairs,  ///< every pair is near (the pre-refactor dense engine)
 };
+
+/// Parallel logical-process execution (ROADMAP item 3).  The airspace is
+/// partitioned into `num_lps` logical processes — grid-column stripes of
+/// the spatial hash (a cell at integer x-index cx belongs to LP
+/// mod(cx, num_lps)) — whose event loops run on `pool` workers and
+/// synchronize at decision-period boundaries.  Every cross-LP exchange
+/// (near-pair lists, monitor minima) is merged in the grid's canonical
+/// lexicographic order, never in completion order, so the result is
+/// bit-identical to the serial engine for every (num_lps, pool,
+/// thread-count) choice — including the default {1, nullptr}, which runs
+/// the very same code inline.
+///
+/// `pool` is non-owning and may be shared across simulations, but must
+/// NOT be a pool the caller is currently executing on: ThreadPool::
+/// wait_idle blocks until the whole pool drains, so nesting a simulation
+/// inside one of its own pool's tasks deadlocks.  Campaign code that
+/// parallelizes across encounters should keep per-encounter simulations
+/// serial (num_lps = 1), or give them a dedicated pool.
+struct LpConfig {
+  int num_lps = 1;           ///< logical processes (>= 1); 1 = serial
+  ThreadPool* pool = nullptr;  ///< workers for the LP event loops; null = inline
+};
+
+/// Run fn(lp) for every logical process.  With a pool and more than one
+/// LP the calls run concurrently (fn must touch only LP-disjoint state);
+/// otherwise they run inline, in LP order, on the calling thread.  The
+/// partition — and therefore every result — depends only on num_lps,
+/// never on the pool's thread count.
+inline void for_each_lp(const LpConfig& parallel, const std::function<void(int)>& fn) {
+  if (parallel.pool != nullptr && parallel.num_lps > 1) {
+    parallel.pool->parallel_for(static_cast<std::size_t>(parallel.num_lps),
+                                [&fn](std::size_t lp) { fn(static_cast<int>(lp)); });
+  } else {
+    for (int lp = 0; lp < parallel.num_lps; ++lp) fn(lp);
+  }
+}
+
+/// Contiguous index stripe [begin, end) owned by `lp` out of `num_lps`
+/// over `n` items — the load-balancing partition the per-agent phases
+/// (integration, surveillance) use.  Deterministic in (n, lp, num_lps).
+inline std::pair<std::size_t, std::size_t> lp_index_range(int lp, int num_lps, std::size_t n) {
+  const auto l = static_cast<std::size_t>(lp);
+  const auto k = static_cast<std::size_t>(num_lps);
+  return {l * n / k, (l + 1) * n / k};
+}
 
 struct AirspaceConfig {
   IndexMode index_mode = IndexMode::kGrid;
@@ -51,10 +98,13 @@ struct AirspaceConfig {
   /// dt.  Their OU disturbance draws coarsen accordingly (the documented
   /// divergence — only ever engaged beyond the interaction radius).
   bool adaptive_timers = true;
+  /// Logical-process parallelism.  The default {1, nullptr} is the serial
+  /// engine; any other setting is bit-identical to it (see LpConfig).
+  LpConfig parallel;
 
   /// The pre-refactor engine: dense pairing, fixed dt everywhere.
   static AirspaceConfig legacy() {
-    return {IndexMode::kAllPairs, std::numeric_limits<double>::infinity(), false};
+    return {IndexMode::kAllPairs, std::numeric_limits<double>::infinity(), false, {}};
   }
 };
 
@@ -74,12 +124,27 @@ class SpatialHashGrid {
   void collect_near_pairs(const std::vector<Vec3>& positions, double radius_m,
                           std::vector<std::pair<int, int>>* out) const;
 
+  /// One logical process's share of collect_near_pairs: the pairs whose
+  /// lower aircraft `i` sits in a grid column owned by `lp` (column cx
+  /// belongs to LP mod(cx, num_lps)).  Output is in the same lexicographic
+  /// order; the LP outputs are disjoint and their (i, j)-sorted union is
+  /// exactly the serial collect_near_pairs list.
+  void collect_near_pairs_stripe(const std::vector<Vec3>& positions, double radius_m, int lp,
+                                 int num_lps, std::vector<std::pair<int, int>>* out) const;
+
+  /// Grid-column stripe owning the aircraft at `position` (mod of the
+  /// integer cell x-index).  Only valid after build().
+  int stripe_of(const Vec3& position, int num_lps) const;
+
  private:
   static std::uint64_t cell_key(std::int64_t ix, std::int64_t iy) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ix)) << 32) |
            static_cast<std::uint64_t>(static_cast<std::uint32_t>(iy));
   }
   std::int64_t cell_of(double coord_m) const;
+  void collect_pairs_for(std::size_t i, const std::vector<Vec3>& positions, double radius_m,
+                         std::vector<int>* candidates,
+                         std::vector<std::pair<int, int>>* out) const;
 
   double cell_size_m_ = 0.0;
   std::unordered_map<std::uint64_t, std::vector<int>> cells_;
@@ -88,6 +153,12 @@ class SpatialHashGrid {
 /// The airspace view the simulation consults once per decision cycle:
 /// which unordered pairs are near, and each agent's sorted neighbor list.
 /// In kAllPairs mode every pair is near and the grid is never built.
+///
+/// With config.parallel.num_lps > 1 (grid mode only), rebuild() fans the
+/// pair collection out across logical processes — each LP walks the grid
+/// columns it owns — and merges the per-LP lists back into the canonical
+/// lexicographic order with one sort, so near_pairs()/neighbors_of() are
+/// bit-identical to the serial rebuild for any LP count.
 class Airspace {
  public:
   Airspace(const AirspaceConfig& config, std::size_t num_agents);
@@ -110,6 +181,9 @@ class Airspace {
   SpatialHashGrid grid_;
   std::vector<std::pair<int, int>> near_pairs_;
   std::vector<std::vector<int>> neighbors_;
+  /// Per-LP pair-collection scratch, persistent across rebuilds so the
+  /// steady-state cycle makes no allocations.
+  std::vector<std::vector<std::pair<int, int>>> lp_pairs_;
   bool built_ = false;
 };
 

@@ -23,6 +23,12 @@
 // blacked-out sender constrains its receivers forever; a positive TTL
 // decays a link's constraint to kNone once `tick()` has been called more
 // than TTL times since the last delivery on that link.
+//
+// This channel is the engine's serial seam: agent i's decision reads the
+// senses agents j < i posted *this* cycle, and every delivery attempt
+// draws from one shared coordination stream, so the decide-and-post sweep
+// runs strictly in index order even under `AirspaceConfig::parallel` —
+// the LP event loops synchronize around it (see simulation.h).
 #pragma once
 
 #include <cstdint>

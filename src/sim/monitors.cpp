@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/expect.h"
+#include "util/thread_pool.h"
 
 namespace cav::sim {
 
@@ -69,6 +70,31 @@ void PairwiseMonitors::update(double t_s, const std::vector<Vec3>& positions) {
     PairSlot& slot = slots_[s];
     slot.proximity.update(t_s, positions[slot.a], positions[slot.b]);
     slot.accidents.update(t_s, positions[slot.a], positions[slot.b]);
+  }
+}
+
+void PairwiseMonitors::update_series(const std::vector<double>& times_s,
+                                     const std::vector<std::vector<Vec3>>& position_rows,
+                                     std::size_t n_rows, int num_lps, ThreadPool* pool) {
+  if (active_.empty() || n_rows == 0) return;
+  const std::size_t n_active = active_.size();
+  auto run_stripe = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      PairSlot& slot = slots_[active_[k]];
+      for (std::size_t s = 0; s < n_rows; ++s) {
+        const std::vector<Vec3>& positions = position_rows[s];
+        slot.proximity.update(times_s[s], positions[slot.a], positions[slot.b]);
+        slot.accidents.update(times_s[s], positions[slot.a], positions[slot.b]);
+      }
+    }
+  };
+  if (pool != nullptr && num_lps > 1) {
+    pool->parallel_for(static_cast<std::size_t>(num_lps), [&](std::size_t lp) {
+      const std::size_t k = static_cast<std::size_t>(num_lps);
+      run_stripe(lp * n_active / k, (lp + 1) * n_active / k);
+    });
+  } else {
+    run_stripe(0, n_active);
   }
 }
 

@@ -21,6 +21,10 @@
 #include "util/units.h"
 #include "util/vec3.h"
 
+namespace cav {
+class ThreadPool;
+}
+
 namespace cav::sim {
 
 /// Per-agent bookkeeping of the multi-threat arbitration layer
@@ -119,6 +123,18 @@ class PairwiseMonitors {
   /// a `set_active_pairs` call just created, which missed the update at
   /// the end of the previous physics step.
   void update_new(double t_s, const std::vector<Vec3>& positions, std::size_t count);
+
+  /// Replay a whole decision period of position snapshots over the active
+  /// set: slot by slot, each active pair consumes rows [0, n_rows) of
+  /// (times_s, position_rows) in time order — the same per-slot update
+  /// sequence n_rows successive update() calls would apply.  Pair slots
+  /// hold fully disjoint state, so partitioning them into `num_lps`
+  /// contiguous stripes run on `pool` workers is bit-identical to the
+  /// sequential replay for every (num_lps, pool) — including
+  /// num_lps == 1 / pool == nullptr, which runs inline.
+  void update_series(const std::vector<double>& times_s,
+                     const std::vector<std::vector<Vec3>>& position_rows, std::size_t n_rows,
+                     int num_lps, ThreadPool* pool);
 
   std::size_t num_agents() const { return num_agents_; }
   /// Materialized (ever-monitored) pair count — K(K-1)/2 only in dense mode.

@@ -57,6 +57,7 @@ Simulation::Simulation(const SimConfig& config, std::vector<AgentSetup> agents,
          "decision period is at least one physics step");
   expect(config.max_time_s > 0.0, "max_time_s > 0");
   expect(config.record_every_n >= 1, "record_every_n >= 1");
+  expect(config.airspace.parallel.num_lps >= 1, "num_lps >= 1");
   expect(agents.size() >= 2, "a simulation needs at least two aircraft");
 
   runtimes_.reserve(agents.size());
@@ -156,14 +157,29 @@ void Simulation::refresh_tracks(AgentRuntime& me, const std::vector<int>& neighb
   std::swap(me.tracks, next);
 }
 
-void Simulation::decide_for(AgentRuntime& me, std::size_t my_id, double t_s,
-                            const std::vector<int>& neighbors) {
-  if (me.cas == nullptr) return;
-
+void Simulation::refresh_surveillance() {
   // Receive every in-radius aircraft's broadcast, in index order (so the
-  // draw sequence on this aircraft's ADS-B stream is deterministic); coast
+  // draw sequence on each aircraft's ADS-B stream is deterministic); coast
   // on the last track heard for an aircraft whose message was lost.
-  refresh_tracks(me, neighbors);
+  // Reception touches only the receiving agent's own streams and track
+  // slots and reads truth states that stay frozen until the physics phase,
+  // so the agents partition across logical processes; the per-stream draw
+  // sequences are exactly the legacy interleaved sweep's.  Unequipped
+  // aircraft (no CAS) hold no surveillance picture and receive nothing,
+  // as before.
+  const LpConfig& parallel = config_.airspace.parallel;
+  for_each_lp(parallel, [&](int lp) {
+    const auto [begin, end] = lp_index_range(lp, parallel.num_lps, runtimes_.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      AgentRuntime& me = runtimes_[i];
+      if (me.cas == nullptr) continue;
+      refresh_tracks(me, airspace_.neighbors_of(i));
+    }
+  });
+}
+
+void Simulation::decide_for(AgentRuntime& me, std::size_t my_id, double t_s) {
+  if (me.cas == nullptr) return;
 
   if (me.tracks.empty()) {
     // All traffic left the interaction radius: no surveillance picture
@@ -272,12 +288,19 @@ void Simulation::decide_all(double t_s) {
     comms_down_[i] = blackout_depth_[i] > 0;
   }
 
+  // Surveillance phase: LP-parallel, then a barrier — every track picture
+  // is complete before the first decision is taken.
+  refresh_surveillance();
+
   // Sequential decisions: lower-index aircraft announce first, so a later
   // aircraft sees a fresh constraint (the paper's own-ship -> intruder
   // coordination command); earlier aircraft saw the later ones' previous
   // announcements, giving the one-cycle latency a real datalink has.
+  // This sweep is the serial section the logical processes synchronize
+  // around: decisions read same-cycle posts of lower-index aircraft, and
+  // posts share one coordination stream, so order is semantics here.
   for (std::size_t i = 0; i < runtimes_.size(); ++i) {
-    decide_for(runtimes_[i], i, t_s, airspace_.neighbors_of(i));
+    decide_for(runtimes_[i], i, t_s);
     // A blacked-out or coordination-silent sender transmits nothing (its
     // links make no draws this cycle); a blacked-out receiver's links
     // still draw inside post(), but nothing is delivered to it.  Delivery
@@ -335,12 +358,23 @@ void Simulation::begin_decision_cycle(double t_s, SimStats* stats) {
 
   // 2. Catch inactive agents up to the decision time with one coarse step
   //    covering the whole period (one disturbance draw instead of ten).
-  for (AgentRuntime& r : runtimes_) {
-    if (r.active || r.last_step_t_s >= t_s) continue;
-    r.agent.step(t_s - r.last_step_t_s, config_.disturbance, r.rng_disturbance);
-    r.last_step_t_s = t_s;
-    ++stats->coarse_agent_steps;
-  }
+  //    Per-agent streams and state: LP-parallel, tallies summed in LP
+  //    order afterwards.
+  const LpConfig& parallel = config_.airspace.parallel;
+  lp_step_counts_.assign(static_cast<std::size_t>(parallel.num_lps), 0);
+  for_each_lp(parallel, [&](int lp) {
+    const auto [begin, end] = lp_index_range(lp, parallel.num_lps, runtimes_.size());
+    std::uint64_t steps = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      AgentRuntime& r = runtimes_[i];
+      if (r.active || r.last_step_t_s >= t_s) continue;
+      r.agent.step(t_s - r.last_step_t_s, config_.disturbance, r.rng_disturbance);
+      r.last_step_t_s = t_s;
+      ++steps;
+    }
+    lp_step_counts_[static_cast<std::size_t>(lp)] = steps;
+  });
+  for (const std::uint64_t steps : lp_step_counts_) stats->coarse_agent_steps += steps;
 
   // 3. Rebuild the spatial index at the now-synchronized positions.
   refresh_positions(false);
@@ -364,6 +398,60 @@ void Simulation::begin_decision_cycle(double t_s, SimStats* stats) {
   }
 }
 
+void Simulation::advance_period(double* t_io, std::size_t n_sub, double tail_dt,
+                                SimStats* stats) {
+  const double dt = config_.dt_dynamics_s;
+  const LpConfig& parallel = config_.airspace.parallel;
+
+  // Substep clock: the exact serial accumulation (t += dt, clamped tail
+  // last) the flat fixed-dt loop performed, precomputed so every LP and
+  // every monitor replays the identical float values.
+  step_times_.resize(n_sub);
+  double t = *t_io;
+  for (std::size_t s = 0; s < n_sub; ++s) {
+    t += (tail_dt > 0.0 && s + 1 == n_sub) ? tail_dt : dt;
+    step_times_[s] = t;
+  }
+
+  // Position snapshot rows, seeded with the decision-time positions so an
+  // inactive (coarse) agent contributes its stale position to every
+  // substep — exactly what refresh_positions(active_only=true) left in
+  // place each step of the legacy loop.
+  if (step_positions_.size() < n_sub) step_positions_.resize(n_sub);
+  for (std::size_t s = 0; s < n_sub; ++s) step_positions_[s] = positions_;
+
+  // LP event loop: each logical process integrates its agents through the
+  // whole period.  Disturbance draws come from per-agent streams and each
+  // agent writes only its own column of the snapshot rows, so the agent ×
+  // substep iteration order is free — per-agent results are bit-identical
+  // to the legacy substep-major sweep.
+  lp_step_counts_.assign(static_cast<std::size_t>(parallel.num_lps), 0);
+  for_each_lp(parallel, [&](int lp) {
+    const auto [begin, end] = lp_index_range(lp, parallel.num_lps, runtimes_.size());
+    std::uint64_t steps = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      AgentRuntime& r = runtimes_[i];
+      if (!r.active) continue;
+      for (std::size_t s = 0; s < n_sub; ++s) {
+        const double step_dt = (tail_dt > 0.0 && s + 1 == n_sub) ? tail_dt : dt;
+        r.agent.step(step_dt, config_.disturbance, r.rng_disturbance);
+        step_positions_[s][i] = r.agent.state().position_m;
+        ++steps;
+      }
+      r.last_step_t_s = step_times_[n_sub - 1];
+    }
+    lp_step_counts_[static_cast<std::size_t>(lp)] = steps;
+  });
+  for (const std::uint64_t steps : lp_step_counts_) stats->fine_agent_steps += steps;
+
+  // Monitor phase (after the physics barrier): replay the snapshots over
+  // the active pairs, slot-partitioned across LPs.
+  monitors_.update_series(step_times_, step_positions_, n_sub, parallel.num_lps, parallel.pool);
+  stats->pair_updates += static_cast<std::uint64_t>(n_sub) * monitors_.num_active_pairs();
+
+  *t_io = step_times_[n_sub - 1];
+}
+
 SimResult Simulation::run() {
   const auto wall_start = std::chrono::steady_clock::now();
   SimResult result;
@@ -383,31 +471,26 @@ SimResult Simulation::run() {
   if (tail_dt <= 1e-9) tail_dt = 0.0;
   const std::size_t total_steps = full_steps + (tail_dt > 0.0 ? 1 : 0);
 
+  // One decision period at a time: the decision boundary (serial), then
+  // the period's physics substeps and monitor updates as the LP event
+  // loop (advance_period).  Decisions land at exactly the steps the flat
+  // `step % steps_per_decision == 0` loop placed them, including a final
+  // short period when total_steps is not a multiple.
   double t = 0.0;
-  for (std::size_t step = 0; step < total_steps; ++step) {
-    if (step % steps_per_decision == 0) {
-      begin_decision_cycle(t, &result.stats);
-      decide_all(t);
-      if (config_.record_trajectory &&
-          result.stats.decision_cycles % static_cast<std::uint64_t>(config_.record_every_n) == 0) {
-        record_sample(t, result);
-      }
-      ++result.stats.decision_cycles;
+  std::size_t step = 0;
+  while (step < total_steps) {
+    begin_decision_cycle(t, &result.stats);
+    decide_all(t);
+    if (config_.record_trajectory &&
+        result.stats.decision_cycles % static_cast<std::uint64_t>(config_.record_every_n) == 0) {
+      record_sample(t, result);
     }
+    ++result.stats.decision_cycles;
 
-    const double step_dt = (tail_dt > 0.0 && step + 1 == total_steps) ? tail_dt : dt;
-    const double t_next = t + step_dt;
-    for (AgentRuntime& r : runtimes_) {
-      if (!r.active) continue;
-      r.agent.step(step_dt, config_.disturbance, r.rng_disturbance);
-      r.last_step_t_s = t_next;
-      ++result.stats.fine_agent_steps;
-    }
-    t = t_next;
-
-    refresh_positions(true);
-    monitors_.update(t, positions_);
-    result.stats.pair_updates += monitors_.num_active_pairs();
+    const std::size_t n_sub = std::min(steps_per_decision, total_steps - step);
+    const bool closes_run = step + n_sub == total_steps;
+    advance_period(&t, n_sub, closes_run ? tail_dt : 0.0, &result.stats);
+    step += n_sub;
   }
 
   result.proximity = monitors_.aggregate_proximity();

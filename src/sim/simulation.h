@@ -6,13 +6,14 @@
 // two-aircraft setup to any number of aircraft; the two-aircraft path is
 // the same code and produces the same results.
 //
-// Structure per decision cycle (1 Hz by default), aircraft in index order:
-//   1. each equipped UAV receives every other aircraft's ADS-B broadcast
-//      (white sensor noise, optional dropout -> coast on the last track
-//      heard for that aircraft; under a FaultProfile additionally dropout
-//      bursts, per-axis bias, and a staleness horizon that drops coasted
-//      tracks — faults.h);
-//   2. it turns the tracks it holds into one advisory under the configured
+// Structure per decision cycle (1 Hz by default):
+//   1. surveillance: each equipped UAV receives every in-radius aircraft's
+//      ADS-B broadcast (white sensor noise, optional dropout -> coast on
+//      the last track heard for that aircraft; under a FaultProfile
+//      additionally dropout bursts, per-axis bias, and a staleness horizon
+//      that drops coasted tracks — faults.h);
+//   2. decision + coordination, aircraft strictly in index order: each UAV
+//      turns the tracks it holds into one advisory under the configured
 //      ThreatPolicy — kNearest runs the (pairwise) collision avoidance
 //      system against the nearest track, constrained by the coordination
 //      sense that threat last delivered; kCostFused and kJointTable
@@ -21,6 +22,17 @@
 //      out or the aircraft is coordination-silent);
 //   3. dynamics integrate at the (faster) physics rate with environment
 //      disturbance, while per-pair monitors watch every true separation.
+//
+// Phases 1 and 3 are per-agent / per-pair independent (every draw comes
+// from a per-(seed, purpose, aircraft) stream; truth states are frozen
+// during the cycle) and run on the logical processes configured by
+// AirspaceConfig::parallel — bit-identically to the serial sweep for any
+// LP/thread count.  Phase 2 is the engine's serial section: aircraft i's
+// decision reads the coordination posts of aircraft j < i from this very
+// cycle, and every post draws from the single shared coordination stream,
+// so decisions and posts are sequentially coupled by design (the paper's
+// own-ship -> intruder coordination command); LPs synchronize at exactly
+// this boundary.
 #pragma once
 
 #include <memory>
@@ -216,17 +228,27 @@ class Simulation {
   SimResult run();
 
  private:
-  void decide_for(AgentRuntime& me, std::size_t my_id, double t_s,
-                  const std::vector<int>& neighbors);
+  void decide_for(AgentRuntime& me, std::size_t my_id, double t_s);
   void decide_all(double t_s);
   void receive_track(AgentRuntime& me, TrackSlot& slot);
   void refresh_tracks(AgentRuntime& me, const std::vector<int>& neighbors);
+  /// Surveillance phase: every equipped agent receives this cycle's
+  /// in-radius broadcasts.  Each agent touches only its own streams and
+  /// reads frozen truth states, so the phase runs LP-parallel and is
+  /// bit-identical to the legacy per-agent interleaving.
+  void refresh_surveillance();
   void record_sample(double t_s, SimResult& result) const;
   void refresh_positions(bool active_only);
   /// Drain due fault events, catch up coarse agents, rebuild the spatial
   /// index, refresh the monitor set, and recompute the active set — the
   /// per-decision-cycle event-core work, before the decisions themselves.
   void begin_decision_cycle(double t_s, SimStats* stats);
+  /// The LP event loop for one decision period: integrate every active
+  /// agent through `n_sub` physics substeps (recording a position snapshot
+  /// per substep) and replay the snapshots through the pair monitors.
+  /// `tail_dt`, when positive, replaces the physics dt on the last substep
+  /// (the clamped run-closing step).  Advances *t_io to the period end.
+  void advance_period(double* t_io, std::size_t n_sub, double tail_dt, SimStats* stats);
 
   SimConfig config_;
   std::vector<AgentRuntime> runtimes_;
@@ -240,6 +262,13 @@ class Simulation {
   std::vector<Vec3> positions_;   ///< scratch for index/monitor updates
   std::vector<bool> comms_down_;  ///< per-agent blackout mask, event-driven
   std::vector<int> blackout_depth_;  ///< active blackout windows per agent
+  // Per-decision-period scratch for the LP event loop (advance_period):
+  // substep times (the serial clock accumulation, precomputed) and one
+  // position snapshot row per substep.  Persistent so the steady-state
+  // period allocates nothing.
+  std::vector<double> step_times_;
+  std::vector<std::vector<Vec3>> step_positions_;
+  std::vector<std::uint64_t> lp_step_counts_;  ///< per-LP step tallies, summed serially
 };
 
 /// Run one two-aircraft encounter to completion (the paper's setup).

@@ -1,9 +1,14 @@
 // Monte-Carlo harness tests: paired traffic, rate arithmetic, and the
 // qualitative system ordering (equipped safer than unequipped) on a small
-// but statistically sufficient sample.
+// but statistically sufficient sample.  Rates come from the campaign API
+// (core::ValidationCampaign — the primary surface since PR 9); the
+// deprecated estimate_rates wrapper keeps its own bit-identity assertion
+// in tests/test_core_campaign.cpp.
 #include "core/monte_carlo.h"
 
 #include <gtest/gtest.h>
+
+#include "core/validation_campaign.h"
 
 #include <memory>
 
@@ -40,9 +45,18 @@ class MonteCarloTest : public ::testing::Test {
 std::shared_ptr<const acasx::LogicTable>* MonteCarloTest::table_ = nullptr;
 ThreadPool* MonteCarloTest::pool_ = nullptr;
 
+// The campaign-API spelling of the old estimate_rates call shape, so every
+// test below runs through the primary surface.
+SystemRates campaign_rates(const encounter::StatisticalEncounterModel& model,
+                           const MonteCarloConfig& config, const std::string& system_name,
+                           const sim::CasFactory& own_cas, const sim::CasFactory& intruder_cas,
+                           ThreadPool* pool = nullptr) {
+  return ValidationCampaign(model, config, system_name, own_cas, intruder_cas).run(pool).rates;
+}
+
 TEST_F(MonteCarloTest, UnequippedTrafficHasSubstantialNmacRate) {
   const encounter::StatisticalEncounterModel model;
-  const auto rates = estimate_rates(model, small_config(), "none", {}, {}, pool_);
+  const auto rates = campaign_rates(model, small_config(), "none", {}, {}, pool_);
   EXPECT_EQ(rates.encounters, 300U);
   // The traffic mixes conflicts with safe passes; a material share of
   // encounters must still be true conflicts.
@@ -54,8 +68,8 @@ TEST_F(MonteCarloTest, UnequippedTrafficHasSubstantialNmacRate) {
 TEST_F(MonteCarloTest, AcasReducesRiskSubstantially) {
   const encounter::StatisticalEncounterModel model;
   const auto config = small_config();
-  const auto unequipped = estimate_rates(model, config, "none", {}, {}, pool_);
-  const auto acas = estimate_rates(model, config, "acas",
+  const auto unequipped = campaign_rates(model, config, "none", {}, {}, pool_);
+  const auto acas = campaign_rates(model, config, "acas",
                                    sim::AcasXuCas::factory(*table_),
                                    sim::AcasXuCas::factory(*table_), pool_);
   EXPECT_LT(acas.nmac_rate(), unequipped.nmac_rate());
@@ -68,8 +82,8 @@ TEST_F(MonteCarloTest, PairedTrafficAcrossSystems) {
   // Same seed -> same geometries: mean unequipped separation must be
   // bit-identical across two estimates with different system names.
   const encounter::StatisticalEncounterModel model;
-  const auto a = estimate_rates(model, small_config(), "a", {}, {}, pool_);
-  const auto b = estimate_rates(model, small_config(), "b", {}, {}, pool_);
+  const auto a = campaign_rates(model, small_config(), "a", {}, {}, pool_);
+  const auto b = campaign_rates(model, small_config(), "b", {}, {}, pool_);
   EXPECT_DOUBLE_EQ(a.mean_min_separation_m, b.mean_min_separation_m);
   EXPECT_EQ(a.nmacs, b.nmacs);
 }
@@ -78,8 +92,8 @@ TEST_F(MonteCarloTest, SerialMatchesParallel) {
   const encounter::StatisticalEncounterModel model;
   MonteCarloConfig config = small_config();
   config.encounters = 60;
-  const auto serial = estimate_rates(model, config, "s", {}, {});
-  const auto parallel = estimate_rates(model, config, "p", {}, {}, pool_);
+  const auto serial = campaign_rates(model, config, "s", {}, {});
+  const auto parallel = campaign_rates(model, config, "p", {}, {}, pool_);
   EXPECT_EQ(serial.nmacs, parallel.nmacs);
   EXPECT_DOUBLE_EQ(serial.mean_min_separation_m, parallel.mean_min_separation_m);
 }
@@ -91,10 +105,10 @@ TEST_F(MonteCarloTest, ResultsInvariantAcrossThreadCounts) {
   const encounter::StatisticalEncounterModel model;
   MonteCarloConfig config = small_config();
   config.encounters = 90;
-  const auto serial = estimate_rates(model, config, "serial", {}, {});
+  const auto serial = campaign_rates(model, config, "serial", {}, {});
   for (const std::size_t threads : {1U, 2U, 5U}) {
     ThreadPool pool(threads);
-    const auto parallel = estimate_rates(model, config, "parallel", {}, {}, &pool);
+    const auto parallel = campaign_rates(model, config, "parallel", {}, {}, &pool);
     EXPECT_EQ(parallel.nmacs, serial.nmacs) << threads << " threads";
     EXPECT_EQ(parallel.alerts, serial.alerts) << threads << " threads";
     EXPECT_DOUBLE_EQ(parallel.mean_min_separation_m, serial.mean_min_separation_m)
@@ -104,7 +118,7 @@ TEST_F(MonteCarloTest, ResultsInvariantAcrossThreadCounts) {
 
 TEST_F(MonteCarloTest, ConfidenceIntervalsBracketRates) {
   const encounter::StatisticalEncounterModel model;
-  const auto rates = estimate_rates(model, small_config(), "none", {}, {}, pool_);
+  const auto rates = campaign_rates(model, small_config(), "none", {}, {}, pool_);
   const Interval ci = rates.nmac_ci();
   EXPECT_LE(ci.lo, rates.nmac_rate());
   EXPECT_GE(ci.hi, rates.nmac_rate());
@@ -132,10 +146,10 @@ TEST_F(MonteCarloTest, ZeroEncountersIsRejected) {
   const encounter::StatisticalEncounterModel model;
   MonteCarloConfig config = small_config();
   config.encounters = 0;
-  EXPECT_THROW(estimate_rates(model, config, "none", {}, {}, pool_), ContractViolation);
+  EXPECT_THROW(campaign_rates(model, config, "none", {}, {}, pool_), ContractViolation);
   config.encounters = 10;
   config.intruders = 0;
-  EXPECT_THROW(estimate_rates(model, config, "none", {}, {}, pool_), ContractViolation);
+  EXPECT_THROW(campaign_rates(model, config, "none", {}, {}, pool_), ContractViolation);
 }
 
 TEST_F(MonteCarloTest, MultiIntruderRatesInvariantAcrossThreadCounts) {
@@ -147,10 +161,10 @@ TEST_F(MonteCarloTest, MultiIntruderRatesInvariantAcrossThreadCounts) {
   MonteCarloConfig config = small_config();
   config.encounters = 40;
   config.intruders = 3;
-  const auto serial = estimate_rates(model, config, "serial", {}, {});
+  const auto serial = campaign_rates(model, config, "serial", {}, {});
   for (const std::size_t threads : {1U, 2U, 5U}) {
     ThreadPool pool(threads);
-    const auto parallel = estimate_rates(model, config, "parallel", {}, {}, &pool);
+    const auto parallel = campaign_rates(model, config, "parallel", {}, {}, &pool);
     EXPECT_EQ(parallel.nmacs, serial.nmacs) << threads << " threads";
     EXPECT_EQ(parallel.alerts, serial.alerts) << threads << " threads";
     EXPECT_DOUBLE_EQ(parallel.mean_min_separation_m, serial.mean_min_separation_m)
@@ -166,9 +180,9 @@ TEST_F(MonteCarloTest, MoreIntrudersMeanMoreOwnshipRisk) {
   const encounter::StatisticalEncounterModel model;
   MonteCarloConfig config = small_config();
   config.encounters = 200;
-  const auto one = estimate_rates(model, config, "K1", {}, {}, pool_);
+  const auto one = campaign_rates(model, config, "K1", {}, {}, pool_);
   config.intruders = 3;
-  const auto three = estimate_rates(model, config, "K3", {}, {}, pool_);
+  const auto three = campaign_rates(model, config, "K3", {}, {}, pool_);
   EXPECT_GT(three.nmac_rate(), one.nmac_rate());
 }
 
@@ -177,8 +191,8 @@ TEST_F(MonteCarloTest, MultiIntruderEquippedBeatsUnequipped) {
   MonteCarloConfig config = small_config();
   config.encounters = 120;
   config.intruders = 3;
-  const auto unequipped = estimate_rates(model, config, "none", {}, {}, pool_);
-  const auto acas = estimate_rates(model, config, "acas", sim::AcasXuCas::factory(*table_),
+  const auto unequipped = campaign_rates(model, config, "none", {}, {}, pool_);
+  const auto acas = campaign_rates(model, config, "acas", sim::AcasXuCas::factory(*table_),
                                    sim::AcasXuCas::factory(*table_), pool_);
   EXPECT_LT(acas.nmac_rate(), unequipped.nmac_rate());
   EXPECT_GT(acas.alert_rate(), 0.0);
@@ -192,10 +206,10 @@ TEST_F(MonteCarloTest, FullEquipageFractionIsBitIdenticalToDefault) {
   MonteCarloConfig config = small_config();
   config.encounters = 60;
   config.intruders = 2;
-  const auto plain = estimate_rates(model, config, "plain", {}, baselines::TcasLikeCas::factory(),
+  const auto plain = campaign_rates(model, config, "plain", {}, baselines::TcasLikeCas::factory(),
                                     pool_);
   config.equipage_fraction = 1.0;
-  const auto full = estimate_rates(model, config, "full", {}, baselines::TcasLikeCas::factory(),
+  const auto full = campaign_rates(model, config, "full", {}, baselines::TcasLikeCas::factory(),
                                    pool_);
   EXPECT_EQ(plain.nmacs, full.nmacs);
   EXPECT_EQ(plain.alerts, full.alerts);
@@ -209,9 +223,9 @@ TEST_F(MonteCarloTest, ZeroEquipageFractionMatchesNullFactory) {
   MonteCarloConfig config = small_config();
   config.encounters = 60;
   config.intruders = 2;
-  const auto null_factory = estimate_rates(model, config, "null", {}, {}, pool_);
+  const auto null_factory = campaign_rates(model, config, "null", {}, {}, pool_);
   config.equipage_fraction = 0.0;
-  const auto zero = estimate_rates(model, config, "zero", {},
+  const auto zero = campaign_rates(model, config, "zero", {},
                                    baselines::TcasLikeCas::factory(), pool_);
   EXPECT_EQ(null_factory.nmacs, zero.nmacs);
   EXPECT_EQ(null_factory.alerts, zero.alerts);
@@ -226,13 +240,13 @@ TEST_F(MonteCarloTest, PartialEquipageLandsBetweenTheBoundaries) {
   config.sim.coordination.message_loss_prob = 0.0;
   const auto own = sim::AcasXuCas::factory(*table_);
   config.equipage_fraction = 0.0;
-  const auto none = estimate_rates(model, config, "0%", own, sim::AcasXuCas::factory(*table_),
+  const auto none = campaign_rates(model, config, "0%", own, sim::AcasXuCas::factory(*table_),
                                    pool_);
   config.equipage_fraction = 1.0;
-  const auto full = estimate_rates(model, config, "100%", own, sim::AcasXuCas::factory(*table_),
+  const auto full = campaign_rates(model, config, "100%", own, sim::AcasXuCas::factory(*table_),
                                    pool_);
   config.equipage_fraction = 0.5;
-  const auto half = estimate_rates(model, config, "50%", own, sim::AcasXuCas::factory(*table_),
+  const auto half = campaign_rates(model, config, "50%", own, sim::AcasXuCas::factory(*table_),
                                    pool_);
   // Unequipped intruders still fly their plans, so half equipage cannot be
   // safer than full or riskier than none on this paired traffic.
@@ -259,11 +273,11 @@ TEST_F(MonteCarloTest, DegradedRunInvariantAcrossThreadCounts) {
   config.sim.fault.adsb_burst_continue_prob = 0.5;
   config.sim.fault.track_staleness_horizon_s = 8.0;
   const auto own = sim::AcasXuCas::factory(*table_);
-  const auto serial = estimate_rates(model, config, "serial", own,
+  const auto serial = campaign_rates(model, config, "serial", own,
                                      sim::AcasXuCas::factory(*table_));
   for (const std::size_t threads : {2U, 5U}) {
     ThreadPool pool(threads);
-    const auto parallel = estimate_rates(model, config, "parallel", own,
+    const auto parallel = campaign_rates(model, config, "parallel", own,
                                          sim::AcasXuCas::factory(*table_), &pool);
     EXPECT_EQ(parallel.nmacs, serial.nmacs) << threads << " threads";
     EXPECT_EQ(parallel.alerts, serial.alerts) << threads << " threads";
@@ -282,9 +296,9 @@ TEST_F(MonteCarloTest, AdversarialUnequippedIntrudersRaiseRisk) {
   config.intruders = 2;
   config.equipage_fraction = 0.0;
   const auto own = sim::AcasXuCas::factory(*table_);
-  const auto passive = estimate_rates(model, config, "passive", own, {}, pool_);
+  const auto passive = campaign_rates(model, config, "passive", own, {}, pool_);
   config.unequipped_behavior = UnequippedBehavior::kManeuverAtCpa;
-  const auto hostile = estimate_rates(model, config, "hostile", own, {}, pool_);
+  const auto hostile = campaign_rates(model, config, "hostile", own, {}, pool_);
   EXPECT_GE(hostile.nmac_rate(), passive.nmac_rate());
   // The scripted maneuvers must not pollute the alert statistics.
   EXPECT_EQ(hostile.alerts == 0U, passive.alerts == 0U);
@@ -301,9 +315,9 @@ TEST_F(MonteCarloTest, PerAgentFaultProfilesOverrideFleetProfile) {
   overridden.sim.fault.adsb_burst_continue_prob = 1.0;
   overridden.own_fault = sim::FaultProfile::none();
   overridden.intruder_fault = sim::FaultProfile::none();
-  const auto a = estimate_rates(model, clean, "clean", {}, baselines::TcasLikeCas::factory(),
+  const auto a = campaign_rates(model, clean, "clean", {}, baselines::TcasLikeCas::factory(),
                                 pool_);
-  const auto b = estimate_rates(model, overridden, "override", {},
+  const auto b = campaign_rates(model, overridden, "override", {},
                                 baselines::TcasLikeCas::factory(), pool_);
   EXPECT_EQ(a.nmacs, b.nmacs);
   EXPECT_EQ(a.alerts, b.alerts);
@@ -313,8 +327,8 @@ TEST_F(MonteCarloTest, PerAgentFaultProfilesOverrideFleetProfile) {
 TEST_F(MonteCarloTest, TcasLikeAlsoReducesRisk) {
   const encounter::StatisticalEncounterModel model;
   const auto config = small_config();
-  const auto unequipped = estimate_rates(model, config, "none", {}, {}, pool_);
-  const auto tcas = estimate_rates(model, config, "tcas", baselines::TcasLikeCas::factory(),
+  const auto unequipped = campaign_rates(model, config, "none", {}, {}, pool_);
+  const auto tcas = campaign_rates(model, config, "tcas", baselines::TcasLikeCas::factory(),
                                    baselines::TcasLikeCas::factory(), pool_);
   EXPECT_LT(tcas.nmac_rate(), unequipped.nmac_rate());
 }

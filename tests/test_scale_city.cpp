@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "acasx/offline_solver.h"
-#include "core/monte_carlo.h"
+#include "core/validation_campaign.h"
 #include "encounter/multi_encounter.h"
 #include "scenarios/scenario_library.h"
 #include "sim/acasx_cas.h"
@@ -159,8 +159,8 @@ TEST(CityScale, RepeatedRunsAreBitIdenticalUnderFullNoise) {
   EXPECT_GT(a.wall_time_s, 0.0);
 }
 
-TEST(CityScale, EstimateRatesThreadCountInvariantPastK8) {
-  // The Monte-Carlo harness at K=12 intruders: serial and pooled stripes
+TEST(CityScale, CampaignThreadCountInvariantPastK8) {
+  // The Monte-Carlo campaign at K=12 intruders: serial and pooled stripes
   // must agree exactly, and the new wall-clock surfacing must be populated.
   const auto table = std::make_shared<const acasx::LogicTable>(
       acasx::solve_logic_table(acasx::AcasXuConfig::coarse()));
@@ -170,11 +170,10 @@ TEST(CityScale, EstimateRatesThreadCountInvariantPastK8) {
   config.encounters = 6;
   config.intruders = 12;
   config.seed = 42;
-  const core::SystemRates serial =
-      core::estimate_rates(model, config, "serial", equipped, equipped);
+  const core::ValidationCampaign campaign(model, config, "city", equipped, equipped);
+  const core::SystemRates serial = campaign.run().rates;
   ThreadPool pool(3);
-  const core::SystemRates pooled =
-      core::estimate_rates(model, config, "pooled", equipped, equipped, &pool);
+  const core::SystemRates pooled = campaign.run(&pool).rates;
   EXPECT_EQ(serial.nmacs, pooled.nmacs);
   EXPECT_EQ(serial.alerts, pooled.alerts);
   EXPECT_EQ(serial.mean_min_separation_m, pooled.mean_min_separation_m);

@@ -4,6 +4,9 @@
 // legacy() exactly on every geometry that stays inside the radius — which is
 // all of the existing scenario families.  Every comparison here is exact
 // double equality: one reordered RNG draw or float reduction fails it.
+// The parallel-LP contract layers on top (LpConfig, airspace.h): any
+// AirspaceConfig::parallel setting — 1 LP, N LPs, any pool thread count —
+// must be bit-identical to the serial engine on the same scenario.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -13,6 +16,7 @@
 #include "sim/acasx_cas.h"
 #include "sim/simulation.h"
 #include "util/angles.h"
+#include "util/thread_pool.h"
 
 namespace cav::sim {
 namespace {
@@ -171,6 +175,100 @@ TEST_F(EquivalenceTest, ForcedModeReproducesGoldenHeadOn) {
   EXPECT_EQ(r.own.alert_cycles, 2);
   EXPECT_EQ(r.intruder.alert_cycles, 3);
   EXPECT_EQ(r.elapsed_s, 89.999999999999162);
+}
+
+AirspaceConfig with_lps(AirspaceConfig base, int num_lps, ThreadPool* pool) {
+  base.parallel.num_lps = num_lps;
+  base.parallel.pool = pool;
+  return base;
+}
+
+TEST_F(EquivalenceTest, ParallelLpsMatchSerialOnEveryFamily) {
+  // Every existing K<=8 scenario family, serial vs {1, 2, 4} logical
+  // processes on pools of 1 and 3 threads: trajectories, reports, and
+  // pair minima must match to the bit (expect_bit_identical compares the
+  // recorded multi-trajectory sample by sample).
+  ThreadPool one_thread(1);
+  ThreadPool three_threads(3);
+  struct Family {
+    scenarios::Scenario scenario;
+    std::uint64_t seed;
+    ThreatPolicy policy;
+  };
+  const Family families[] = {
+      {scenarios::converging_ring(4), 5, ThreatPolicy::kNearest},
+      {scenarios::converging_ring(8), 5, ThreatPolicy::kNearest},
+      {scenarios::high_density_random(8, 2016), 9, ThreatPolicy::kNearest},
+      {scenarios::converging_ring(6), 3, ThreatPolicy::kCostFused},
+  };
+  for (const Family& f : families) {
+    const SimResult serial = run_family(f.scenario, AirspaceConfig{}, equipped(), f.seed,
+                                        f.policy);
+    for (const int num_lps : {1, 2, 4}) {
+      for (ThreadPool* pool : {&one_thread, &three_threads}) {
+        const SimResult parallel = run_family(
+            f.scenario, with_lps(AirspaceConfig{}, num_lps, pool), equipped(), f.seed,
+            f.policy);
+        expect_bit_identical(serial, parallel);
+      }
+    }
+  }
+}
+
+TEST_F(EquivalenceTest, ParallelLpsMatchSerialOnDegradedFixtures) {
+  // Both GA-found degraded fixtures — blackout events, Gilbert–Elliott
+  // bursts, ADS-B dropout bursts, mixed equipage — under 3 LPs: the
+  // draw-heaviest paths survive the LP partition bit for bit.
+  ThreadPool pool(2);
+  for (const std::string& name : scenarios::degraded_scenario_names()) {
+    const scenarios::DegradedScenario fixture = scenarios::make_degraded_scenario(name);
+    SimConfig serial_config;
+    serial_config.record_trajectory = true;
+    SimConfig parallel_config = serial_config;
+    parallel_config.airspace = with_lps(parallel_config.airspace, 3, &pool);
+    const SimResult serial =
+        scenarios::run_degraded_scenario(fixture, serial_config, equipped(), equipped());
+    const SimResult parallel =
+        scenarios::run_degraded_scenario(fixture, parallel_config, equipped(), equipped());
+    expect_bit_identical(serial, parallel);
+  }
+}
+
+TEST_F(EquivalenceTest, ParallelLegacyModeMatchesDenseSerial) {
+  // LpConfig composes with the forced dense fixed-dt mode too: the pair
+  // set is dense (no grid to stripe) but the physics and monitor phases
+  // still fan out.
+  ThreadPool pool(2);
+  const scenarios::Scenario ring = scenarios::converging_ring(4);
+  const SimResult serial = run_family(ring, AirspaceConfig::legacy(), equipped(), 5);
+  const SimResult parallel =
+      run_family(ring, with_lps(AirspaceConfig::legacy(), 4, &pool), equipped(), 5);
+  expect_bit_identical(serial, parallel);
+}
+
+TEST_F(EquivalenceTest, ZeroLengthBlackoutWindowsAreInert) {
+  // A window with end <= start never satisfied TimeWindow::contains, so
+  // the event-driven engine schedules nothing for it: no events drain,
+  // no cycle masks comms, and the run is bit-identical to the fault-free
+  // one — serial and under an LP partition alike.
+  ThreadPool pool(2);
+  const scenarios::Scenario ring = scenarios::converging_ring(4);
+  SimConfig clean;
+  clean.record_trajectory = true;
+  SimConfig degenerate = clean;
+  degenerate.fault.comms_blackouts.push_back({20.0, 20.0});
+  degenerate.fault.comms_blackouts.push_back({30.0, 25.0});  // inverted
+  SimConfig degenerate_parallel = degenerate;
+  degenerate_parallel.airspace = with_lps(degenerate_parallel.airspace, 2, &pool);
+
+  const SimResult reference = scenarios::run_scenario(ring, clean, equipped(), equipped(), 5);
+  const SimResult degen = scenarios::run_scenario(ring, degenerate, equipped(), equipped(), 5);
+  const SimResult degen_lp =
+      scenarios::run_scenario(ring, degenerate_parallel, equipped(), equipped(), 5);
+  expect_bit_identical(reference, degen);
+  expect_bit_identical(reference, degen_lp);
+  EXPECT_EQ(degen.stats.fault_events, 0U);
+  EXPECT_EQ(degen_lp.stats.fault_events, 0U);
 }
 
 TEST_F(EquivalenceTest, RecordEveryNDecimatesWithoutPerturbingTheRun) {
